@@ -1,0 +1,239 @@
+// Benchmark harness: one testing.B per table and figure of the paper,
+// plus the ablation studies from DESIGN.md. Each benchmark regenerates
+// its artifact per iteration and reports the paper-relevant quantities
+// as custom metrics (L/F ratios, transition counts per cycle, power in
+// milliwatts), so `go test -bench=.` reproduces the whole evaluation.
+package glitchsim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"glitchsim"
+	"glitchsim/internal/circuits"
+	"glitchsim/internal/delay"
+	"glitchsim/internal/retime"
+)
+
+// BenchmarkFig3WorstCase regenerates §3.1/Figure 3: the worst-case
+// N-transition event of a 4-bit RCA, measured analytically and by event
+// simulation.
+func BenchmarkFig3WorstCase(b *testing.B) {
+	var last glitchsim.WorstCaseResult
+	for i := 0; i < b.N; i++ {
+		res, err := glitchsim.WorstCase(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.SimSumTransitions), "worstS3_transitions")
+	b.ReportMetric(float64(last.SimCarryTransitions), "worstC4_transitions")
+	b.ReportMetric(last.Probability, "probability")
+}
+
+// BenchmarkFig5RCA regenerates Figure 5: the 16-bit RCA under 4000
+// random inputs, analytic and simulated totals.
+func BenchmarkFig5RCA(b *testing.B) {
+	var last glitchsim.Fig5Result
+	for i := 0; i < b.N; i++ {
+		res, err := glitchsim.Figure5(16, 4000, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.AnalyticTotal), "analytic_total")
+	b.ReportMetric(float64(last.Sim.Transitions), "sim_total")
+	b.ReportMetric(last.Sim.LOverF(), "sim_L/F")
+}
+
+// BenchmarkTable1 regenerates Table 1 row by row: array vs wallace,
+// 8x8 and 16x16, 500 random inputs, unit delay.
+func BenchmarkTable1(b *testing.B) {
+	for _, arch := range []string{"array", "wallace"} {
+		for _, width := range []int{8, 16} {
+			b.Run(fmt.Sprintf("%s_%dx%d", arch, width, width), func(b *testing.B) {
+				var last glitchsim.Activity
+				for i := 0; i < b.N; i++ {
+					nl := circuits.NewArrayMultiplier(width, circuits.Cells)
+					if arch == "wallace" {
+						nl = circuits.NewWallaceMultiplier(width, circuits.Cells)
+					}
+					act, err := glitchsim.Measure(nl, glitchsim.Config{Cycles: 500})
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = act
+				}
+				b.ReportMetric(float64(last.Useful), "useful")
+				b.ReportMetric(float64(last.Useless), "useless")
+				b.ReportMetric(last.LOverF(), "L/F")
+			})
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2: the 8x8 multipliers with
+// dsum=dcarry vs dsum=2·dcarry.
+func BenchmarkTable2(b *testing.B) {
+	for _, arch := range []string{"array", "wallace"} {
+		for _, dsum := range []int{1, 2} {
+			b.Run(fmt.Sprintf("%s_dsum%d", arch, dsum), func(b *testing.B) {
+				nl := circuits.NewArrayMultiplier(8, circuits.Cells)
+				if arch == "wallace" {
+					nl = circuits.NewWallaceMultiplier(8, circuits.Cells)
+				}
+				var dm delay.Model = delay.Unit()
+				if dsum == 2 {
+					dm = delay.FullAdderRatio(2, 1)
+				}
+				var last glitchsim.Activity
+				for i := 0; i < b.N; i++ {
+					act, err := glitchsim.Measure(nl, glitchsim.Config{Cycles: 500, Delay: dm})
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = act
+				}
+				b.ReportMetric(float64(last.Useless), "useless")
+				b.ReportMetric(last.LOverF(), "L/F")
+			})
+		}
+	}
+}
+
+// BenchmarkDirectionDetector regenerates the §4.2 study: 4320 random
+// inputs through the video direction detector.
+func BenchmarkDirectionDetector(b *testing.B) {
+	var last glitchsim.DirDetResult
+	for i := 0; i < b.N; i++ {
+		res, err := glitchsim.DirectionDetector42(4320, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.Useful), "useful")
+	b.ReportMetric(float64(last.Useless), "useless")
+	b.ReportMetric(last.LOverF(), "L/F")
+	b.ReportMetric(last.BalanceLimit, "balance_limit")
+}
+
+// BenchmarkTable3 regenerates Table 3: four retimed direction-detector
+// variants with the three-component power breakdown.
+func BenchmarkTable3(b *testing.B) {
+	var rows []glitchsim.Table3Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = glitchsim.Table3(200, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.TotalMW, fmt.Sprintf("c%d_total_mW", r.Circuit))
+		b.ReportMetric(float64(r.FFs), fmt.Sprintf("c%d_ffs", r.Circuit))
+	}
+}
+
+// BenchmarkFig10 regenerates the Figure 10 sweep and reports the
+// optimum point.
+func BenchmarkFig10(b *testing.B) {
+	var rows []glitchsim.Table3Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = glitchsim.Figure10(nil, 100, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	best := rows[0]
+	for _, r := range rows {
+		if r.TotalMW < best.TotalMW {
+			best = r
+		}
+	}
+	b.ReportMetric(float64(best.FFs), "optimum_ffs")
+	b.ReportMetric(best.TotalMW, "optimum_total_mW")
+	b.ReportMetric(float64(len(rows)), "sweep_points")
+}
+
+// BenchmarkAblationInertial measures the transport/inertial gap on the
+// direction detector under heterogeneous delays (ablation A1).
+func BenchmarkAblationInertial(b *testing.B) {
+	var last glitchsim.AblationResult
+	for i := 0; i < b.N; i++ {
+		res, err := glitchsim.AblationInertial(300, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.A.Useless), "transport_useless")
+	b.ReportMetric(float64(last.B.Useless), "inertial_useless")
+}
+
+// BenchmarkAblationZeroDelay quantifies how much a glitch-blind
+// probabilistic estimator undershoots the event-driven measurement
+// (ablation A2).
+func BenchmarkAblationZeroDelay(b *testing.B) {
+	var last glitchsim.ZeroDelayComparison
+	for i := 0; i < b.N; i++ {
+		res, err := glitchsim.AblationZeroDelay(16, 2000, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.EstimatedPerCycle, "estimated_per_cycle")
+	b.ReportMetric(last.MeasuredPerCycle, "measured_per_cycle")
+	b.ReportMetric(last.Underestimate(), "underestimate_factor")
+}
+
+// BenchmarkAblationGranularity compares FA-cell and gate-level models of
+// one RCA (ablation A4).
+func BenchmarkAblationGranularity(b *testing.B) {
+	var last glitchsim.AblationResult
+	for i := 0; i < b.N; i++ {
+		res, err := glitchsim.AblationGranularity(8, 300, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.A.LOverF(), "cells_L/F")
+	b.ReportMetric(last.B.LOverF(), "gates_L/F")
+}
+
+// BenchmarkSimulatorThroughput measures raw event-driven simulation
+// speed on the 16x16 array multiplier (the heaviest Table 1 workload).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	nl := circuits.NewArrayMultiplier(16, circuits.Cells)
+	b.ResetTimer()
+	var cycles int
+	for i := 0; i < b.N; i++ {
+		act, err := glitchsim.Measure(nl, glitchsim.Config{Cycles: 100, Warmup: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += act.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+}
+
+// BenchmarkRetimeDirectionDetector measures the retiming engine itself:
+// graph extraction, minimum-period search and netlist reconstruction.
+func BenchmarkRetimeDirectionDetector(b *testing.B) {
+	base := glitchsim.NewDirectionDetector(8, true)
+	b.ResetTimer()
+	var regs int
+	for i := 0; i < b.N; i++ {
+		res, err := retime.Pipeline(base, delay.Unit(), 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		regs = res.Registers
+	}
+	b.ReportMetric(float64(regs), "registers")
+}

@@ -1,0 +1,109 @@
+// Command glitchsim regenerates every table and figure of "Analysis and
+// Reduction of Glitches in Synchronous Networks" (DATE 1995) and exposes
+// the underlying tools: activity simulation, retiming, power estimation,
+// VCD dumping and netlist export.
+//
+// Usage:
+//
+//	glitchsim <subcommand> [flags]
+//
+// Subcommands:
+//
+//	worstcase  §3.1/Figure 3: worst-case RCA transition count + probability
+//	fig5       Figure 5: per-bit useful/useless transitions, analytic vs sim
+//	table1     Table 1: array vs wallace multipliers, 8x8 and 16x16
+//	table2     Table 2: dsum=dcarry vs dsum=2*dcarry
+//	dirdet     §4.2: direction detector activity study
+//	table3     Table 3: power breakdown of four retimed variants
+//	fig10      Figure 10: power vs flipflop count sweep
+//	sim        activity measurement of a named circuit
+//	retime     retime/pipeline a named circuit and report the result
+//	vcd        dump a VCD waveform of a simulation run
+//	dot        write a Graphviz netlist drawing
+//	ablate     extra studies: inertial, zero-delay, granularity, stimulus
+//	all        run every paper experiment in sequence
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+var commands = map[string]func(args []string) error{
+	"worstcase": cmdWorstCase,
+	"fig5":      cmdFig5,
+	"table1":    cmdTable1,
+	"table2":    cmdTable2,
+	"dirdet":    cmdDirDet,
+	"table3":    cmdTable3,
+	"fig10":     cmdFig10,
+	"sim":       cmdSim,
+	"retime":    cmdRetime,
+	"vcd":       cmdVCD,
+	"dot":       cmdDOT,
+	"ablate":    cmdAblate,
+	"balance":   cmdBalance,
+	"adders":    cmdAdders,
+	"mults":     cmdMults,
+	"corr":      cmdCorr,
+	"verilog":   cmdVerilog,
+	"stats":     cmdStats,
+	"power":     cmdPower,
+	"json":      cmdJSON,
+	"all":       cmdAll,
+}
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, ok := commands[args[0]]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "glitchsim: unknown subcommand %q\n\n", args[0])
+		usage()
+		os.Exit(2)
+	}
+	if err := cmd(args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "glitchsim %s: %v\n", args[0], err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `glitchsim - transition activity analysis and glitch reduction (DATE'95)
+
+usage: glitchsim <subcommand> [flags]
+
+paper experiments:
+  worstcase   worst-case RCA transitions and probability (Fig 3, §3.1)
+  fig5        per-bit useful/useless transitions of an RCA (Figure 5)
+  table1      array vs wallace multiplier activity (Table 1)
+  table2      sum/carry delay imbalance study (Table 2)
+  dirdet      direction detector activity (§4.2)
+  table3      power breakdown of retimed variants (Table 3)
+  fig10       power vs flipflop count sweep (Figure 10)
+  all         run all of the above
+
+tools:
+  sim         measure activity of a circuit (-circuit, -cycles, -seed, ...)
+  retime      retime/pipeline a circuit (-circuit, -period | -stages)
+  vcd         dump a waveform (-circuit, -cycles, -out)
+  dot         write a Graphviz drawing (-circuit, -out)
+  ablate      inertial / zero-delay / granularity / stimulus studies
+  balance     delay-path balancing study (the paper's other reduction)
+  adders      ripple vs carry-select vs lookahead activity comparison
+  mults       array vs wallace vs booth multiplier comparison
+  corr        signal-correlation decay through the direction detector
+  verilog     export a circuit as structural Verilog (-circuit, -out)
+  json        export a circuit as JSON (-circuit, -out)
+  stats       per-bus signal statistics of a circuit
+  power       power breakdown + hottest nets of a circuit
+
+run 'glitchsim <subcommand> -h' for flags.
+`)
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"glitchsim/internal/delay"
+	"glitchsim/internal/netlist"
+)
+
+func TestBuildCircuitAllNames(t *testing.T) {
+	for name := range circuitBuilders {
+		n, err := buildCircuit(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := n.Validate(); err != nil {
+			t.Errorf("%s: invalid netlist: %v", name, err)
+		}
+		if n.InputWidth() == 0 || n.OutputWidth() == 0 {
+			t.Errorf("%s: degenerate interface", name)
+		}
+	}
+}
+
+func TestBuildCircuitUnknown(t *testing.T) {
+	_, err := buildCircuit("nope")
+	if err == nil || !strings.Contains(err.Error(), "available") {
+		t.Fatalf("want descriptive error, got %v", err)
+	}
+}
+
+func TestCircuitNamesSorted(t *testing.T) {
+	names := strings.Split(circuitNames(), ", ")
+	if len(names) != len(circuitBuilders) {
+		t.Fatal("name list incomplete")
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] <= names[i-1] {
+			t.Fatal("names unsorted")
+		}
+	}
+}
+
+func TestDelayFlag(t *testing.T) {
+	if delayFlag(1, 1, false).Name() != delay.Unit().Name() {
+		t.Error("default should be unit")
+	}
+	if !strings.Contains(delayFlag(2, 1, false).Name(), "dsum=2") {
+		t.Error("fa ratio not selected")
+	}
+	if delayFlag(1, 1, true).Name() != "typical" {
+		t.Error("typical not selected")
+	}
+	if !strings.Contains(delayFlag(3, 3, false).Name(), "3") {
+		t.Error("uniform not selected")
+	}
+}
+
+func TestExperimentCommandsRunQuickly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment commands in -short mode")
+	}
+	// Exercise each experiment entry point with tiny workloads; output
+	// goes to stdout but correctness is the absence of errors.
+	cases := map[string][]string{
+		"worstcase": {"-n", "3"},
+		"fig5":      {"-n", "4", "-cycles", "50", "-chart=false"},
+		"table1":    {"-cycles", "20"},
+		"table2":    {"-cycles", "20"},
+		"dirdet":    {"-cycles", "50"},
+		"adders":    {"-width", "8", "-cycles", "30"},
+		"corr":      {"-cycles", "200"},
+		"sim":       {"-circuit", "rca4", "-cycles", "30"},
+		"retime":    {"-circuit", "rca8", "-stages", "1", "-cycles", "30"},
+	}
+	for name, args := range cases {
+		if err := commands[name](args); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestHazardCircuit(t *testing.T) {
+	n := buildHazard()
+	if n.NumCells() != 2 || n.Name != "hazard" {
+		t.Error("hazard circuit wrong")
+	}
+	if n.NetByName("a") == netlist.NoNet {
+		t.Error("input missing")
+	}
+}

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"glitchsim"
+	"glitchsim/internal/delay"
+	"glitchsim/internal/retime"
+	"glitchsim/internal/sim"
+	"glitchsim/internal/stimulus"
+	"glitchsim/internal/vcd"
+)
+
+// delayFlag builds the delay model from -dsum/-dcarry/-typical flags.
+func delayFlag(dsum, dcarry int, typical bool) delay.Model {
+	if typical {
+		return delay.Typical()
+	}
+	if dsum != dcarry {
+		return delay.FullAdderRatio(dsum, dcarry)
+	}
+	if dsum != 1 {
+		return delay.Uniform(dsum)
+	}
+	return delay.Unit()
+}
+
+func cmdSim(args []string) error {
+	fs := flag.NewFlagSet("sim", flag.ExitOnError)
+	circuit := fs.String("circuit", "rca16", "circuit name ("+circuitNames()+")")
+	cycles := fs.Int("cycles", 500, "measured cycles")
+	seed := fs.Uint64("seed", 1, "stimulus seed")
+	dsum := fs.Int("dsum", 1, "full-adder sum delay")
+	dcarry := fs.Int("dcarry", 1, "full-adder carry delay")
+	typical := fs.Bool("typical", false, "use the heterogeneous typical delay model")
+	inertial := fs.Bool("inertial", false, "inertial instead of transport delay")
+	top := fs.Int("top", 10, "list the N most glitching nets")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	n, err := buildCircuit(*circuit)
+	if err != nil {
+		return err
+	}
+	fmt.Print(n.Summary())
+	counter, err := glitchsim.MeasureDetailed(n, glitchsim.Config{
+		Cycles: *cycles, Seed: *seed,
+		Delay: delayFlag(*dsum, *dcarry, *typical), Inertial: *inertial,
+	})
+	if err != nil {
+		return err
+	}
+	rep := counter.Report()
+	fmt.Printf("\n%v\n", rep)
+	fmt.Printf("balance reduction limit: %.2f\n\n", rep.BalanceLimitFactor())
+	if *top > 0 && len(rep.PerNet) > 0 {
+		fmt.Printf("most glitching nets:\n")
+		for i, nr := range rep.PerNet {
+			if i >= *top {
+				break
+			}
+			fmt.Printf("  %-16s useful=%-6d useless=%-6d glitches=%d\n",
+				nr.Net, nr.Stats.Useful, nr.Stats.Useless, nr.Stats.Glitches)
+		}
+	}
+	return nil
+}
+
+func cmdRetime(args []string) error {
+	fs := flag.NewFlagSet("retime", flag.ExitOnError)
+	circuit := fs.String("circuit", "dirdet8r", "circuit name ("+circuitNames()+")")
+	period := fs.Int("period", 0, "target clock period (0 = minimize)")
+	stages := fs.Int("stages", 0, "extra pipeline stages to add")
+	cycles := fs.Int("cycles", 200, "cycles for before/after activity measurement")
+	seed := fs.Uint64("seed", 1, "stimulus seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	n, err := buildCircuit(*circuit)
+	if err != nil {
+		return err
+	}
+	dm := delay.Unit()
+	var res retime.Result
+	if *period > 0 && *stages == 0 {
+		res, err = retime.ForPeriod(n, dm, *period, 64)
+	} else {
+		res, err = retime.Retime(n, dm, retime.Options{TargetPeriod: *period, ExtraLatency: *stages})
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("retimed %s: period %d, latency +%d cycles, %d flipflops (was %d)\n\n",
+		n.Name, res.Period, res.Latency, res.Registers, n.NumDFFs())
+	before, err := glitchsim.Measure(n, glitchsim.Config{Cycles: *cycles, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	after, err := glitchsim.Measure(res.Netlist, glitchsim.Config{
+		Cycles: *cycles, Seed: *seed, Warmup: res.Latency + 16,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("before: %v\nafter:  %v\n", before, after)
+	tech := glitchsim.DefaultTech()
+	bdB, _, err := glitchsim.MeasurePower(n, glitchsim.Config{Cycles: *cycles, Seed: *seed}, tech)
+	if err != nil {
+		return err
+	}
+	bdA, _, err := glitchsim.MeasurePower(res.Netlist, glitchsim.Config{
+		Cycles: *cycles, Seed: *seed, Warmup: res.Latency + 16,
+	}, tech)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\npower before: %v\npower after:  %v\n", bdB, bdA)
+	return nil
+}
+
+func cmdVCD(args []string) error {
+	fs := flag.NewFlagSet("vcd", flag.ExitOnError)
+	circuit := fs.String("circuit", "hazard", "circuit name ("+circuitNames()+")")
+	cycles := fs.Int("cycles", 16, "cycles to dump")
+	seed := fs.Uint64("seed", 1, "stimulus seed")
+	out := fs.String("out", "wave.vcd", "output file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	n, err := buildCircuit(*circuit)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	period := n.LogicDepth() + 2
+	w, err := vcd.New(f, n, nil, period)
+	if err != nil {
+		return err
+	}
+	s := sim.New(n, sim.Options{})
+	s.AttachMonitor(w)
+	src := stimulus.NewRandom(n.InputWidth(), *seed)
+	for i := 0; i < *cycles; i++ {
+		if err := s.Step(src.Next()); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(*cycles); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d cycles of %s (clock period %d time units) to %s\n",
+		*cycles, n.Name, period, *out)
+	return nil
+}
+
+func cmdDOT(args []string) error {
+	fs := flag.NewFlagSet("dot", flag.ExitOnError)
+	circuit := fs.String("circuit", "rca4", "circuit name ("+circuitNames()+")")
+	out := fs.String("out", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	n, err := buildCircuit(*circuit)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return n.WriteDOT(w)
+}

@@ -1,0 +1,465 @@
+package glitchsim
+
+import (
+	"fmt"
+
+	"glitchsim/internal/analytic"
+	"glitchsim/internal/circuits"
+	"glitchsim/internal/core"
+	"glitchsim/internal/delay"
+	"glitchsim/internal/logic"
+	"glitchsim/internal/netlist"
+	"glitchsim/internal/power"
+	"glitchsim/internal/retime"
+	"glitchsim/internal/sim"
+	"glitchsim/internal/stimulus"
+)
+
+// ---------------------------------------------------------------------------
+// E1 — §3.1 / Figure 3: worst-case transition count of a ripple-carry adder.
+
+// WorstCaseResult describes the §3.1 worst case for an N-bit RCA.
+type WorstCaseResult struct {
+	N int
+	// Probability that random operands trigger the worst case: 3·(1/8)^N.
+	Probability float64
+	// PrevA/PrevB and NewA/NewB are operands constructed to trigger it.
+	PrevA, PrevB, NewA, NewB uint64
+	// TimelineSumTransitions and TimelineCarryTransitions are the counts
+	// on S_{N-1} and C_N from the analytic unit-delay timeline model.
+	TimelineSumTransitions, TimelineCarryTransitions int
+	// SimSumTransitions and SimCarryTransitions are the same counts
+	// measured by the event-driven simulator. All four must equal N.
+	SimSumTransitions, SimCarryTransitions int
+}
+
+// WorstCase constructs the §3.1 worst-case stimulus for an N-bit RCA
+// (alternating carries from A=B=0101…, then a kill at stage 0 with all
+// higher stages propagating), and measures S_{N-1} and C_N transitions
+// both analytically and with the event-driven simulator.
+func WorstCase(n int) (WorstCaseResult, error) {
+	if n < 2 || n > 16 {
+		return WorstCaseResult{}, fmt.Errorf("glitchsim: worst case supports 2..16 bits, got %d", n)
+	}
+	mask := uint64(1)<<uint(n) - 1
+	res := WorstCaseResult{
+		N:           n,
+		Probability: analytic.WorstCaseProbability(n),
+		PrevA:       0x5555555555555555 & mask,
+		PrevB:       0x5555555555555555 & mask,
+		NewA:        (mask &^ 1),
+		NewB:        0,
+	}
+	sums, carries := analytic.RCATimeline(n, res.PrevA, res.PrevB, res.NewA, res.NewB)
+	res.TimelineSumTransitions = sums[n-1]
+	res.TimelineCarryTransitions = carries[n-1]
+
+	nl := circuits.NewRCA(n, circuits.Cells)
+	sumNet := nl.Bus("sum")[n-1]
+	carryNet := nl.Bus("carry")[n-1]
+	s := sim.New(nl, sim.Options{Delay: delay.Unit()})
+	pi := make(logic.Vector, nl.InputWidth())
+	apply := func(a, b uint64) error {
+		copy(pi[:n], logic.VectorFromUint(a, n))
+		copy(pi[n:], logic.VectorFromUint(b, n))
+		return s.Step(pi)
+	}
+	if err := apply(res.PrevA, res.PrevB); err != nil {
+		return WorstCaseResult{}, err
+	}
+	counter := core.NewCounterFor(nl, []netlist.NetID{sumNet, carryNet})
+	s.AttachMonitor(counter)
+	if err := apply(res.NewA, res.NewB); err != nil {
+		return WorstCaseResult{}, err
+	}
+	res.SimSumTransitions = int(counter.Stats(sumNet).Transitions)
+	res.SimCarryTransitions = int(counter.Stats(carryNet).Transitions)
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// E2 — Figure 5 / §3.2–3.3: per-bit useful and useless transitions of a
+// 16-bit RCA under random inputs, analytic vs. simulated.
+
+// Fig5Bit is one bar group of Figure 5.
+type Fig5Bit struct {
+	Bit  int
+	Kind string // "sum" or "carry" (carry i is C_{i+1})
+	// Analytic expected counts (equations 2–7 × cycles).
+	AnalyticUseful, AnalyticUseless float64
+	// Simulated counts from the event-driven run.
+	SimUseful, SimUseless uint64
+}
+
+// Fig5Result holds the full Figure 5 reproduction.
+type Fig5Result struct {
+	N, Cycles int
+	Bits      []Fig5Bit
+	// Analytic totals with the paper's per-bit rounding: for N=16 and
+	// 4000 cycles these are exactly 119002/63334/55668.
+	AnalyticTotal, AnalyticUseful, AnalyticUseless int64
+	// Simulated totals.
+	Sim Activity
+}
+
+// Figure5 reproduces Figure 5: an N-bit RCA driven with `cycles` random
+// vectors, classified per sum and carry bit, next to the closed-form
+// prediction.
+func Figure5(n, cycles int, seed uint64) (Fig5Result, error) {
+	pred := analytic.PredictRCA(n, cycles)
+	nl := circuits.NewRCA(n, circuits.Cells)
+	counter, err := MeasureDetailed(nl, Config{Cycles: cycles, Seed: seed})
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	res := Fig5Result{N: n, Cycles: cycles, Sim: summarize(nl.Name, counter)}
+	res.AnalyticTotal, res.AnalyticUseful, res.AnalyticUseless = pred.RoundedTotals()
+	sumBits := counter.BusBitStats("sum")
+	carryBits := counter.BusBitStats("carry")
+	for i := 0; i < n; i++ {
+		res.Bits = append(res.Bits, Fig5Bit{
+			Bit: i, Kind: "sum",
+			AnalyticUseful:  pred.SumUseful[i],
+			AnalyticUseless: pred.SumUseless[i],
+			SimUseful:       sumBits[i].Useful,
+			SimUseless:      sumBits[i].Useless,
+		})
+	}
+	for i := 0; i < n; i++ {
+		res.Bits = append(res.Bits, Fig5Bit{
+			Bit: i, Kind: "carry",
+			AnalyticUseful:  pred.CarryUseful[i],
+			AnalyticUseless: pred.CarryUseless[i],
+			SimUseful:       carryBits[i].Useful,
+			SimUseless:      carryBits[i].Useless,
+		})
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// E3/E4 — Tables 1 and 2: multiplier architecture and delay-imbalance
+// comparison.
+
+// MultRow is one column of the paper's Tables 1 and 2.
+type MultRow struct {
+	Arch  string // "array" or "wallace"
+	Width int
+	// DSum and DCarry are the full-adder cell delays used.
+	DSum, DCarry int
+	Activity
+}
+
+// Table1 reproduces Table 1: transition activity of array and
+// Wallace-tree multipliers (8×8 and 16×16) over `cycles` random inputs
+// with unit delays.
+func Table1(cycles int, seed uint64) ([]MultRow, error) {
+	var rows []MultRow
+	for _, arch := range []string{"array", "wallace"} {
+		for _, width := range []int{8, 16} {
+			row, err := measureMultiplier(arch, width, 1, 1, cycles, seed)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// Table2 reproduces Table 2: the 8×8 multipliers with dsum = dcarry
+// versus the more realistic dsum = 2·dcarry.
+func Table2(cycles int, seed uint64) ([]MultRow, error) {
+	var rows []MultRow
+	for _, arch := range []string{"array", "wallace"} {
+		for _, ds := range []int{1, 2} {
+			row, err := measureMultiplier(arch, 8, ds, 1, cycles, seed)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func measureMultiplier(arch string, width, dsum, dcarry, cycles int, seed uint64) (MultRow, error) {
+	var nl = circuits.NewArrayMultiplier(width, circuits.Cells)
+	if arch == "wallace" {
+		nl = circuits.NewWallaceMultiplier(width, circuits.Cells)
+	}
+	var dm delay.Model = delay.Unit()
+	if dsum != dcarry {
+		dm = delay.FullAdderRatio(dsum, dcarry)
+	}
+	act, err := Measure(nl, Config{Cycles: cycles, Seed: seed, Delay: dm})
+	if err != nil {
+		return MultRow{}, err
+	}
+	return MultRow{Arch: arch, Width: width, DSum: dsum, DCarry: dcarry, Activity: act}, nil
+}
+
+// ---------------------------------------------------------------------------
+// E5 — §4.2: the direction detector transition-activity study.
+
+// DirDetResult is the §4.2 measurement.
+type DirDetResult struct {
+	Activity
+	// BalanceLimit is 1 + L/F: the activity reduction achievable by
+	// perfect delay balancing (the paper reports 4.8).
+	BalanceLimit float64
+}
+
+// DirectionDetector42 reproduces §4.2: the unregistered direction
+// detector simulated with unit delays under `cycles` random inputs
+// (the paper uses 4320).
+func DirectionDetector42(cycles int, seed uint64) (DirDetResult, error) {
+	nl := circuits.NewDirectionDetector(circuits.DirDetConfig{Width: 8, Style: circuits.Cells})
+	act, err := Measure(nl, Config{Cycles: cycles, Seed: seed})
+	if err != nil {
+		return DirDetResult{}, err
+	}
+	return DirDetResult{Activity: act, BalanceLimit: act.BalanceLimitFactor()}, nil
+}
+
+// ---------------------------------------------------------------------------
+// E6/E7 — Table 3 and Figure 10: power versus flipflop count across
+// retimed direction detector variants.
+
+// Table3Row is one circuit column of Table 3.
+type Table3Row struct {
+	Circuit      int
+	TargetPeriod int
+	Period       int
+	Latency      int
+	FFs          int
+	AreaMM2      float64
+	ClockCapPF   float64
+	LogicMW      float64
+	FlipflopMW   float64
+	ClockMW      float64
+	TotalMW      float64
+	LOverF       float64
+}
+
+// Table3 reproduces Table 3: the input-registered direction detector is
+// retimed for four successively higher clock frequencies (shorter
+// retiming periods), and each variant's power is split into logic,
+// flipflop and clock components. The first variant is the original
+// circuit (registers at the inputs, the paper's 48 flipflops).
+func Table3(cycles int, seed uint64) ([]Table3Row, error) {
+	base := circuits.NewDirectionDetector(circuits.DirDetConfig{
+		Width: 8, Style: circuits.Cells, RegisterInputs: true,
+	})
+	dm := delay.Unit()
+	cp := retime.FromNetlist(base, dm, 0).ClockPeriod(nil)
+	// Four retiming frequencies: the original period plus three
+	// successively faster targets (chosen like the paper's four layouts:
+	// the optimum lies strictly inside the sweep).
+	targets := []int{cp, cp * 3 / 7, cp / 3, cp * 3 / 14}
+	tech := power.Default08um()
+
+	var rows []Table3Row
+	for i, tgt := range targets {
+		if tgt < 1 {
+			tgt = 1
+		}
+		res, err := retime.ForPeriod(base, dm, tgt, 4*cp)
+		if err != nil {
+			return nil, fmt.Errorf("glitchsim: table 3 target %d: %w", tgt, err)
+		}
+		bd, act, err := MeasurePower(res.Netlist, Config{
+			Cycles: cycles, Seed: seed, Warmup: res.Latency + 16,
+		}, tech)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table3Row{
+			Circuit:      i + 1,
+			TargetPeriod: tgt,
+			Period:       res.Period,
+			Latency:      res.Latency,
+			FFs:          bd.NumFFs,
+			AreaMM2:      bd.AreaMM2,
+			ClockCapPF:   bd.ClockCapF * 1e12,
+			LogicMW:      bd.LogicW * 1e3,
+			FlipflopMW:   bd.FlipflopW * 1e3,
+			ClockMW:      bd.ClockW * 1e3,
+			TotalMW:      bd.TotalW() * 1e3,
+			LOverF:       act.LOverF(),
+		})
+	}
+	return rows, nil
+}
+
+// Figure10 returns the Table 3 sweep extended to arbitrary retiming
+// targets, producing the power-versus-flipflops curves of Figure 10.
+// Points are ordered by increasing flipflop count.
+func Figure10(targets []int, cycles int, seed uint64) ([]Table3Row, error) {
+	base := circuits.NewDirectionDetector(circuits.DirDetConfig{
+		Width: 8, Style: circuits.Cells, RegisterInputs: true,
+	})
+	dm := delay.Unit()
+	cp := retime.FromNetlist(base, dm, 0).ClockPeriod(nil)
+	if targets == nil {
+		targets = []int{cp, cp / 2, cp / 3, cp / 4, cp / 5, cp / 7, cp / 9, cp / 12}
+	}
+	tech := power.Default08um()
+	var rows []Table3Row
+	for i, tgt := range targets {
+		if tgt < 1 {
+			tgt = 1
+		}
+		res, err := retime.ForPeriod(base, dm, tgt, 8*cp)
+		if err != nil {
+			return nil, err
+		}
+		bd, act, err := MeasurePower(res.Netlist, Config{
+			Cycles: cycles, Seed: seed, Warmup: res.Latency + 16,
+		}, tech)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table3Row{
+			Circuit: i + 1, TargetPeriod: tgt, Period: res.Period,
+			Latency: res.Latency, FFs: bd.NumFFs,
+			AreaMM2: bd.AreaMM2, ClockCapPF: bd.ClockCapF * 1e12,
+			LogicMW: bd.LogicW * 1e3, FlipflopMW: bd.FlipflopW * 1e3,
+			ClockMW: bd.ClockW * 1e3, TotalMW: bd.TotalW() * 1e3,
+			LOverF: act.LOverF(),
+		})
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Ablations beyond the paper.
+
+// AblationResult pairs two activity measurements for comparison.
+type AblationResult struct {
+	Name string
+	A, B Activity
+}
+
+// AblationInertial compares transport and inertial delay handling on the
+// direction detector under the heterogeneous Typical delay model:
+// inertial gates swallow pulses narrower than their own delay, so
+// useless activity drops. (Under pure unit delay the two modes coincide:
+// no pulse is ever narrower than a gate delay.)
+func AblationInertial(cycles int, seed uint64) (AblationResult, error) {
+	nl := circuits.NewDirectionDetector(circuits.DirDetConfig{Width: 8, Style: circuits.Cells})
+	a, err := Measure(nl, Config{Cycles: cycles, Seed: seed, Delay: delay.Typical()})
+	if err != nil {
+		return AblationResult{}, err
+	}
+	b, err := Measure(nl, Config{Cycles: cycles, Seed: seed, Delay: delay.Typical(), Inertial: true})
+	if err != nil {
+		return AblationResult{}, err
+	}
+	return AblationResult{Name: "transport-vs-inertial", A: a, B: b}, nil
+}
+
+// AblationGranularity compares the compound-FA-cell and gate-level
+// decompositions of the same RCA: finer granularity exposes more
+// internal nodes and therefore more (and different) glitching.
+func AblationGranularity(width, cycles int, seed uint64) (AblationResult, error) {
+	a, err := Measure(circuits.NewRCA(width, circuits.Cells), Config{Cycles: cycles, Seed: seed})
+	if err != nil {
+		return AblationResult{}, err
+	}
+	b, err := Measure(circuits.NewRCA(width, circuits.Gates), Config{Cycles: cycles, Seed: seed})
+	if err != nil {
+		return AblationResult{}, err
+	}
+	return AblationResult{Name: "cells-vs-gates", A: a, B: b}, nil
+}
+
+// ZeroDelayComparison quantifies how much a glitch-blind probabilistic
+// estimator (zero-delay transition probabilities) underestimates the
+// true event-driven activity of a circuit.
+type ZeroDelayComparison struct {
+	Circuit string
+	// EstimatedPerCycle is the zero-delay expected transitions/cycle.
+	EstimatedPerCycle float64
+	// MeasuredPerCycle is the event-driven transitions/cycle.
+	MeasuredPerCycle float64
+	// UsefulPerCycle is the measured useful transitions/cycle, which the
+	// zero-delay estimate should approximate.
+	UsefulPerCycle float64
+}
+
+// Underestimate returns measured/estimated: the factor a glitch-blind
+// power estimator is off by.
+func (z ZeroDelayComparison) Underestimate() float64 {
+	if z.EstimatedPerCycle == 0 {
+		return 0
+	}
+	return z.MeasuredPerCycle / z.EstimatedPerCycle
+}
+
+// AblationZeroDelay runs the comparison on an N-bit RCA.
+func AblationZeroDelay(width, cycles int, seed uint64) (ZeroDelayComparison, error) {
+	nl := circuits.NewRCA(width, circuits.Cells)
+	est := analytic.ZeroDelayActivityTotal(nl)
+	act, err := Measure(nl, Config{Cycles: cycles, Seed: seed})
+	if err != nil {
+		return ZeroDelayComparison{}, err
+	}
+	return ZeroDelayComparison{
+		Circuit:           nl.Name,
+		EstimatedPerCycle: est,
+		MeasuredPerCycle:  float64(act.Transitions) / float64(act.Cycles),
+		UsefulPerCycle:    float64(act.Useful) / float64(act.Cycles),
+	}, nil
+}
+
+// SeedSweep re-runs the Table 1 array-vs-wallace comparison (8×8) for
+// several seeds, returning one pair of activities per seed — the
+// seed-sensitivity ablation: L/F must be stable across streams.
+func SeedSweep(cycles int, seeds []uint64) ([]AblationResult, error) {
+	var out []AblationResult
+	for _, seed := range seeds {
+		a, err := measureMultiplier("array", 8, 1, 1, cycles, seed)
+		if err != nil {
+			return nil, err
+		}
+		b, err := measureMultiplier("wallace", 8, 1, 1, cycles, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationResult{
+			Name: fmt.Sprintf("seed-%d", seed), A: a.Activity, B: b.Activity,
+		})
+	}
+	return out, nil
+}
+
+// GraySweep compares random against Gray-code (single-bit-change) and
+// correlated video-like stimulus on the direction detector, probing the
+// paper's claim that input correlation is destroyed by the abs-diff
+// stage.
+func GraySweep(cycles int) ([]Activity, error) {
+	nl := circuits.NewDirectionDetector(circuits.DirDetConfig{Width: 8, Style: circuits.Cells})
+	w := nl.InputWidth()
+	sources := []struct {
+		name string
+		src  stimulus.Source
+	}{
+		{"random", stimulus.NewRandom(w, 1)},
+		{"gray", stimulus.NewGray(w)},
+		{"video", stimulus.NewConcat(
+			stimulus.NewCorrelated(6, 8, 3, 7),
+			stimulus.NewConstant(logic.VectorFromUint(16, 8)),
+		)},
+	}
+	var out []Activity
+	for _, s := range sources {
+		act, err := Measure(nl, Config{Cycles: cycles, Source: s.src})
+		if err != nil {
+			return nil, err
+		}
+		act.Circuit = nl.Name + "/" + s.name
+		out = append(out, act)
+	}
+	return out, nil
+}

@@ -1,0 +1,182 @@
+// Package glitchsim reproduces "Analysis and Reduction of Glitches in
+// Synchronous Networks" (Leijten, van Meerbergen, Jess; DATE 1995): an
+// event-driven gate-level simulator with transition counting and parity
+// evaluation that classifies every signal transition as useful or
+// useless (glitching), closed-form activity analysis of ripple-carry
+// adders, a Leiserson–Saxe retiming engine for glitch reduction, and a
+// three-component power model (combinational logic / flipflops / clock).
+//
+// This root package is the high-level API: it wires stimulus, simulator,
+// activity counter and power model together, and exposes one driver per
+// experiment of the paper (Figure 5, Tables 1–3, the §4.2 direction
+// detector study, Figure 10, and the §3.1 worst case).
+package glitchsim
+
+import (
+	"fmt"
+
+	"glitchsim/internal/circuits"
+	"glitchsim/internal/core"
+	"glitchsim/internal/delay"
+	"glitchsim/internal/netlist"
+	"glitchsim/internal/power"
+	"glitchsim/internal/sim"
+	"glitchsim/internal/stimulus"
+)
+
+// Activity summarizes classified transition counts of one measurement,
+// the quantities the paper's Tables 1 and 2 report.
+type Activity struct {
+	Circuit string
+	Cycles  int
+	// Transitions = Useful + Useless.
+	Transitions, Useful, Useless uint64
+	// Glitches counts pairs of consecutive useless transitions.
+	Glitches uint64
+	// Rising counts power-consuming (0→1) transitions.
+	Rising uint64
+}
+
+// LOverF returns the paper's useless/useful ratio L/F.
+func (a Activity) LOverF() float64 {
+	if a.Useful == 0 {
+		return 0
+	}
+	return float64(a.Useless) / float64(a.Useful)
+}
+
+// BalanceLimitFactor returns 1 + L/F: the factor by which combinational
+// activity would drop if all delay paths were perfectly balanced.
+func (a Activity) BalanceLimitFactor() float64 { return 1 + a.LOverF() }
+
+// String renders the activity compactly.
+func (a Activity) String() string {
+	return fmt.Sprintf("%s: %d cycles, total=%d useful=%d useless=%d L/F=%.2f",
+		a.Circuit, a.Cycles, a.Transitions, a.Useful, a.Useless, a.LOverF())
+}
+
+// Config controls a measurement run.
+type Config struct {
+	// Cycles is the number of measured cycles (default 500, the paper's
+	// Table 1 run length).
+	Cycles int
+	// Warmup cycles run before measurement starts, flushing X values and
+	// pipeline fill (default 8).
+	Warmup int
+	// Seed selects the random stimulus stream (default 1).
+	Seed uint64
+	// Delay is the propagation-delay model (default unit delay).
+	Delay delay.Model
+	// Inertial selects inertial instead of transport delay handling.
+	Inertial bool
+	// Source overrides the default uniform random stimulus.
+	Source stimulus.Source
+}
+
+func (c Config) withDefaults(n *netlist.Netlist) Config {
+	if c.Cycles == 0 {
+		c.Cycles = 500
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Delay == nil {
+		c.Delay = delay.Unit()
+	}
+	if c.Source == nil {
+		c.Source = stimulus.NewRandom(n.InputWidth(), c.Seed)
+	}
+	return c
+}
+
+// MeasureDetailed simulates the netlist under the configuration and
+// returns the attached activity counter with per-net statistics.
+func MeasureDetailed(n *netlist.Netlist, cfg Config) (*core.Counter, error) {
+	cfg = cfg.withDefaults(n)
+	if cfg.Source.Width() != n.InputWidth() {
+		return nil, fmt.Errorf("glitchsim: stimulus width %d, circuit %q has %d inputs",
+			cfg.Source.Width(), n.Name, n.InputWidth())
+	}
+	mode := sim.Transport
+	if cfg.Inertial {
+		mode = sim.Inertial
+	}
+	s := sim.New(n, sim.Options{Delay: cfg.Delay, Mode: mode})
+	counter := core.NewCounter(n)
+	s.AttachMonitor(counter)
+	for i := 0; i < cfg.Warmup; i++ {
+		if err := s.Step(cfg.Source.Next()); err != nil {
+			return nil, err
+		}
+	}
+	counter.Reset()
+	for i := 0; i < cfg.Cycles; i++ {
+		if err := s.Step(cfg.Source.Next()); err != nil {
+			return nil, err
+		}
+	}
+	return counter, nil
+}
+
+// Measure runs MeasureDetailed and summarizes the totals.
+func Measure(n *netlist.Netlist, cfg Config) (Activity, error) {
+	counter, err := MeasureDetailed(n, cfg)
+	if err != nil {
+		return Activity{}, err
+	}
+	return summarize(n.Name, counter), nil
+}
+
+func summarize(name string, counter *core.Counter) Activity {
+	t := counter.Totals()
+	return Activity{
+		Circuit:     name,
+		Cycles:      counter.Cycles(),
+		Transitions: t.Transitions,
+		Useful:      t.Useful,
+		Useless:     t.Useless,
+		Glitches:    t.Glitches,
+		Rising:      t.Rising,
+	}
+}
+
+// MeasurePower measures activity and evaluates the paper's
+// three-component power model on it.
+func MeasurePower(n *netlist.Netlist, cfg Config, tech power.Tech) (power.Breakdown, Activity, error) {
+	counter, err := MeasureDetailed(n, cfg)
+	if err != nil {
+		return power.Breakdown{}, Activity{}, err
+	}
+	return power.FromActivity(counter, tech), summarize(n.Name, counter), nil
+}
+
+// DefaultTech returns the calibrated 0.8 µm / 5 V / 5 MHz technology
+// constants used by the Table 3 and Figure 10 experiments.
+func DefaultTech() power.Tech { return power.Default08um() }
+
+// Convenience circuit constructors re-exported for API users.
+
+// NewRCA returns an N-bit ripple-carry adder built from full-adder cells.
+func NewRCA(width int) *netlist.Netlist { return circuits.NewRCA(width, circuits.Cells) }
+
+// NewArrayMultiplier returns an N×N array multiplier (Figure 6).
+func NewArrayMultiplier(width int) *netlist.Netlist {
+	return circuits.NewArrayMultiplier(width, circuits.Cells)
+}
+
+// NewWallaceMultiplier returns an N×N Wallace-tree multiplier (Figure 7).
+func NewWallaceMultiplier(width int) *netlist.Netlist {
+	return circuits.NewWallaceMultiplier(width, circuits.Cells)
+}
+
+// NewDirectionDetector returns the §4.2 video direction detector with
+// the given sample width; registered=true adds the input flipflops of
+// Table 3's circuit 1.
+func NewDirectionDetector(width int, registered bool) *netlist.Netlist {
+	return circuits.NewDirectionDetector(circuits.DirDetConfig{
+		Width: width, Style: circuits.Cells, RegisterInputs: registered,
+	})
+}

@@ -1,0 +1,120 @@
+package analytic
+
+import (
+	"testing"
+
+	"glitchsim/internal/netlist"
+)
+
+func TestDensityBasicGates(t *testing.T) {
+	b := netlist.NewBuilder("g")
+	x := b.Input("x")
+	y := b.Input("y")
+	and := b.And(x, y)
+	or := b.Or(x, y)
+	xor := b.Xor(x, y)
+	not := b.Not(x)
+	b.Output("o", b.Or(and, or, xor, not))
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := TransitionDensities(n)
+	// Inputs at density 1/2 and probability 1/2:
+	// AND: 0.5*0.5 + 0.5*0.5 = 0.5; OR same; XOR: 0.5+0.5 = 1; NOT: 0.5.
+	if !close(d[and], 0.5, eps) || !close(d[or], 0.5, eps) {
+		t.Errorf("and/or densities %v %v, want 0.5", d[and], d[or])
+	}
+	if !close(d[xor], 1.0, eps) {
+		t.Errorf("xor density %v, want 1", d[xor])
+	}
+	if !close(d[not], 0.5, eps) {
+		t.Errorf("not density %v, want 0.5", d[not])
+	}
+}
+
+func TestDensityCompound(t *testing.T) {
+	b := netlist.NewBuilder("c")
+	x := b.Input("x")
+	y := b.Input("y")
+	z := b.Input("z")
+	s, co := b.FullAdder(x, y, z)
+	m := b.Mux(x, y, z)
+	b.Output("s", s)
+	b.Output("co", co)
+	b.Output("m", m)
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := TransitionDensities(n)
+	// FA sum is a 3-XOR: density 1.5. Carry: 3 * (0.5 boolean-diff * 0.5) = 0.75.
+	if !close(d[s], 1.5, eps) {
+		t.Errorf("FA sum density %v, want 1.5", d[s])
+	}
+	if !close(d[co], 0.75, eps) {
+		t.Errorf("FA carry density %v, want 0.75", d[co])
+	}
+	// MUX: (1-ps)Da + ps Db + P(a xor b) Ds = 0.25 + 0.25 + 0.25 = 0.75.
+	if !close(d[m], 0.75, eps) {
+		t.Errorf("mux density %v, want 0.75", d[m])
+	}
+}
+
+func TestDensityThroughDFF(t *testing.T) {
+	b := netlist.NewBuilder("d")
+	x := b.Input("x")
+	q := b.DFF(b.Const(0)) // constant d input -> p=0 -> density 0
+	q2 := b.DFF(x)
+	b.Output("q", q)
+	b.Output("q2", q2)
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := TransitionDensities(n)
+	if d[q] != 0 {
+		t.Errorf("constant-fed DFF density %v, want 0", d[q])
+	}
+	if !close(d[q2], 0.5, eps) {
+		t.Errorf("random-fed DFF density %v, want 0.5", d[q2])
+	}
+}
+
+func TestDensityBracketsRCAActivity(t *testing.T) {
+	// On the RCA the density estimate must sit at or above the useful
+	// activity (zero-delay estimate) on every net, because the Boolean
+	// differences count each input change separately.
+	b := netlist.NewBuilder("rca")
+	a := b.InputBus("a", 12)
+	bb := b.InputBus("b", 12)
+	carry := b.Const(0)
+	sums := make([]netlist.NetID, 12)
+	for i := 0; i < 12; i++ {
+		sums[i], carry = b.FullAdder(a[i], bb[i], carry)
+	}
+	b.OutputBus("s", sums)
+	b.Output("cout", carry)
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dens := TransitionDensities(n)
+	zero := ZeroDelayTransitionProbs(n)
+	for _, id := range n.InternalNets() {
+		if dens[id]+1e-12 < zero[id] {
+			t.Fatalf("net %s: density %v below zero-delay %v", n.Net(id).Name, dens[id], zero[id])
+		}
+	}
+	// Per sum bit, the density estimate 1 + D(C_i) exceeds the paper's
+	// true transition ratio TR(S_i) = 5/4 − 3/4(1/2)^i for i ≥ 1.
+	for i := 1; i < 12; i++ {
+		if dens[sums[i]] < TRSum(i) {
+			t.Errorf("S%d: density %v below true TR %v", i, dens[sums[i]], TRSum(i))
+		}
+	}
+	// Totals ordering: useful (=zero-delay) < density.
+	if DensityActivityTotal(n) <= ZeroDelayActivityTotal(n) {
+		t.Error("density total should exceed the glitch-blind total")
+	}
+}

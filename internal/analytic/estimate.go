@@ -1,0 +1,150 @@
+package analytic
+
+import (
+	"math"
+
+	"glitchsim/internal/netlist"
+)
+
+// SignalProbabilities propagates static signal probabilities
+// P(net = 1) through the netlist under the standard spatial-independence
+// assumption, with primary inputs at probability 1/2 (random inputs).
+// Sequential feedback is resolved by fixpoint iteration: a DFF output's
+// probability is its input's steady-state probability.
+//
+// This is the machinery behind glitch-blind probabilistic power
+// estimators (the related work the paper improves upon); glitchsim uses
+// it as the zero-delay baseline in the ablation benchmarks.
+func SignalProbabilities(n *netlist.Netlist) []float64 {
+	p := make([]float64, n.NumNets())
+	for i := range p {
+		p[i] = 0.5
+	}
+	order := n.TopoOrder()
+	const maxIters = 64
+	for iter := 0; iter < maxIters; iter++ {
+		delta := 0.0
+		for _, cid := range order {
+			c := &n.Cells[cid]
+			if c.Type == netlist.DFF {
+				continue // handled after the combinational sweep
+			}
+			update := func(net netlist.NetID, v float64) {
+				if net == netlist.NoNet {
+					return
+				}
+				delta += math.Abs(p[net] - v)
+				p[net] = v
+			}
+			in := func(i int) float64 { return p[c.In[i]] }
+			switch c.Type {
+			case netlist.Const0:
+				update(c.Out[0], 0)
+			case netlist.Const1:
+				update(c.Out[0], 1)
+			case netlist.Buf:
+				update(c.Out[0], in(0))
+			case netlist.Not:
+				update(c.Out[0], 1-in(0))
+			case netlist.And, netlist.Nand:
+				v := 1.0
+				for i := range c.In {
+					v *= in(i)
+				}
+				if c.Type == netlist.Nand {
+					v = 1 - v
+				}
+				update(c.Out[0], v)
+			case netlist.Or, netlist.Nor:
+				v := 1.0
+				for i := range c.In {
+					v *= 1 - in(i)
+				}
+				if c.Type == netlist.Or {
+					v = 1 - v
+				}
+				update(c.Out[0], v)
+			case netlist.Xor, netlist.Xnor:
+				v := 0.0
+				for i := range c.In {
+					v = v*(1-in(i)) + (1-v)*in(i)
+				}
+				if c.Type == netlist.Xnor {
+					v = 1 - v
+				}
+				update(c.Out[0], v)
+			case netlist.Mux2:
+				a, b, s := in(0), in(1), in(2)
+				update(c.Out[0], (1-s)*a+s*b)
+			case netlist.Maj3:
+				update(c.Out[0], maj3Prob(in(0), in(1), in(2)))
+			case netlist.HA:
+				a, b := in(0), in(1)
+				update(c.Out[netlist.PinSum], a*(1-b)+b*(1-a))
+				update(c.Out[netlist.PinCarry], a*b)
+			case netlist.FA:
+				a, b, ci := in(0), in(1), in(2)
+				x := a*(1-b) + b*(1-a)
+				update(c.Out[netlist.PinSum], x*(1-ci)+(1-x)*ci)
+				update(c.Out[netlist.PinCarry], maj3Prob(a, b, ci))
+			}
+		}
+		// Sequential sweep: DFF q takes d's probability.
+		for i := range n.Cells {
+			c := &n.Cells[i]
+			if c.Type != netlist.DFF {
+				continue
+			}
+			v := p[c.In[0]]
+			delta += math.Abs(p[c.Out[0]] - v)
+			p[c.Out[0]] = v
+		}
+		if delta < 1e-12 {
+			break
+		}
+	}
+	return p
+}
+
+// maj3Prob returns P(majority of three independent 1-bits).
+func maj3Prob(a, b, c float64) float64 {
+	return a*b*(1-c) + a*c*(1-b) + b*c*(1-a) + a*b*c
+}
+
+// ZeroDelayTransitionProbs returns, per net, the probability of a
+// (single) transition per clock cycle under zero-delay semantics and
+// temporally independent cycles: 2p(1−p). Since a zero-delay circuit is
+// glitch-free, this estimates only useful activity: the amount by which
+// it undershoots the event-driven measurement is exactly the paper's
+// useless-transition contribution.
+func ZeroDelayTransitionProbs(n *netlist.Netlist) []float64 {
+	p := SignalProbabilities(n)
+	out := make([]float64, len(p))
+	for i, pi := range p {
+		out[i] = 2 * pi * (1 - pi)
+	}
+	return out
+}
+
+// ZeroDelayActivityTotal sums the zero-delay transition probabilities
+// over all internal nets: expected transitions per cycle for the whole
+// circuit, the glitch-blind baseline figure.
+func ZeroDelayActivityTotal(n *netlist.Netlist) float64 {
+	probs := ZeroDelayTransitionProbs(n)
+	total := 0.0
+	for _, id := range n.InternalNets() {
+		total += probs[id]
+	}
+	return total
+}
+
+// ZeroDelayRisingProbs returns per-net probabilities of a power-consuming
+// (0→1) transition per cycle: p(1−p) under temporal independence.
+func ZeroDelayRisingProbs(n *netlist.Netlist) []float64 {
+	p := SignalProbabilities(n)
+	out := make([]float64, len(p))
+	for i, pi := range p {
+		out[i] = pi * (1 - pi)
+	}
+	return out
+}

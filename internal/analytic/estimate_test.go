@@ -1,0 +1,144 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"glitchsim/internal/netlist"
+)
+
+func TestSignalProbabilitiesBasicGates(t *testing.T) {
+	b := netlist.NewBuilder("gates")
+	x := b.Input("x")
+	y := b.Input("y")
+	and := b.And(x, y)
+	or := b.Or(x, y)
+	xor := b.Xor(x, y)
+	not := b.Not(x)
+	nand := b.Nand(x, y)
+	nor := b.Nor(x, y)
+	xnor := b.Xnor(x, y)
+	c0 := b.Const(0)
+	c1 := b.Const(1)
+	buf := b.Buf(x)
+	mux := b.Mux(x, y, c1) // sel const 1 -> picks y
+	maj := b.Maj(x, y, c0) // maj(x,y,0) = and
+	b.Output("o", b.Or(and, or, xor, not, nand, nor, xnor, buf, mux, maj))
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := SignalProbabilities(n)
+	want := map[netlist.NetID]float64{
+		and: 0.25, or: 0.75, xor: 0.5, not: 0.5, nand: 0.75,
+		nor: 0.25, xnor: 0.5, c0: 0, c1: 1, buf: 0.5, mux: 0.5, maj: 0.25,
+	}
+	for id, w := range want {
+		if !close(p[id], w, eps) {
+			t.Errorf("net %s: p = %v, want %v", n.Net(id).Name, p[id], w)
+		}
+	}
+}
+
+func buildFARCA(t *testing.T, width int) (*netlist.Netlist, []netlist.NetID, []netlist.NetID) {
+	t.Helper()
+	b := netlist.NewBuilder("rca")
+	a := b.InputBus("a", width)
+	bb := b.InputBus("b", width)
+	carry := b.Const(0)
+	sums := make([]netlist.NetID, width)
+	carries := make([]netlist.NetID, width)
+	for i := 0; i < width; i++ {
+		sums[i], carry = b.FullAdder(a[i], bb[i], carry)
+		carries[i] = carry
+	}
+	b.OutputBus("s", sums)
+	b.Output("cout", carry)
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, sums, carries
+}
+
+func TestZeroDelayMatchesUsefulRatios(t *testing.T) {
+	// On an RCA the independence assumptions of the zero-delay estimator
+	// hold exactly (A_i, B_i independent of C_i), so the estimated
+	// per-net transition probabilities must equal the paper's useful
+	// ratios (eqs. 4 and 6) exactly: zero delay sees only useful
+	// transitions.
+	const width = 8
+	n, sums, carries := buildFARCA(t, width)
+	probs := ZeroDelayTransitionProbs(n)
+	for i := 0; i < width; i++ {
+		if !close(probs[sums[i]], UFTRSum(i), 1e-9) {
+			t.Errorf("S%d: zero-delay %v, UFTR %v", i, probs[sums[i]], UFTRSum(i))
+		}
+		if !close(probs[carries[i]], UFTRCarry(i), 1e-9) {
+			t.Errorf("C%d: zero-delay %v, UFTR %v", i+1, probs[carries[i]], UFTRCarry(i))
+		}
+	}
+}
+
+func TestZeroDelayUnderestimatesTotalActivity(t *testing.T) {
+	// The glitch-blind estimate must be strictly below the full
+	// transition ratio sum for the RCA (which includes useless activity).
+	const width = 16
+	n, _, _ := buildFARCA(t, width)
+	est := ZeroDelayActivityTotal(n)
+	pred := PredictRCA(width, 1)
+	total, useful, _ := pred.Totals()
+	if est >= total {
+		t.Errorf("zero-delay estimate %v not below true total %v", est, total)
+	}
+	if !close(est, useful, 1e-6) {
+		t.Errorf("zero-delay estimate %v should equal useful activity %v", est, useful)
+	}
+}
+
+func TestRisingProbs(t *testing.T) {
+	b := netlist.NewBuilder("r")
+	x := b.Input("x")
+	y := b.Input("y")
+	and := b.And(x, y)
+	b.Output("o", and)
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := ZeroDelayRisingProbs(n)
+	if !close(rp[and], 0.25*0.75, eps) {
+		t.Errorf("rising prob = %v, want %v", rp[and], 0.1875)
+	}
+	tp := ZeroDelayTransitionProbs(n)
+	if !close(tp[and], 2*rp[and], eps) {
+		t.Error("transitions must be twice rising under p-symmetry")
+	}
+}
+
+func TestSignalProbabilitiesSequentialFixpoint(t *testing.T) {
+	// q = DFF(xor(q, x)): steady-state q probability is 1/2 regardless.
+	b := netlist.NewBuilder("seq")
+	x := b.Input("x")
+	g := b.AddCell(netlist.Xor, "g", x, x) // placeholder second input
+	q := b.DFF(g[0])
+	b.Rewire(0, 1, q)
+	b.Output("q", q)
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := SignalProbabilities(n)
+	if math.Abs(p[q]-0.5) > 1e-6 {
+		t.Errorf("sequential fixpoint p(q) = %v, want 0.5", p[q])
+	}
+}
+
+func TestProbabilitiesWithinUnitInterval(t *testing.T) {
+	n, _, _ := buildFARCA(t, 12)
+	for i, v := range SignalProbabilities(n) {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			t.Fatalf("net %d probability %v out of range", i, v)
+		}
+	}
+}

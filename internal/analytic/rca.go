@@ -1,0 +1,254 @@
+// Package analytic provides closed-form probability models of transition
+// activity, reproducing the paper's §3 analysis of the ripple-carry adder
+// (equations 2–7 and the worst-case probability of §3.1), an exact
+// exhaustive evaluator of the same timing model, and a glitch-blind
+// zero-delay activity estimator used as an ablation baseline.
+//
+// Indexing convention: functions take the full-adder stage index i
+// (0-based). Sum functions refer to S_i; carry functions refer to the
+// stage's carry output C_{i+1}, exactly as in the paper.
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// TRSum returns the average transition ratio TR(S_i) of sum bit i under
+// random inputs (paper eq. 3): 5/4 − 3/4·(1/2)^i.
+func TRSum(i int) float64 {
+	return 1.25 - 0.75*math.Pow(0.5, float64(i))
+}
+
+// TRCarry returns the average transition ratio TR(C_{i+1}) of the carry
+// out of stage i under random inputs (paper eq. 2): 3/4 − 3/4·(1/2)^{i+1}.
+func TRCarry(i int) float64 {
+	return 0.75 - 0.75*math.Pow(0.5, float64(i+1))
+}
+
+// UFTRSum returns the average useful transition ratio UFTR(S_i)
+// (paper eq. 4): exactly 1/2 for every sum bit.
+func UFTRSum(int) float64 { return 0.5 }
+
+// ULTRSum returns the average useless transition ratio ULTR(S_i)
+// (paper eq. 5): 3/4 − 3/4·(1/2)^i.
+func ULTRSum(i int) float64 {
+	return 0.75 - 0.75*math.Pow(0.5, float64(i))
+}
+
+// UFTRCarry returns the average useful transition ratio UFTR(C_{i+1})
+// (paper eq. 6): 1/2 − 1/2·(1/4)^{i+1}.
+func UFTRCarry(i int) float64 {
+	return 0.5 - 0.5*math.Pow(0.25, float64(i+1))
+}
+
+// ULTRCarry returns the average useless transition ratio ULTR(C_{i+1})
+// (paper eq. 7): with x = (1/2)^{i+1}, 1/2·(x − 1/2)·(x − 1), which
+// equals TRCarry − UFTRCarry.
+func ULTRCarry(i int) float64 {
+	x := math.Pow(0.5, float64(i+1))
+	return 0.5 * (x - 0.5) * (x - 1)
+}
+
+// WorstCaseProbability returns the probability, for uniform random
+// previous and new operands, that the worst case of §3.1 occurs — the
+// carry alternation pattern is present after the previous addition and
+// the new inputs ripple the carry through all N stages, making S_{N-1}
+// and C_N transition N times: 3·(1/8)^N.
+//
+// The constant is validated against exhaustive enumeration of all
+// 2^{4N} operand pairs in the package tests.
+func WorstCaseProbability(n int) float64 {
+	if n < 1 {
+		panic("analytic: adder width must be positive")
+	}
+	return 3 * math.Pow(0.125, float64(n))
+}
+
+// RCAPrediction holds expected per-bit activity of an N-bit ripple-carry
+// adder over a number of random-input cycles: the data behind the paper's
+// Figure 5.
+type RCAPrediction struct {
+	N      int
+	Cycles int
+	// Per sum bit i (expected counts over all cycles).
+	SumTotal, SumUseful, SumUseless []float64
+	// Per carry C_{i+1} of stage i.
+	CarryTotal, CarryUseful, CarryUseless []float64
+}
+
+// PredictRCA evaluates equations 2–7 for an n-bit adder over the given
+// number of cycles.
+func PredictRCA(n, cycles int) RCAPrediction {
+	p := RCAPrediction{
+		N: n, Cycles: cycles,
+		SumTotal: make([]float64, n), SumUseful: make([]float64, n), SumUseless: make([]float64, n),
+		CarryTotal: make([]float64, n), CarryUseful: make([]float64, n), CarryUseless: make([]float64, n),
+	}
+	k := float64(cycles)
+	for i := 0; i < n; i++ {
+		p.SumTotal[i] = k * TRSum(i)
+		p.SumUseful[i] = k * UFTRSum(i)
+		p.SumUseless[i] = k * ULTRSum(i)
+		p.CarryTotal[i] = k * TRCarry(i)
+		p.CarryUseful[i] = k * UFTRCarry(i)
+		p.CarryUseless[i] = k * ULTRCarry(i)
+	}
+	return p
+}
+
+// Totals returns the exact expected total, useful and useless transition
+// counts summed over all sum and carry bits.
+func (p RCAPrediction) Totals() (total, useful, useless float64) {
+	for i := 0; i < p.N; i++ {
+		total += p.SumTotal[i] + p.CarryTotal[i]
+		useful += p.SumUseful[i] + p.CarryUseful[i]
+		useless += p.SumUseless[i] + p.CarryUseless[i]
+	}
+	return
+}
+
+// RoundedTotals rounds every per-bit expected count to the nearest
+// integer before summing, which is how the paper tabulates Figure 5. For
+// N=16, cycles=4000 this reproduces the paper's §3.3 numbers exactly:
+// 63334 useful and 55668 useless transitions, 119002 in total.
+func (p RCAPrediction) RoundedTotals() (total, useful, useless int64) {
+	for i := 0; i < p.N; i++ {
+		uf := int64(math.Round(p.SumUseful[i])) + int64(math.Round(p.CarryUseful[i]))
+		ul := int64(math.Round(p.SumUseless[i])) + int64(math.Round(p.CarryUseless[i]))
+		useful += uf
+		useless += ul
+	}
+	total = useful + useless
+	return
+}
+
+// UselessOverUseful returns the predicted L/F ratio.
+func (p RCAPrediction) UselessOverUseful() float64 {
+	_, f, l := p.Totals()
+	if f == 0 {
+		return 0
+	}
+	return l / f
+}
+
+// String summarizes the prediction.
+func (p RCAPrediction) String() string {
+	t, f, l := p.Totals()
+	return fmt.Sprintf("rca%d over %d cycles: total %.0f, useful %.0f, useless %.0f (L/F=%.2f)",
+		p.N, p.Cycles, t, f, l, l/f)
+}
+
+// RCATimeline computes the per-signal transition counts of the paper's
+// unit-delay full-adder-cell model of an N-bit RCA for a single input
+// change: operands (aPrev, bPrev) have settled, then (aNew, bNew) arrive
+// at the start of the cycle. It returns transition counts for sums
+// S_0..S_{N-1} and carries C_1..C_N (carry index shifted: carry[i] is
+// C_{i+1}).
+//
+// This discrete timeline is the reference model for both the closed-form
+// equations and the event-driven simulator.
+func RCATimeline(n int, aPrev, bPrev, aNew, bNew uint64) (sums, carries []int) {
+	if n < 1 || n > 16 {
+		panic("analytic: RCATimeline supports 1..16 bits")
+	}
+	steady := func(a, b uint64) (c []uint64, s []uint64) {
+		c = make([]uint64, n+1)
+		s = make([]uint64, n)
+		for i := 0; i < n; i++ {
+			ai, bi := a>>uint(i)&1, b>>uint(i)&1
+			s[i] = (ai ^ bi ^ c[i]) & 1
+			c[i+1] = (ai&bi | ai&c[i] | bi&c[i]) & 1
+		}
+		return
+	}
+	c, s := steady(aPrev, bPrev)
+	sums = make([]int, n)
+	carries = make([]int, n)
+	// Synchronous unit-delay sweep: every FA recomputes from the previous
+	// instant's carries until the network is stable.
+	for t := 1; t <= n+2; t++ {
+		nc := make([]uint64, n+1)
+		ns := make([]uint64, n)
+		changed := false
+		for i := 0; i < n; i++ {
+			ai, bi := aNew>>uint(i)&1, bNew>>uint(i)&1
+			ns[i] = (ai ^ bi ^ c[i]) & 1
+			nc[i+1] = (ai&bi | ai&c[i] | bi&c[i]) & 1
+		}
+		for i := 0; i < n; i++ {
+			if ns[i] != s[i] {
+				sums[i]++
+				changed = true
+			}
+			if nc[i+1] != c[i+1] {
+				carries[i]++
+				changed = true
+			}
+		}
+		c, s = nc, ns
+		if !changed {
+			break
+		}
+	}
+	return sums, carries
+}
+
+// RCAExact holds exact average transition ratios obtained by exhaustive
+// enumeration of all 2^{4N} (previous, new) operand pairs.
+type RCAExact struct {
+	N int
+	// Average ratios per signal and their useful components.
+	SumTR, SumUFTR     []float64
+	CarryTR, CarryUFTR []float64
+	// WorstCaseProb is the exact probability that C_N makes N
+	// transitions (the §3.1 worst case).
+	WorstCaseProb float64
+}
+
+// ExhaustiveRCA enumerates every operand pair of an n-bit RCA (n ≤ 5 is
+// practical: 2^{4n} cases) and returns exact average ratios. It validates
+// equations 2–7 and WorstCaseProbability.
+func ExhaustiveRCA(n int) RCAExact {
+	if n < 1 || n > 6 {
+		panic("analytic: ExhaustiveRCA supports 1..6 bits")
+	}
+	e := RCAExact{
+		N:     n,
+		SumTR: make([]float64, n), SumUFTR: make([]float64, n),
+		CarryTR: make([]float64, n), CarryUFTR: make([]float64, n),
+	}
+	lim := uint64(1) << uint(n)
+	worst := 0
+	for ap := uint64(0); ap < lim; ap++ {
+		for bp := uint64(0); bp < lim; bp++ {
+			for an := uint64(0); an < lim; an++ {
+				for bn := uint64(0); bn < lim; bn++ {
+					sums, carries := RCATimeline(n, ap, bp, an, bn)
+					for i := 0; i < n; i++ {
+						e.SumTR[i] += float64(sums[i])
+						if sums[i]%2 == 1 {
+							e.SumUFTR[i]++
+						}
+						e.CarryTR[i] += float64(carries[i])
+						if carries[i]%2 == 1 {
+							e.CarryUFTR[i]++
+						}
+					}
+					if carries[n-1] == n {
+						worst++
+					}
+				}
+			}
+		}
+	}
+	total := float64(lim * lim * lim * lim)
+	for i := 0; i < n; i++ {
+		e.SumTR[i] /= total
+		e.SumUFTR[i] /= total
+		e.CarryTR[i] /= total
+		e.CarryUFTR[i] /= total
+	}
+	e.WorstCaseProb = float64(worst) / total
+	return e
+}

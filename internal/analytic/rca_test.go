@@ -1,0 +1,210 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+const eps = 1e-12
+
+func close(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestClosedFormsAgainstExhaustive(t *testing.T) {
+	// Equations 2-7 must match exact enumeration of all 2^{4N} operand
+	// pairs of the paper's unit-delay RCA model.
+	for _, n := range []int{2, 3, 4} {
+		e := ExhaustiveRCA(n)
+		for i := 0; i < n; i++ {
+			if !close(e.SumTR[i], TRSum(i), eps) {
+				t.Errorf("N=%d: TR(S%d) exact %v, eq %v", n, i, e.SumTR[i], TRSum(i))
+			}
+			if !close(e.SumUFTR[i], UFTRSum(i), eps) {
+				t.Errorf("N=%d: UFTR(S%d) exact %v, eq %v", n, i, e.SumUFTR[i], UFTRSum(i))
+			}
+			if !close(e.CarryTR[i], TRCarry(i), eps) {
+				t.Errorf("N=%d: TR(C%d) exact %v, eq %v", n, i+1, e.CarryTR[i], TRCarry(i))
+			}
+			if !close(e.CarryUFTR[i], UFTRCarry(i), eps) {
+				t.Errorf("N=%d: UFTR(C%d) exact %v, eq %v", n, i+1, e.CarryUFTR[i], UFTRCarry(i))
+			}
+		}
+		if !close(e.WorstCaseProb, WorstCaseProbability(n), eps) {
+			t.Errorf("N=%d: worst-case exact %v, formula %v", n, e.WorstCaseProb, WorstCaseProbability(n))
+		}
+	}
+}
+
+func TestUselessIsTotalMinusUseful(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		if !close(ULTRSum(i), TRSum(i)-UFTRSum(i), eps) {
+			t.Errorf("ULTR(S%d) inconsistent", i)
+		}
+		if !close(ULTRCarry(i), TRCarry(i)-UFTRCarry(i), eps) {
+			t.Errorf("ULTR(C%d) inconsistent", i+1)
+		}
+	}
+}
+
+func TestKnownRatioValues(t *testing.T) {
+	// Spot values derivable by hand.
+	cases := []struct {
+		got, want float64
+		name      string
+	}{
+		{TRSum(0), 0.5, "TR(S0)"},
+		{TRSum(1), 0.875, "TR(S1)"},
+		{TRCarry(0), 0.375, "TR(C1)"},
+		{TRCarry(1), 0.5625, "TR(C2)"},
+		{UFTRCarry(0), 0.375, "UFTR(C1)"},
+		{UFTRCarry(1), 0.46875, "UFTR(C2)"},
+		{ULTRSum(0), 0, "ULTR(S0)"},
+	}
+	for _, c := range cases {
+		if !close(c.got, c.want, eps) {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestRatiosMonotoneAndBounded(t *testing.T) {
+	// TR grows with bit position and approaches 5/4 (sums) and 3/4
+	// (carries); useful ratios approach 1/2.
+	for i := 0; i < 30; i++ {
+		if TRSum(i+1) <= TRSum(i) || TRSum(i) >= 1.25 {
+			t.Errorf("TRSum not increasing toward 5/4 at %d", i)
+		}
+		if TRCarry(i+1) <= TRCarry(i) || TRCarry(i) >= 0.75 {
+			t.Errorf("TRCarry not increasing toward 3/4 at %d", i)
+		}
+		if UFTRCarry(i) > 0.5 || ULTRSum(i) < 0 || ULTRCarry(i) < 0 {
+			t.Errorf("ratio bounds violated at %d", i)
+		}
+	}
+	if !close(TRSum(60), 1.25, 1e-9) || !close(TRCarry(60), 0.75, 1e-9) {
+		t.Error("asymptotes wrong")
+	}
+}
+
+func TestFigure5PaperTotals(t *testing.T) {
+	// Paper §3.3: 16-bit RCA, 4000 random inputs → 119002 total
+	// transitions, 63334 useful, 55668 useless, L/F = 0.88. The paper
+	// tabulates per-bit counts rounded to integers, so RoundedTotals
+	// matches exactly; the un-rounded expectation is within 2 counts.
+	p := PredictRCA(16, 4000)
+	total, useful, useless := p.RoundedTotals()
+	if total != 119002 {
+		t.Errorf("total = %v, paper reports 119002", total)
+	}
+	if useful != 63334 {
+		t.Errorf("useful = %v, paper reports 63334", useful)
+	}
+	if useless != 55668 {
+		t.Errorf("useless = %v, paper reports 55668", useless)
+	}
+	if lf := p.UselessOverUseful(); !close(lf, 0.88, 0.005) {
+		t.Errorf("L/F = %v, paper reports 0.88", lf)
+	}
+	et, ef, el := p.Totals()
+	if math.Abs(et-float64(total)) > 2 || math.Abs(ef-float64(useful)) > 1 || math.Abs(el-float64(useless)) > 2 {
+		t.Errorf("exact totals (%v, %v, %v) too far from rounded (%d, %d, %d)",
+			et, ef, el, total, useful, useless)
+	}
+}
+
+func TestPredictRCAShape(t *testing.T) {
+	p := PredictRCA(8, 100)
+	if len(p.SumTotal) != 8 || len(p.CarryUseless) != 8 {
+		t.Fatal("wrong slice lengths")
+	}
+	for i := 0; i < 8; i++ {
+		if !close(p.SumTotal[i], p.SumUseful[i]+p.SumUseless[i], 1e-9) {
+			t.Errorf("sum bit %d: total != useful+useless", i)
+		}
+		if !close(p.CarryTotal[i], p.CarryUseful[i]+p.CarryUseless[i], 1e-9) {
+			t.Errorf("carry bit %d: total != useful+useless", i)
+		}
+	}
+	if p.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestWorstCaseProbabilityValues(t *testing.T) {
+	if !close(WorstCaseProbability(2), 3.0/64, eps) {
+		t.Error("N=2 worst case")
+	}
+	if !close(WorstCaseProbability(4), 3.0/4096, eps) {
+		t.Error("N=4 worst case")
+	}
+	// Negligible already for small words, as the paper argues.
+	if WorstCaseProbability(16) > 1e-13 {
+		t.Error("should be negligible for N=16")
+	}
+}
+
+func TestWorstCasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	WorstCaseProbability(0)
+}
+
+func TestRCATimelineWorstCase(t *testing.T) {
+	// The §3.1 construction: prev A=B=0101 gives alternating carries;
+	// new A=1110, B=0 kills stage 0 and propagates everywhere → S3 and
+	// C4 each make 4 transitions.
+	sums, carries := RCATimeline(4, 0b0101, 0b0101, 0b1110, 0b0000)
+	if sums[3] != 4 {
+		t.Errorf("S3 transitions = %d, want 4", sums[3])
+	}
+	if carries[3] != 4 {
+		t.Errorf("C4 transitions = %d, want 4", carries[3])
+	}
+}
+
+func TestRCATimelineNoChange(t *testing.T) {
+	sums, carries := RCATimeline(4, 5, 9, 5, 9)
+	for i := range sums {
+		if sums[i] != 0 || carries[i] != 0 {
+			t.Fatal("identical operands must cause no transitions")
+		}
+	}
+}
+
+func TestRCATimelineSingleRipple(t *testing.T) {
+	// 1111 + 0: flipping B0 to 1 ripples the carry through all stages;
+	// every signal transitions at least once, C4 exactly once.
+	sums, carries := RCATimeline(4, 0b1111, 0, 0b1111, 1)
+	if carries[3] != 1 {
+		t.Errorf("C4 = %d transitions, want 1", carries[3])
+	}
+	for i, s := range sums {
+		if s == 0 {
+			t.Errorf("S%d never transitioned during full ripple", i)
+		}
+	}
+}
+
+func TestRCATimelinePanics(t *testing.T) {
+	for _, n := range []int{0, 17} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("n=%d: expected panic", n)
+				}
+			}()
+			RCATimeline(n, 0, 0, 0, 0)
+		}()
+	}
+}
+
+func TestExhaustivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ExhaustiveRCA(7)
+}

@@ -1,0 +1,246 @@
+// Package balance implements the paper's second glitch-reduction
+// technique: delay-path balancing. Where retiming kills glitches with
+// flipflops, balancing pads the faster input paths of every cell with
+// buffers until all inputs arrive simultaneously — then no cell ever
+// sees a skewed input change, every net settles with a single
+// transition per cycle, and useless activity drops to zero.
+//
+// The paper's §4.2 uses this as a thought experiment ("transition
+// activity ... can be reduced with a factor of 1 + 3.8 = 4.8 if all
+// delay paths are balanced"); this package makes the transformation real
+// so the claim can be verified by measurement, including the buffer
+// overhead the thought experiment ignores.
+package balance
+
+import (
+	"fmt"
+	"sort"
+
+	"glitchsim/internal/delay"
+	"glitchsim/internal/netlist"
+)
+
+// Result describes a balanced circuit.
+type Result struct {
+	// Netlist is the rebuilt, delay-balanced circuit.
+	Netlist *netlist.Netlist
+	// BuffersInserted is the number of padding buffers added.
+	BuffersInserted int
+	// CriticalPath is the (unchanged) critical path length.
+	CriticalPath int
+}
+
+// Options configures Pad.
+type Options struct {
+	// AlignOutputs additionally pads primary outputs so all POs settle
+	// at the same instant (needed for glitch-free output buses feeding
+	// an unbalanced consumer).
+	AlignOutputs bool
+	// BufferDelay is the delay of one padding buffer under the target
+	// delay model; it must evenly divide all arrival-time gaps. Unit
+	// delay models use 1 (the default).
+	BufferDelay int
+	// Name names the resulting netlist; empty derives "<orig>_bal".
+	Name string
+}
+
+// Pad rebuilds the netlist with buffer chains inserted on every cell
+// input whose source settles earlier than the cell's latest-arriving
+// input. DFF data inputs are not padded (they are sampled at the cycle
+// boundary, where alignment is irrelevant). The resulting circuit is
+// functionally identical cycle-by-cycle and — under the same delay
+// model, with buffers of the configured delay — entirely glitch-free.
+//
+// It returns an error when an arrival-time gap is not a multiple of the
+// buffer delay, since exact alignment is then impossible.
+func Pad(n *netlist.Netlist, dm delay.Model, opts Options) (Result, error) {
+	if dm == nil {
+		dm = delay.Unit()
+	}
+	bufDelay := opts.BufferDelay
+	if bufDelay == 0 {
+		bufDelay = 1
+	}
+	if bufDelay < 1 {
+		return Result{}, fmt.Errorf("balance: buffer delay %d must be positive", bufDelay)
+	}
+	name := opts.Name
+	if name == "" {
+		name = n.Name + "_bal"
+	}
+
+	arr := n.ArrivalTimes(func(c *netlist.Cell, pin int) int {
+		if c.Type == netlist.Const0 || c.Type == netlist.Const1 {
+			return 0 // constants settle at start-up
+		}
+		return dm.Delay(c, pin)
+	})
+
+	b := netlist.NewBuilder(name)
+	newNet := make([]netlist.NetID, n.NumNets())
+	for i := range newNet {
+		newNet[i] = netlist.NoNet
+	}
+	for _, id := range n.PIs {
+		newNet[id] = b.Input(n.Net(id).Name)
+	}
+
+	// Buffer chains per source net, tapped at multiples of bufDelay.
+	chains := map[netlist.NetID][]netlist.NetID{}
+	buffers := 0
+	tap := func(src netlist.NetID, pad int) (netlist.NetID, error) {
+		if pad == 0 {
+			return newNet[src], nil
+		}
+		if pad%bufDelay != 0 {
+			return netlist.NoNet, fmt.Errorf("balance: gap %d on net %q is not a multiple of the buffer delay %d",
+				pad, n.Net(src).Name, bufDelay)
+		}
+		depth := pad / bufDelay
+		chain, ok := chains[src]
+		if !ok {
+			chain = []netlist.NetID{newNet[src]}
+		}
+		for len(chain) <= depth {
+			chain = append(chain, b.Buf(chain[len(chain)-1]))
+			buffers++
+		}
+		chains[src] = chain
+		return chain[depth], nil
+	}
+
+	// Rebuild cells in topological order, padding early inputs. DFFs
+	// appear first in the order (their Q outputs are sources) but their
+	// D inputs may be driven by cells built later, so they get a
+	// placeholder input and are rewired afterwards.
+	var placeholder netlist.NetID = netlist.NoNet
+	type fixup struct {
+		cell netlist.CellID
+		port int
+		net  netlist.NetID // original net to connect
+	}
+	var fixups []fixup
+	for _, cid := range n.TopoOrder() {
+		c := n.Cell(cid)
+		target := 0
+		if c.Type != netlist.DFF {
+			for _, in := range c.In {
+				if arr[in] > target {
+					target = arr[in]
+				}
+			}
+		}
+		ins := make([]netlist.NetID, len(c.In))
+		newCell := netlist.CellID(b.NumCells())
+		for port, in := range c.In {
+			if newNet[in] == netlist.NoNet {
+				// Forward reference (only possible for DFF D inputs,
+				// which are never padded).
+				if placeholder == netlist.NoNet {
+					placeholder = b.Const(0)
+					newCell = netlist.CellID(b.NumCells())
+				}
+				ins[port] = placeholder
+				fixups = append(fixups, fixup{cell: newCell, port: port, net: in})
+				continue
+			}
+			pad := 0
+			if c.Type != netlist.DFF {
+				pad = target - arr[in]
+			}
+			nn, err := tap(in, pad)
+			if err != nil {
+				return Result{}, err
+			}
+			ins[port] = nn
+		}
+		outs := b.AddCell(c.Type, c.Name, ins...)
+		for pin, o := range c.Out {
+			if o != netlist.NoNet {
+				newNet[o] = outs[pin]
+			}
+		}
+	}
+	for _, f := range fixups {
+		b.Rewire(f.cell, f.port, newNet[f.net])
+	}
+
+	// Primary outputs, optionally aligned to the latest-settling PO.
+	poPad := make([]int, len(n.POs))
+	if opts.AlignOutputs {
+		worst := 0
+		for _, po := range n.POs {
+			if arr[po] > worst {
+				worst = arr[po]
+			}
+		}
+		for j, po := range n.POs {
+			poPad[j] = worst - arr[po]
+		}
+	}
+	newPOs := make([]netlist.NetID, len(n.POs))
+	for j, po := range n.POs {
+		nn, err := tap(po, poPad[j])
+		if err != nil {
+			return Result{}, err
+		}
+		newPOs[j] = nn
+		b.Output("", nn)
+	}
+
+	// Recreate bus names (PI buses map directly; PO buses through the
+	// padded outputs; internal buses through their rebuilt nets).
+	poIndex := map[netlist.NetID][]int{}
+	for j, id := range n.POs {
+		poIndex[id] = append(poIndex[id], j)
+	}
+	for _, busName := range busNames(n) {
+		ids := n.Buses[busName]
+		bus := make([]netlist.NetID, len(ids))
+		usable := true
+		used := map[netlist.NetID]int{}
+		for i, id := range ids {
+			if list := poIndex[id]; used[id] < len(list) && opts.AlignOutputs {
+				bus[i] = newPOs[list[used[id]]]
+				used[id]++
+			} else if newNet[id] != netlist.NoNet {
+				bus[i] = newNet[id]
+			} else {
+				usable = false
+				break
+			}
+		}
+		if usable {
+			b.NameBus(busName, bus)
+		}
+	}
+
+	out, err := b.Build()
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Netlist:         out,
+		BuffersInserted: buffers,
+		CriticalPath:    maxOf(arr),
+	}, nil
+}
+
+func maxOf(xs []int) int {
+	m := 0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func busNames(n *netlist.Netlist) []string {
+	names := make([]string, 0, len(n.Buses))
+	for name := range n.Buses {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

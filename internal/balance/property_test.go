@@ -1,0 +1,125 @@
+package balance
+
+import (
+	"testing"
+
+	"glitchsim/internal/core"
+	"glitchsim/internal/delay"
+	"glitchsim/internal/logic"
+	"glitchsim/internal/sim"
+	"glitchsim/internal/stimulus"
+	"glitchsim/internal/testutil"
+)
+
+// TestPropertyBalancedAlwaysGlitchFree: for arbitrary random netlists,
+// the padded circuit has zero useless transitions under the same delay
+// model and remains cycle-accurate equivalent.
+func TestPropertyBalancedAlwaysGlitchFree(t *testing.T) {
+	rng := stimulus.NewPRNG(2024)
+	for trial := 0; trial < 25; trial++ {
+		n := testutil.RandomNetlist(rng, testutil.RandConfig{
+			Inputs:       3 + int(rng.Uintn(5)),
+			Gates:        15 + int(rng.Uintn(50)),
+			Outputs:      3,
+			WithDFFs:     trial%2 == 0,
+			WithCompound: trial%3 == 0,
+		})
+		dm := delay.Unit()
+		if trial%4 == 1 {
+			dm = delay.FullAdderRatio(2, 1)
+		}
+		res, err := Pad(n, dm, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		so := sim.New(n, sim.Options{Delay: dm})
+		sb := sim.New(res.Netlist, sim.Options{Delay: dm})
+		counter := core.NewCounter(res.Netlist)
+		sb.AttachMonitor(counter)
+
+		seed := rng.Uint64()
+		srcA := stimulus.NewRandom(n.InputWidth(), seed)
+		srcB := stimulus.NewRandom(n.InputWidth(), seed)
+		for cycle := 0; cycle < 30; cycle++ {
+			if err := so.Step(srcA.Next()); err != nil {
+				t.Fatal(err)
+			}
+			if err := sb.Step(srcB.Next()); err != nil {
+				t.Fatal(err)
+			}
+			a, b := so.Outputs(), sb.Outputs()
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("trial %d cycle %d: output %d differs (%v vs %v)", trial, cycle, j, a[j], b[j])
+				}
+			}
+		}
+		if got := counter.Totals().Useless; got != 0 {
+			t.Fatalf("trial %d: balanced circuit has %d useless transitions", trial, got)
+		}
+	}
+}
+
+// TestPropertyEveryNetSingleTransition: in a balanced circuit, no net
+// transitions more than once per cycle (the defining property of
+// glitch-freeness), checked per net rather than in aggregate.
+func TestPropertyEveryNetSingleTransition(t *testing.T) {
+	rng := stimulus.NewPRNG(555)
+	for trial := 0; trial < 10; trial++ {
+		n := testutil.RandomNetlist(rng, testutil.RandConfig{
+			Inputs: 4, Gates: 40, Outputs: 2, WithCompound: true,
+		})
+		res, err := Pad(n, delay.Unit(), Options{AlignOutputs: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := sim.New(res.Netlist, sim.Options{})
+		counter := core.NewCounter(res.Netlist)
+		s.AttachMonitor(counter)
+		src := stimulus.NewRandom(n.InputWidth(), rng.Uint64())
+		for cycle := 0; cycle < 40; cycle++ {
+			if err := s.Step(src.Next()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, id := range res.Netlist.InternalNets() {
+			if st := counter.Stats(id); st.MaxPerCycle > 1 {
+				t.Fatalf("trial %d: net %s transitioned %d times in one cycle",
+					trial, res.Netlist.Net(id).Name, st.MaxPerCycle)
+			}
+		}
+	}
+}
+
+// TestPropertyPadPreservesThreeValuedInit: balanced circuits settle from
+// reset identically to the original under X-propagation.
+func TestPropertyPadPreservesThreeValuedInit(t *testing.T) {
+	rng := stimulus.NewPRNG(99)
+	n := testutil.RandomNetlist(rng, testutil.RandConfig{
+		Inputs: 4, Gates: 30, Outputs: 3, WithDFFs: true,
+	})
+	res, err := Pad(n, delay.Unit(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	so := sim.New(n, sim.Options{})
+	sb := sim.New(res.Netlist, sim.Options{})
+	// First cycle from reset with all-zero inputs.
+	pi := make(logic.Vector, n.InputWidth())
+	for i := range pi {
+		pi[i] = logic.L0
+	}
+	if err := so.Step(pi); err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.Step(pi); err != nil {
+		t.Fatal(err)
+	}
+	a, b := so.Outputs(), sb.Outputs()
+	for j := range a {
+		if a[j] != b[j] {
+			t.Fatalf("reset-cycle output %d differs: %v vs %v", j, a[j], b[j])
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package circuits
+
+import (
+	"fmt"
+
+	"glitchsim/internal/netlist"
+)
+
+// RippleAdd builds an N-bit ripple-carry adder (the paper's §3 circuit)
+// over equal-width operands and returns the sum bits and carry out.
+func RippleAdd(b *netlist.Builder, style Style, x, y []netlist.NetID, cin netlist.NetID) (sum []netlist.NetID, cout netlist.NetID) {
+	mustSameWidth("RippleAdd", x, y)
+	sum = make([]netlist.NetID, len(x))
+	carry := cin
+	for i := range x {
+		sum[i], carry = FullAdd(b, style, x[i], y[i], carry)
+	}
+	return sum, carry
+}
+
+// RippleSub builds a ripple-borrow subtractor computing x − y in two's
+// complement (x + ~y + 1). It returns the difference bits and a borrow
+// flag that is 1 when x < y (i.e. the complement of the adder carry out).
+func RippleSub(b *netlist.Builder, style Style, x, y []netlist.NetID) (diff []netlist.NetID, borrow netlist.NetID) {
+	mustSameWidth("RippleSub", x, y)
+	ny := NotBus(b, y)
+	one := b.Const(1)
+	diff, cout := RippleAdd(b, style, x, ny, one)
+	return diff, b.Not(cout)
+}
+
+// Incrementer builds x+1 from half adders, returning the incremented bus
+// and the overflow carry.
+func Incrementer(b *netlist.Builder, style Style, x []netlist.NetID) (out []netlist.NetID, cout netlist.NetID) {
+	out = make([]netlist.NetID, len(x))
+	carry := b.Const(1)
+	for i := range x {
+		out[i], carry = HalfAdd(b, style, x[i], carry)
+	}
+	return out, carry
+}
+
+// CarrySaveAdd builds one carry-save adder row: it reduces three
+// equal-width operands to a sum vector and a carry vector (carry bits
+// have weight 2^{i+1}, returned unshifted). This is the building block of
+// the Wallace tree's "10bit CSA / 13bit CSA / ..." stages in Figure 7.
+func CarrySaveAdd(b *netlist.Builder, style Style, x, y, z []netlist.NetID) (sum, carry []netlist.NetID) {
+	mustSameWidth("CarrySaveAdd", x, y)
+	mustSameWidth("CarrySaveAdd", y, z)
+	sum = make([]netlist.NetID, len(x))
+	carry = make([]netlist.NetID, len(x))
+	for i := range x {
+		sum[i], carry[i] = FullAdd(b, style, x[i], y[i], z[i])
+	}
+	return sum, carry
+}
+
+// NewRCA returns a complete N-bit ripple-carry adder netlist with input
+// buses "a" and "b", output bus "s" and output "cout". Sum and carry
+// nets are additionally grouped into buses "sum" and "carry" (carry[i] is
+// C_{i+1}) so activity reports can reproduce Figure 5 per-bit data.
+func NewRCA(width int, style Style) *netlist.Netlist {
+	b := netlist.NewBuilder(circuitName("rca", width, style))
+	a := b.InputBus("a", width)
+	bb := b.InputBus("b", width)
+	zero := b.Const(0)
+	sum := make([]netlist.NetID, width)
+	carries := make([]netlist.NetID, width)
+	carry := zero
+	for i := 0; i < width; i++ {
+		sum[i], carry = FullAdd(b, style, a[i], bb[i], carry)
+		carries[i] = carry
+	}
+	b.OutputBus("s", sum)
+	b.Output("cout", carry)
+	b.NameBus("sum", sum)
+	b.NameBus("carry", carries)
+	return b.MustBuild()
+}
+
+func circuitName(kind string, width int, style Style) string {
+	name := fmt.Sprintf("%s%d", kind, width)
+	if style == Gates {
+		name += "g"
+	}
+	return name
+}

@@ -1,0 +1,167 @@
+package circuits
+
+import "glitchsim/internal/netlist"
+
+// CarryLookaheadAdd builds a carry-lookahead adder with 4-bit lookahead
+// blocks (ripple between blocks). Per bit, generate g=a·b and propagate
+// p=a⊕b feed two-level AND/OR lookahead logic inside each block, so the
+// carry tree is much shallower — and much better balanced — than a
+// ripple chain. This is the style of arithmetic the paper's reference
+// [2] (Callaway & Swartzlander) compares for transition counts.
+func CarryLookaheadAdd(b *netlist.Builder, x, y []netlist.NetID, cin netlist.NetID) (sum []netlist.NetID, cout netlist.NetID) {
+	mustSameWidth("CarryLookaheadAdd", x, y)
+	n := len(x)
+	g := make([]netlist.NetID, n)
+	p := make([]netlist.NetID, n)
+	for i := 0; i < n; i++ {
+		g[i] = b.And(x[i], y[i])
+		p[i] = b.Xor(x[i], y[i])
+	}
+	sum = make([]netlist.NetID, n)
+	carry := cin
+	for blk := 0; blk < n; blk += 4 {
+		end := blk + 4
+		if end > n {
+			end = n
+		}
+		// Carries within the block from two-level lookahead:
+		// c_{i+1} = g_i + p_i g_{i-1} + ... + p_i...p_blk * carryIn.
+		cins := make([]netlist.NetID, end-blk+1)
+		cins[0] = carry
+		for i := blk; i < end; i++ {
+			terms := []netlist.NetID{g[i]}
+			for j := blk; j < i; j++ {
+				factors := []netlist.NetID{g[j]}
+				for k := j + 1; k <= i; k++ {
+					factors = append(factors, p[k])
+				}
+				terms = append(terms, b.And(factors...))
+			}
+			chain := []netlist.NetID{carry}
+			for k := blk; k <= i; k++ {
+				chain = append(chain, p[k])
+			}
+			terms = append(terms, b.And(chain...))
+			if len(terms) == 1 {
+				cins[i-blk+1] = terms[0]
+			} else {
+				cins[i-blk+1] = b.Or(terms...)
+			}
+		}
+		for i := blk; i < end; i++ {
+			sum[i] = b.Xor(p[i], cins[i-blk])
+		}
+		carry = cins[end-blk]
+	}
+	return sum, carry
+}
+
+// CarrySelectAdd builds a carry-select adder: each block computes both
+// possible results with two ripple adders (carry-in 0 and 1) and a
+// multiplexer picks the right one once the block carry arrives. Block
+// carries still ripple, but each block's internal work happens in
+// parallel — a middle ground between RCA and CLA in balance and cost.
+func CarrySelectAdd(b *netlist.Builder, style Style, x, y []netlist.NetID, cin netlist.NetID, blockSize int) (sum []netlist.NetID, cout netlist.NetID) {
+	mustSameWidth("CarrySelectAdd", x, y)
+	if blockSize < 1 {
+		panic("circuits: carry-select block size must be positive")
+	}
+	n := len(x)
+	sum = make([]netlist.NetID, n)
+	carry := cin
+	for blk := 0; blk < n; blk += blockSize {
+		end := blk + blockSize
+		if end > n {
+			end = n
+		}
+		xs, ys := x[blk:end], y[blk:end]
+		zero := b.Const(0)
+		one := b.Const(1)
+		s0, c0 := RippleAdd(b, style, xs, ys, zero)
+		s1, c1 := RippleAdd(b, style, xs, ys, one)
+		sel := Mux2Bus(b, s0, s1, carry)
+		copy(sum[blk:end], sel)
+		carry = b.Mux(c0, c1, carry)
+	}
+	return sum, carry
+}
+
+// CarrySkipAdd builds a carry-skip adder: ripple blocks whose carry can
+// bypass the block through a multiplexer when every bit propagates
+// (block propagate = AND of the per-bit p_i). The skip path shortens the
+// worst case but adds reconvergent carry paths — another distinct glitch
+// profile between RCA and CLA.
+func CarrySkipAdd(b *netlist.Builder, style Style, x, y []netlist.NetID, cin netlist.NetID, blockSize int) (sum []netlist.NetID, cout netlist.NetID) {
+	mustSameWidth("CarrySkipAdd", x, y)
+	if blockSize < 1 {
+		panic("circuits: carry-skip block size must be positive")
+	}
+	n := len(x)
+	sum = make([]netlist.NetID, n)
+	carry := cin
+	for blk := 0; blk < n; blk += blockSize {
+		end := blk + blockSize
+		if end > n {
+			end = n
+		}
+		props := make([]netlist.NetID, 0, end-blk)
+		blockIn := carry
+		c := carry
+		for i := blk; i < end; i++ {
+			props = append(props, b.Xor(x[i], y[i]))
+			sum[i], c = FullAdd(b, style, x[i], y[i], c)
+		}
+		var blockP netlist.NetID
+		if len(props) == 1 {
+			blockP = props[0]
+		} else {
+			blockP = b.And(props...)
+		}
+		// Skip: if every bit propagates, the block's carry out equals
+		// its carry in, available without rippling.
+		carry = b.Mux(c, blockIn, blockP)
+	}
+	return sum, carry
+}
+
+// NewCarrySkip returns a complete N-bit carry-skip adder netlist with
+// the given block size and the same interface as NewRCA.
+func NewCarrySkip(width, blockSize int, style Style) *netlist.Netlist {
+	b := netlist.NewBuilder(circuitName("cskip", width, style))
+	a := b.InputBus("a", width)
+	bb := b.InputBus("b", width)
+	zero := b.Const(0)
+	sum, cout := CarrySkipAdd(b, style, a, bb, zero, blockSize)
+	b.OutputBus("s", sum)
+	b.Output("cout", cout)
+	b.NameBus("sum", sum)
+	return b.MustBuild()
+}
+
+// NewCLA returns a complete N-bit carry-lookahead adder netlist with the
+// same interface as NewRCA (buses "a", "b", "s", "cout").
+func NewCLA(width int) *netlist.Netlist {
+	b := netlist.NewBuilder(circuitName("cla", width, Gates))
+	a := b.InputBus("a", width)
+	bb := b.InputBus("b", width)
+	zero := b.Const(0)
+	sum, cout := CarryLookaheadAdd(b, a, bb, zero)
+	b.OutputBus("s", sum)
+	b.Output("cout", cout)
+	b.NameBus("sum", sum)
+	return b.MustBuild()
+}
+
+// NewCarrySelect returns a complete N-bit carry-select adder netlist
+// with the given block size and the same interface as NewRCA.
+func NewCarrySelect(width, blockSize int, style Style) *netlist.Netlist {
+	b := netlist.NewBuilder(circuitName("csel", width, style))
+	a := b.InputBus("a", width)
+	bb := b.InputBus("b", width)
+	zero := b.Const(0)
+	sum, cout := CarrySelectAdd(b, style, a, bb, zero, blockSize)
+	b.OutputBus("s", sum)
+	b.Output("cout", cout)
+	b.NameBus("sum", sum)
+	return b.MustBuild()
+}

@@ -1,0 +1,149 @@
+package circuits
+
+import (
+	"testing"
+	"testing/quick"
+
+	"glitchsim/internal/netlist"
+	"glitchsim/internal/stimulus"
+)
+
+func TestCLAExhaustive4(t *testing.T) {
+	n := NewCLA(4)
+	for a := uint64(0); a < 16; a++ {
+		for bb := uint64(0); bb < 16; bb++ {
+			vals := evalNet(t, n, map[string]uint64{"a": a, "b": bb})
+			got := busUint(n, vals, "s") | vals[n.Bus("cout")[0]].Bit()<<4
+			if got != a+bb {
+				t.Fatalf("%d+%d = %d, got %d", a, bb, a+bb, got)
+			}
+		}
+	}
+}
+
+func TestCLA16Property(t *testing.T) {
+	n := NewCLA(16)
+	f := func(a, bb uint16) bool {
+		vals := evalNet(t, n, map[string]uint64{"a": uint64(a), "b": uint64(bb)})
+		got := busUint(n, vals, "s") | vals[n.Bus("cout")[0]].Bit()<<16
+		return got == uint64(a)+uint64(bb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCLAWidthsNotMultipleOf4(t *testing.T) {
+	for _, w := range []int{3, 5, 6, 7, 9, 13} {
+		n := NewCLA(w)
+		rng := stimulus.NewPRNG(uint64(w))
+		lim := uint64(1) << uint(w)
+		for i := 0; i < 100; i++ {
+			a, bb := rng.Uintn(lim), rng.Uintn(lim)
+			vals := evalNet(t, n, map[string]uint64{"a": a, "b": bb})
+			got := busUint(n, vals, "s") | vals[n.Bus("cout")[0]].Bit()<<uint(w)
+			if got != a+bb {
+				t.Fatalf("w=%d: %d+%d = %d, got %d", w, a, bb, a+bb, got)
+			}
+		}
+	}
+}
+
+func TestCarrySelectExhaustive4(t *testing.T) {
+	for _, blockSize := range []int{1, 2, 3, 4} {
+		for _, style := range []Style{Cells, Gates} {
+			n := NewCarrySelect(4, blockSize, style)
+			for a := uint64(0); a < 16; a++ {
+				for bb := uint64(0); bb < 16; bb++ {
+					vals := evalNet(t, n, map[string]uint64{"a": a, "b": bb})
+					got := busUint(n, vals, "s") | vals[n.Bus("cout")[0]].Bit()<<4
+					if got != a+bb {
+						t.Fatalf("block %d style %v: %d+%d = %d, got %d",
+							blockSize, style, a, bb, a+bb, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCarrySelect16Random(t *testing.T) {
+	n := NewCarrySelect(16, 4, Cells)
+	rng := stimulus.NewPRNG(17)
+	for i := 0; i < 500; i++ {
+		a, bb := rng.Uintn(1<<16), rng.Uintn(1<<16)
+		vals := evalNet(t, n, map[string]uint64{"a": a, "b": bb})
+		got := busUint(n, vals, "s") | vals[n.Bus("cout")[0]].Bit()<<16
+		if got != a+bb {
+			t.Fatalf("%d+%d = %d, got %d", a, bb, a+bb, got)
+		}
+	}
+}
+
+func TestCarrySkipExhaustive4(t *testing.T) {
+	for _, blockSize := range []int{1, 2, 3, 4} {
+		n := NewCarrySkip(4, blockSize, Cells)
+		for a := uint64(0); a < 16; a++ {
+			for bb := uint64(0); bb < 16; bb++ {
+				vals := evalNet(t, n, map[string]uint64{"a": a, "b": bb})
+				got := busUint(n, vals, "s") | vals[n.Bus("cout")[0]].Bit()<<4
+				if got != a+bb {
+					t.Fatalf("block %d: %d+%d = %d, got %d", blockSize, a, bb, a+bb, got)
+				}
+			}
+		}
+	}
+}
+
+func TestCarrySkip16Random(t *testing.T) {
+	for _, style := range []Style{Cells, Gates} {
+		n := NewCarrySkip(16, 4, style)
+		rng := stimulus.NewPRNG(29)
+		for i := 0; i < 400; i++ {
+			a, bb := rng.Uintn(1<<16), rng.Uintn(1<<16)
+			vals := evalNet(t, n, map[string]uint64{"a": a, "b": bb})
+			got := busUint(n, vals, "s") | vals[n.Bus("cout")[0]].Bit()<<16
+			if got != a+bb {
+				t.Fatalf("%v: %d+%d = %d, got %d", style, a, bb, a+bb, got)
+			}
+		}
+	}
+}
+
+func TestCarrySkipPanicsOnBadBlock(t *testing.T) {
+	b := netlist.NewBuilder("p")
+	x := b.InputBus("x", 4)
+	y := b.InputBus("y", 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CarrySkipAdd(b, Cells, x, y, x[0], 0)
+}
+
+func TestCLAShallowerThanRCA(t *testing.T) {
+	// The architectural point: the lookahead tree cuts depth, which is
+	// what reduces glitching.
+	rca := NewRCA(16, Gates)
+	cla := NewCLA(16)
+	if cla.LogicDepth() >= rca.LogicDepth() {
+		t.Errorf("CLA depth %d not below gate-level RCA depth %d", cla.LogicDepth(), rca.LogicDepth())
+	}
+	csel := NewCarrySelect(16, 4, Gates)
+	if csel.LogicDepth() >= rca.LogicDepth() {
+		t.Errorf("carry-select depth %d not below RCA depth %d", csel.LogicDepth(), rca.LogicDepth())
+	}
+}
+
+func TestCarrySelectPanicsOnBadBlock(t *testing.T) {
+	b := netlist.NewBuilder("p")
+	x := b.InputBus("x", 4)
+	y := b.InputBus("y", 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CarrySelectAdd(b, Cells, x, y, x[0], 0)
+}

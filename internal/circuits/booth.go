@@ -1,0 +1,134 @@
+package circuits
+
+import "glitchsim/internal/netlist"
+
+// BoothMultiply builds a radix-4 (modified) Booth multiplier for N-bit
+// two's-complement operands, N even. The multiplier y is recoded into
+// N/2 signed digits in {-2,-1,0,+1,+2}; each digit selects a partial
+// product (0, ±x, ±2x) which a carry-save tree accumulates, with the +1
+// correction bits for negated rows folded into the array.
+//
+// Booth recoding halves the partial-product count relative to the array
+// multiplier but adds recode/select logic with its own reconvergent
+// paths — a third point in the architecture-vs-glitching space between
+// the array and the Wallace tree. Returns the 2N-bit product.
+func BoothMultiply(b *netlist.Builder, style Style, x, y []netlist.NetID) []netlist.NetID {
+	mustSameWidth("BoothMultiply", x, y)
+	n := len(x)
+	if n%2 != 0 {
+		panic("circuits: Booth multiplier needs an even operand width")
+	}
+	w := 2 * n
+	zero := b.Const(0)
+
+	// Sign-extend x to 2N bits once; shifted variant 2x = x << 1.
+	xe := make([]netlist.NetID, w)
+	x2 := make([]netlist.NetID, w)
+	for i := 0; i < w; i++ {
+		if i < n {
+			xe[i] = x[i]
+		} else {
+			xe[i] = x[n-1]
+		}
+		if i == 0 {
+			x2[i] = zero
+		} else {
+			x2[i] = xe[i-1]
+		}
+	}
+
+	// cols[k] collects the bits of weight 2^k (modulo 2^{2N} arithmetic,
+	// so sign extensions simply truncate).
+	cols := make([][]netlist.NetID, w)
+
+	yPrev := zero
+	for d := 0; d < n/2; d++ {
+		y0 := y[2*d]
+		var y1 netlist.NetID
+		if 2*d+1 < n {
+			y1 = y[2*d+1]
+		} else {
+			y1 = y[n-1]
+		}
+		// Booth digit from (y1, y0, yPrev):
+		//   neg  = y1                        (digit < 0 ... with zero handled by select)
+		//   two  = (y1 & y0 & yPrev) | (~y1 & ~(y0|yPrev) & (y0|yPrev))... use standard:
+		//   one  = y0 XOR yPrev
+		//   two  = (y1 XOR y0=0? ) -> two = (y1 & ~y0 & ~yPrev) | (~y1 & y0 & yPrev)
+		one := b.Xor(y0, yPrev)
+		two := b.Or(
+			b.And(y1, b.Not(y0), b.Not(yPrev)),
+			b.And(b.Not(y1), y0, yPrev),
+		)
+		neg := y1
+
+		// Select |pp| = one?x : two?2x : 0, then conditionally invert.
+		shift := 2 * d
+		for i := 0; i < w-shift; i++ {
+			sel := b.Or(b.And(one, xe[i]), b.And(two, x2[i]))
+			bit := b.Xor(sel, neg)
+			cols[i+shift] = append(cols[i+shift], bit)
+		}
+		// +1 correction for the one's-complement negation: −v = ~v + 1
+		// holds for every selected value including −0 (the (1,1,1)
+		// digit produces an all-ones row, and all-ones + 1 ≡ 0 in
+		// mod-2^{2N} arithmetic), so the correction is simply `neg`.
+		cols[shift] = append(cols[shift], neg)
+		yPrev = y1
+	}
+
+	// Wallace-reduce the columns and ripple-merge, as in WallaceMultiply.
+	for maxHeight(cols) > 2 {
+		next := make([][]netlist.NetID, w)
+		for k, col := range cols {
+			i := 0
+			for ; i+3 <= len(col); i += 3 {
+				s, c := FullAdd(b, style, col[i], col[i+1], col[i+2])
+				next[k] = append(next[k], s)
+				if k+1 < w {
+					next[k+1] = append(next[k+1], c)
+				}
+			}
+			if len(col)-i == 2 {
+				s, c := HalfAdd(b, style, col[i], col[i+1])
+				next[k] = append(next[k], s)
+				if k+1 < w {
+					next[k+1] = append(next[k+1], c)
+				}
+			} else if len(col)-i == 1 {
+				next[k] = append(next[k], col[i])
+			}
+		}
+		cols = next
+	}
+	product := make([]netlist.NetID, w)
+	carry := zero
+	for k := 0; k < w; k++ {
+		switch len(cols[k]) {
+		case 0:
+			product[k] = carry
+			carry = zero
+		case 1:
+			if carry == zero {
+				product[k] = cols[k][0]
+			} else {
+				product[k], carry = HalfAdd(b, style, cols[k][0], carry)
+			}
+		case 2:
+			product[k], carry = FullAdd(b, style, cols[k][0], cols[k][1], carry)
+		}
+	}
+	return product
+}
+
+// NewBoothMultiplier returns a complete N×N two's-complement Booth
+// multiplier netlist with input buses "x", "y" and output bus "p"
+// (2N bits, two's complement).
+func NewBoothMultiplier(width int, style Style) *netlist.Netlist {
+	b := netlist.NewBuilder(circuitName("boothmul", width, style))
+	x := b.InputBus("x", width)
+	y := b.InputBus("y", width)
+	p := BoothMultiply(b, style, x, y)
+	b.OutputBus("p", p)
+	return b.MustBuild()
+}

@@ -1,0 +1,75 @@
+package circuits
+
+import (
+	"testing"
+
+	"glitchsim/internal/stimulus"
+)
+
+// signed interprets the low `bits` of u as two's complement.
+func signed(u uint64, bits int) int64 {
+	u &= (1 << uint(bits)) - 1
+	if u&(1<<uint(bits-1)) != 0 {
+		return int64(u) - (1 << uint(bits))
+	}
+	return int64(u)
+}
+
+func TestBoothExhaustive4x4(t *testing.T) {
+	for _, style := range []Style{Cells, Gates} {
+		n := NewBoothMultiplier(4, style)
+		for xv := uint64(0); xv < 16; xv++ {
+			for yv := uint64(0); yv < 16; yv++ {
+				vals := evalNet(t, n, map[string]uint64{"x": xv, "y": yv})
+				got := signed(busUint(n, vals, "p"), 8)
+				want := signed(xv, 4) * signed(yv, 4)
+				if got != want {
+					t.Fatalf("%v: %d*%d = %d, got %d", style, signed(xv, 4), signed(yv, 4), want, got)
+				}
+			}
+		}
+	}
+}
+
+func TestBoothExhaustive6x6(t *testing.T) {
+	n := NewBoothMultiplier(6, Cells)
+	for xv := uint64(0); xv < 64; xv++ {
+		for yv := uint64(0); yv < 64; yv++ {
+			vals := evalNet(t, n, map[string]uint64{"x": xv, "y": yv})
+			got := signed(busUint(n, vals, "p"), 12)
+			want := signed(xv, 6) * signed(yv, 6)
+			if got != want {
+				t.Fatalf("%d*%d = %d, got %d", signed(xv, 6), signed(yv, 6), want, got)
+			}
+		}
+	}
+}
+
+func TestBooth8x8Random(t *testing.T) {
+	n := NewBoothMultiplier(8, Cells)
+	rng := stimulus.NewPRNG(23)
+	for i := 0; i < 500; i++ {
+		xv, yv := rng.Uintn(256), rng.Uintn(256)
+		vals := evalNet(t, n, map[string]uint64{"x": xv, "y": yv})
+		got := signed(busUint(n, vals, "p"), 16)
+		want := signed(xv, 8) * signed(yv, 8)
+		if got != want {
+			t.Fatalf("%d*%d = %d, got %d", signed(xv, 8), signed(yv, 8), want, got)
+		}
+	}
+}
+
+func TestBoothOddWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBoothMultiplier(5, Cells)
+}
+
+func TestBoothName(t *testing.T) {
+	if NewBoothMultiplier(8, Cells).Name != "boothmul8" {
+		t.Error("name")
+	}
+}

@@ -1,0 +1,429 @@
+package circuits
+
+import (
+	"testing"
+
+	"glitchsim/internal/logic"
+	"glitchsim/internal/netlist"
+	"glitchsim/internal/sim"
+	"glitchsim/internal/stimulus"
+)
+
+// evalNet computes the zero-delay settled value of every net for the
+// given per-bus primary input assignment.
+func evalNet(t *testing.T, n *netlist.Netlist, inputs map[string]uint64) []logic.V {
+	t.Helper()
+	vals := make([]logic.V, n.NumNets())
+	seen := 0
+	for bus, v := range inputs {
+		ids := n.Bus(bus)
+		if ids == nil {
+			t.Fatalf("no input bus %q", bus)
+		}
+		for i, id := range ids {
+			vals[id] = logic.FromBit(v >> uint(i))
+		}
+		seen += len(ids)
+	}
+	if seen != n.InputWidth() {
+		t.Fatalf("assigned %d input bits, netlist has %d", seen, n.InputWidth())
+	}
+	n.EvalOutputs(vals)
+	return vals
+}
+
+func busUint(n *netlist.Netlist, vals []logic.V, bus string) uint64 {
+	ids := n.Bus(bus)
+	var u uint64
+	for i, id := range ids {
+		u |= vals[id].Bit() << uint(i)
+	}
+	return u
+}
+
+func TestRippleAddExhaustive4(t *testing.T) {
+	for _, style := range []Style{Cells, Gates} {
+		n := NewRCA(4, style)
+		for a := uint64(0); a < 16; a++ {
+			for bb := uint64(0); bb < 16; bb++ {
+				vals := evalNet(t, n, map[string]uint64{"a": a, "b": bb})
+				got := busUint(n, vals, "s") | vals[n.Bus("cout")[0]].Bit()<<4
+				if got != a+bb {
+					t.Fatalf("%v: %d+%d = %d, got %d", style, a, bb, a+bb, got)
+				}
+			}
+		}
+	}
+}
+
+func TestRippleSub(t *testing.T) {
+	for _, style := range []Style{Cells, Gates} {
+		b := netlist.NewBuilder("sub")
+		x := b.InputBus("x", 6)
+		y := b.InputBus("y", 6)
+		diff, borrow := RippleSub(b, style, x, y)
+		b.OutputBus("d", diff)
+		b.Output("borrow", borrow)
+		n := b.MustBuild()
+		rng := stimulus.NewPRNG(4)
+		for i := 0; i < 300; i++ {
+			xv, yv := rng.Uintn(64), rng.Uintn(64)
+			vals := evalNet(t, n, map[string]uint64{"x": xv, "y": yv})
+			got := busUint(n, vals, "d")
+			want := (xv - yv) & 63
+			if got != want {
+				t.Fatalf("%v: %d-%d = %d, got %d", style, xv, yv, want, got)
+			}
+			wantBorrow := uint64(0)
+			if xv < yv {
+				wantBorrow = 1
+			}
+			if vals[borrow].Bit() != wantBorrow {
+				t.Fatalf("%v: borrow(%d,%d) = %d, want %d", style, xv, yv, vals[borrow].Bit(), wantBorrow)
+			}
+		}
+	}
+}
+
+func TestIncrementer(t *testing.T) {
+	b := netlist.NewBuilder("inc")
+	x := b.InputBus("x", 5)
+	out, cout := Incrementer(b, Gates, x)
+	b.OutputBus("o", out)
+	b.Output("cout", cout)
+	n := b.MustBuild()
+	for v := uint64(0); v < 32; v++ {
+		vals := evalNet(t, n, map[string]uint64{"x": v})
+		got := busUint(n, vals, "o") | vals[cout].Bit()<<5
+		if got != v+1 {
+			t.Fatalf("%d+1 = %d, got %d", v, v+1, got)
+		}
+	}
+}
+
+func TestCarrySaveAdd(t *testing.T) {
+	b := netlist.NewBuilder("csa")
+	x := b.InputBus("x", 4)
+	y := b.InputBus("y", 4)
+	z := b.InputBus("z", 4)
+	sum, carry := CarrySaveAdd(b, Cells, x, y, z)
+	b.OutputBus("s", sum)
+	b.OutputBus("c", carry)
+	n := b.MustBuild()
+	rng := stimulus.NewPRNG(9)
+	for i := 0; i < 200; i++ {
+		xv, yv, zv := rng.Uintn(16), rng.Uintn(16), rng.Uintn(16)
+		vals := evalNet(t, n, map[string]uint64{"x": xv, "y": yv, "z": zv})
+		s := busUint(n, vals, "s")
+		c := busUint(n, vals, "c")
+		if s+2*c != xv+yv+zv {
+			t.Fatalf("CSA(%d,%d,%d): s=%d c=%d, s+2c=%d want %d",
+				xv, yv, zv, s, c, s+2*c, xv+yv+zv)
+		}
+	}
+}
+
+func TestMultipliersExhaustive4(t *testing.T) {
+	for _, style := range []Style{Cells, Gates} {
+		for name, n := range map[string]*netlist.Netlist{
+			"array":   NewArrayMultiplier(4, style),
+			"wallace": NewWallaceMultiplier(4, style),
+		} {
+			for x := uint64(0); x < 16; x++ {
+				for y := uint64(0); y < 16; y++ {
+					vals := evalNet(t, n, map[string]uint64{"x": x, "y": y})
+					got := busUint(n, vals, "p")
+					if got != x*y {
+						t.Fatalf("%s/%v: %d*%d = %d, got %d", name, style, x, y, x*y, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMultipliers8x8Random(t *testing.T) {
+	rng := stimulus.NewPRNG(11)
+	for name, n := range map[string]*netlist.Netlist{
+		"array":   NewArrayMultiplier(8, Cells),
+		"wallace": NewWallaceMultiplier(8, Cells),
+	} {
+		for i := 0; i < 300; i++ {
+			x, y := rng.Uintn(256), rng.Uintn(256)
+			vals := evalNet(t, n, map[string]uint64{"x": x, "y": y})
+			if got := busUint(n, vals, "p"); got != x*y {
+				t.Fatalf("%s: %d*%d = %d, got %d", name, x, y, x*y, got)
+			}
+		}
+	}
+}
+
+func TestMultipliers16x16EventSim(t *testing.T) {
+	// End-to-end through the event simulator, as the Table 1 experiment
+	// runs them.
+	for name, n := range map[string]*netlist.Netlist{
+		"array":   NewArrayMultiplier(16, Cells),
+		"wallace": NewWallaceMultiplier(16, Cells),
+	} {
+		s := sim.New(n, sim.Options{})
+		rng := stimulus.NewPRNG(13)
+		pi := make(logic.Vector, 32)
+		for i := 0; i < 30; i++ {
+			x, y := rng.Uintn(1<<16), rng.Uintn(1<<16)
+			copy(pi[:16], logic.VectorFromUint(x, 16))
+			copy(pi[16:], logic.VectorFromUint(y, 16))
+			if err := s.Step(pi); err != nil {
+				t.Fatal(err)
+			}
+			if got := s.Outputs().Uint(); got != x*y {
+				t.Fatalf("%s: %d*%d = %d, got %d", name, x, y, x*y, got)
+			}
+		}
+	}
+}
+
+func TestWallaceShallowerThanArray(t *testing.T) {
+	// The whole point of Figure 7: the tree is much better balanced.
+	arr := NewArrayMultiplier(8, Cells)
+	wal := NewWallaceMultiplier(8, Cells)
+	if wal.LogicDepth() >= arr.LogicDepth() {
+		t.Errorf("wallace depth %d not below array depth %d", wal.LogicDepth(), arr.LogicDepth())
+	}
+}
+
+func TestGreaterThanAndEqual(t *testing.T) {
+	b := netlist.NewBuilder("cmp")
+	x := b.InputBus("x", 4)
+	y := b.InputBus("y", 4)
+	gt := GreaterThan(b, x, y)
+	eq := Equal(b, x, y)
+	b.Output("gt", gt)
+	b.Output("eq", eq)
+	n := b.MustBuild()
+	for xv := uint64(0); xv < 16; xv++ {
+		for yv := uint64(0); yv < 16; yv++ {
+			vals := evalNet(t, n, map[string]uint64{"x": xv, "y": yv})
+			if (vals[gt] == logic.L1) != (xv > yv) {
+				t.Fatalf("gt(%d,%d) = %v", xv, yv, vals[gt])
+			}
+			if (vals[eq] == logic.L1) != (xv == yv) {
+				t.Fatalf("eq(%d,%d) = %v", xv, yv, vals[eq])
+			}
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	b := netlist.NewBuilder("mm")
+	x := b.InputBus("x", 5)
+	y := b.InputBus("y", 5)
+	min, max, xg := MinMax(b, x, y)
+	b.OutputBus("min", min)
+	b.OutputBus("max", max)
+	b.Output("xg", xg)
+	n := b.MustBuild()
+	rng := stimulus.NewPRNG(21)
+	for i := 0; i < 400; i++ {
+		xv, yv := rng.Uintn(32), rng.Uintn(32)
+		vals := evalNet(t, n, map[string]uint64{"x": xv, "y": yv})
+		wantMin, wantMax := xv, yv
+		if yv < xv {
+			wantMin, wantMax = yv, xv
+		}
+		if busUint(n, vals, "min") != wantMin || busUint(n, vals, "max") != wantMax {
+			t.Fatalf("minmax(%d,%d) = (%d,%d)", xv, yv,
+				busUint(n, vals, "min"), busUint(n, vals, "max"))
+		}
+	}
+}
+
+func TestAbsDiffExhaustive(t *testing.T) {
+	for _, style := range []Style{Cells, Gates} {
+		b := netlist.NewBuilder("ad")
+		x := b.InputBus("x", 4)
+		y := b.InputBus("y", 4)
+		d := AbsDiff(b, style, x, y)
+		b.OutputBus("d", d)
+		n := b.MustBuild()
+		for xv := uint64(0); xv < 16; xv++ {
+			for yv := uint64(0); yv < 16; yv++ {
+				vals := evalNet(t, n, map[string]uint64{"x": xv, "y": yv})
+				want := xv - yv
+				if yv > xv {
+					want = yv - xv
+				}
+				if got := busUint(n, vals, "d"); got != want {
+					t.Fatalf("%v: |%d-%d| = %d, got %d", style, xv, yv, want, got)
+				}
+			}
+		}
+	}
+}
+
+// dirdetRef is the reference model of the direction detector.
+func dirdetRef(a0, a1, a2, b0, b1, b2, thr uint64) (dir, min, max uint64) {
+	abs := func(x, y uint64) uint64 {
+		if x > y {
+			return x - y
+		}
+		return y - x
+	}
+	d := [3]uint64{abs(a0, b2), abs(a1, b1), abs(a2, b0)}
+	minIdx, min, max := 0, d[0], d[0]
+	for i := 1; i < 3; i++ {
+		if d[i] < min {
+			min, minIdx = d[i], i
+		}
+		if d[i] > max {
+			max = d[i]
+		}
+	}
+	dir = 1 // default: along a[1],b[1]
+	if max-min > thr {
+		dir = uint64(minIdx)
+	}
+	return dir, min, max
+}
+
+func TestDirectionDetectorAgainstReference(t *testing.T) {
+	const w = 8
+	for _, style := range []Style{Cells, Gates} {
+		n := NewDirectionDetector(DirDetConfig{Width: w, Style: style})
+		rng := stimulus.NewPRNG(31)
+		for i := 0; i < 400; i++ {
+			in := map[string]uint64{
+				"a0": rng.Uintn(256), "a1": rng.Uintn(256), "a2": rng.Uintn(256),
+				"b0": rng.Uintn(256), "b1": rng.Uintn(256), "b2": rng.Uintn(256),
+				"thr": rng.Uintn(64),
+			}
+			vals := evalNet(t, n, in)
+			wantDir, wantMin, wantMax := dirdetRef(in["a0"], in["a1"], in["a2"], in["b0"], in["b1"], in["b2"], in["thr"])
+			if got := busUint(n, vals, "min"); got != wantMin {
+				t.Fatalf("%v %v: min = %d, want %d", style, in, got, wantMin)
+			}
+			if got := busUint(n, vals, "max"); got != wantMax {
+				t.Fatalf("%v %v: max = %d, want %d", style, in, got, wantMax)
+			}
+			if got := busUint(n, vals, "dir"); got != wantDir {
+				t.Fatalf("%v %v: dir = %d, want %d", style, in, got, wantDir)
+			}
+		}
+	}
+}
+
+func TestDirectionDetectorTieBreaks(t *testing.T) {
+	// All differences equal: spread 0, never above threshold → default.
+	n := NewDirectionDetector(DirDetConfig{Width: 4, Style: Cells})
+	vals := evalNet(t, n, map[string]uint64{
+		"a0": 5, "a1": 5, "a2": 5, "b0": 5, "b1": 5, "b2": 5, "thr": 0,
+	})
+	if got := busUint(n, vals, "dir"); got != 1 {
+		t.Fatalf("tie dir = %d, want default 1", got)
+	}
+	// is_min one-hot must have exactly one bit set.
+	if oneHot := busUint(n, vals, "is_min"); oneHot != 1 && oneHot != 2 && oneHot != 4 {
+		t.Fatalf("is_min = %03b, want one-hot", oneHot)
+	}
+}
+
+func TestDirectionDetectorOneHotFlags(t *testing.T) {
+	n := NewDirectionDetector(DirDetConfig{Width: 6, Style: Cells})
+	rng := stimulus.NewPRNG(77)
+	for i := 0; i < 300; i++ {
+		in := map[string]uint64{
+			"a0": rng.Uintn(64), "a1": rng.Uintn(64), "a2": rng.Uintn(64),
+			"b0": rng.Uintn(64), "b1": rng.Uintn(64), "b2": rng.Uintn(64),
+			"thr": rng.Uintn(16),
+		}
+		vals := evalNet(t, n, in)
+		for _, bus := range []string{"is_min", "is_max"} {
+			v := busUint(n, vals, bus)
+			if v != 1 && v != 2 && v != 4 {
+				t.Fatalf("%s = %03b, want one-hot (inputs %v)", bus, v, in)
+			}
+		}
+	}
+}
+
+func TestDirectionDetectorRegisteredFFCount(t *testing.T) {
+	// Paper Table 3, circuit 1: 48 flipflops = 6 input buses × 8 bits.
+	n := NewDirectionDetector(DirDetConfig{Width: 8, Style: Cells, RegisterInputs: true})
+	if got := n.NumDFFs(); got != 48 {
+		t.Errorf("registered dirdet has %d DFFs, want 48", got)
+	}
+	un := NewDirectionDetector(DirDetConfig{Width: 8, Style: Cells})
+	if un.NumDFFs() != 0 {
+		t.Error("unregistered dirdet must have no DFFs")
+	}
+}
+
+func TestDirectionDetectorRegisteredFunctional(t *testing.T) {
+	// Registered variant computes the same function one cycle later.
+	n := NewDirectionDetector(DirDetConfig{Width: 6, Style: Cells, RegisterInputs: true})
+	s := sim.New(n, sim.Options{})
+	rng := stimulus.NewPRNG(5)
+	type inputs struct{ a0, a1, a2, b0, b1, b2, thr uint64 }
+	var prev inputs
+	pi := make(logic.Vector, 7*6)
+	for i := 0; i < 50; i++ {
+		in := inputs{rng.Uintn(64), rng.Uintn(64), rng.Uintn(64), rng.Uintn(64), rng.Uintn(64), rng.Uintn(64), rng.Uintn(16)}
+		for j, v := range []uint64{in.a0, in.a1, in.a2, in.b0, in.b1, in.b2, in.thr} {
+			copy(pi[j*6:(j+1)*6], logic.VectorFromUint(v, 6))
+		}
+		if err := s.Step(pi); err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 {
+			// Threshold is unregistered, so it pairs with current thr.
+			wantDir, wantMin, wantMax := dirdetRef(prev.a0, prev.a1, prev.a2, prev.b0, prev.b1, prev.b2, in.thr)
+			gotDir := s.BusValue(n.Bus("dir")).Uint()
+			gotMin := s.BusValue(n.Bus("min")).Uint()
+			gotMax := s.BusValue(n.Bus("max")).Uint()
+			if gotDir != wantDir || gotMin != wantMin || gotMax != wantMax {
+				t.Fatalf("cycle %d: got (%d,%d,%d), want (%d,%d,%d)",
+					i, gotDir, gotMin, gotMax, wantDir, wantMin, wantMax)
+			}
+		}
+		prev = in
+	}
+}
+
+func TestWidthMismatchPanics(t *testing.T) {
+	b := netlist.NewBuilder("w")
+	x := b.InputBus("x", 3)
+	y := b.InputBus("y", 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RippleAdd(b, Cells, x, y, x[0])
+}
+
+func TestDirDetWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDirectionDetector(DirDetConfig{Width: 1})
+}
+
+func TestStyleString(t *testing.T) {
+	if Cells.String() != "cells" || Gates.String() != "gates" {
+		t.Error("style names")
+	}
+}
+
+func TestCircuitNames(t *testing.T) {
+	if NewRCA(16, Cells).Name != "rca16" {
+		t.Error("rca name")
+	}
+	if NewArrayMultiplier(8, Gates).Name != "arraymul8g" {
+		t.Error("array name")
+	}
+	n := NewDirectionDetector(DirDetConfig{Width: 8, Style: Cells, RegisterInputs: true})
+	if n.Name != "dirdet8r" {
+		t.Errorf("dirdet name %q", n.Name)
+	}
+}

@@ -1,0 +1,54 @@
+package circuits
+
+import "glitchsim/internal/netlist"
+
+// GreaterThan builds an unsigned magnitude comparator returning a net
+// that is 1 when x > y. It ripples from the LSB:
+// gt_{i} = x_i·¬y_i + (x_i ⊙ y_i)·gt_{i-1}.
+func GreaterThan(b *netlist.Builder, x, y []netlist.NetID) netlist.NetID {
+	mustSameWidth("GreaterThan", x, y)
+	var gt netlist.NetID = netlist.NoNet
+	for i := range x {
+		bitGT := b.And(x[i], b.Not(y[i]))
+		if gt == netlist.NoNet {
+			gt = bitGT
+			continue
+		}
+		eq := b.Xnor(x[i], y[i])
+		gt = b.Or(bitGT, b.And(eq, gt))
+	}
+	return gt
+}
+
+// Equal builds an equality comparator over two buses.
+func Equal(b *netlist.Builder, x, y []netlist.NetID) netlist.NetID {
+	mustSameWidth("Equal", x, y)
+	bits := make([]netlist.NetID, len(x))
+	for i := range x {
+		bits[i] = b.Xnor(x[i], y[i])
+	}
+	if len(bits) == 1 {
+		return bits[0]
+	}
+	return b.And(bits...)
+}
+
+// MinMax builds the "select min/max" unit of Figure 8 for two buses:
+// it returns min(x,y), max(x,y) and the comparator output xGreater.
+func MinMax(b *netlist.Builder, x, y []netlist.NetID) (min, max []netlist.NetID, xGreater netlist.NetID) {
+	xGreater = GreaterThan(b, x, y)
+	min = Mux2Bus(b, x, y, xGreater) // xGreater=1 → min is y
+	max = Mux2Bus(b, y, x, xGreater) // xGreater=1 → max is x
+	return min, max, xGreater
+}
+
+// AbsDiff builds the |a−b| unit of Figure 8 as two ripple subtractors and
+// a bus multiplexer selected by the borrow: out = (a<b) ? b−a : a−b.
+// The duplicated subtractor makes the block's delay paths realistically
+// unbalanced — exactly the structure whose glitches §4.2 measures.
+func AbsDiff(b *netlist.Builder, style Style, x, y []netlist.NetID) []netlist.NetID {
+	mustSameWidth("AbsDiff", x, y)
+	dxy, borrow := RippleSub(b, style, x, y)
+	dyx, _ := RippleSub(b, style, y, x)
+	return Mux2Bus(b, dxy, dyx, borrow)
+}

@@ -1,0 +1,119 @@
+package circuits
+
+import (
+	"fmt"
+
+	"glitchsim/internal/netlist"
+)
+
+// DirDetConfig parameterizes the direction detector generator.
+type DirDetConfig struct {
+	// Width is the pixel sample width in bits (8 for typical video).
+	Width int
+	// Style selects compound adder cells or gate-level decomposition.
+	Style Style
+	// RegisterInputs inserts one flipflop on every data input bit. With
+	// Width=8 this yields the 6×8 = 48 flipflops of the paper's
+	// circuit 1 in Table 3.
+	RegisterInputs bool
+}
+
+// NewDirectionDetector builds the Phideo progressive-scan direction
+// detector of the paper's Figure 8.
+//
+// The unit receives two rows of three pixels, a[0..2] from the line above
+// and b[0..2] from the line below, and decides along which of three
+// directions the picture correlates best:
+//
+//	d0 = |a[0] − b[2]|   (diagonal ↘)
+//	d1 = |a[1] − b[1]|   (vertical, the default direction)
+//	d2 = |a[2] − b[0]|   (diagonal ↙)
+//
+// A min/max search over the three differences (three comparators), a
+// fourth |a−b| block computing the spread max−min, and a threshold
+// comparison decide whether the detected direction is trustworthy: if
+// max−min > threshold the direction of the minimum difference is output,
+// otherwise the default direction along a[1],b[1] is kept.
+//
+// Interface:
+//
+//	inputs:  a0,a1,a2,b0,b1,b2 (Width bits each), thr (Width bits)
+//	outputs: dir (2 bits: 00=d0, 01=d1/default, 10=d2),
+//	         min, max (Width bits), is_min, is_max (3-bit one-hot)
+func NewDirectionDetector(cfg DirDetConfig) *netlist.Netlist {
+	if cfg.Width < 2 {
+		panic(fmt.Sprintf("circuits: direction detector width %d too small", cfg.Width))
+	}
+	name := circuitName("dirdet", cfg.Width, cfg.Style)
+	if cfg.RegisterInputs {
+		name += "r"
+	}
+	b := netlist.NewBuilder(name)
+
+	a := make([][]netlist.NetID, 3)
+	bb := make([][]netlist.NetID, 3)
+	for i := 0; i < 3; i++ {
+		a[i] = b.InputBus(fmt.Sprintf("a%d", i), cfg.Width)
+	}
+	for i := 0; i < 3; i++ {
+		bb[i] = b.InputBus(fmt.Sprintf("b%d", i), cfg.Width)
+	}
+	thr := b.InputBus("thr", cfg.Width)
+
+	if cfg.RegisterInputs {
+		for i := 0; i < 3; i++ {
+			a[i] = b.RegisterBus(a[i])
+			bb[i] = b.RegisterBus(bb[i])
+		}
+	}
+
+	// Three directional absolute differences.
+	d0 := AbsDiff(b, cfg.Style, a[0], bb[2])
+	d1 := AbsDiff(b, cfg.Style, a[1], bb[1])
+	d2 := AbsDiff(b, cfg.Style, a[2], bb[0])
+	b.NameBus("d0", d0)
+	b.NameBus("d1", d1)
+	b.NameBus("d2", d2)
+
+	// Find min/max over {d0,d1,d2}: three comparator/select stages.
+	min01, max01, d0gt1 := MinMax(b, d0, d1)
+	minAll, _, min01gt2 := MinMax(b, min01, d2)
+	_, maxAll, maxStageGt := MinMax(b, max01, d2)
+
+	// One-hot is_min flags: min is d2 when min01 > d2; otherwise d1 when
+	// d0 > d1, else d0.
+	minIsD2 := min01gt2
+	minIsD1 := b.And(b.Not(min01gt2), d0gt1)
+	minIsD0 := b.Nor(min01gt2, d0gt1)
+	// One-hot is_max flags: max01 > d2 means max is max01, which is d0
+	// when d0 > d1.
+	maxIsD2 := b.Not(maxStageGt)
+	maxIsD0 := b.And(maxStageGt, d0gt1)
+	maxIsD1 := b.And(maxStageGt, b.Not(d0gt1))
+
+	// Spread = |max − min| via a fourth abs-diff block (max ≥ min, so it
+	// equals the subtraction; the block is reused as in the figure).
+	spread := AbsDiff(b, cfg.Style, maxAll, minAll)
+	b.NameBus("spread", spread)
+
+	// Trust the detected direction only when the spread exceeds the
+	// threshold.
+	confident := GreaterThan(b, spread, thr)
+
+	// Direction code of the minimum: 00 for d0, 01 for d1, 10 for d2
+	// (bit0 set only for d1, bit1 set only for d2).
+	detected0 := minIsD1
+	detected1 := minIsD2
+	// Default direction along a[1],b[1] is code 01.
+	dflt0 := b.Const(1)
+	dflt1 := b.Const(0)
+	dir0 := b.Mux(dflt0, detected0, confident)
+	dir1 := b.Mux(dflt1, detected1, confident)
+
+	b.OutputBus("dir", []netlist.NetID{dir0, dir1})
+	b.OutputBus("min", minAll)
+	b.OutputBus("max", maxAll)
+	b.OutputBus("is_min", []netlist.NetID{minIsD0, minIsD1, minIsD2})
+	b.OutputBus("is_max", []netlist.NetID{maxIsD0, maxIsD1, maxIsD2})
+	return b.MustBuild()
+}

@@ -1,0 +1,153 @@
+package circuits
+
+import "glitchsim/internal/netlist"
+
+// partialProducts builds the N×M AND matrix pp[i][j] = x[j]·y[i].
+func partialProducts(b *netlist.Builder, x, y []netlist.NetID) [][]netlist.NetID {
+	pp := make([][]netlist.NetID, len(y))
+	for i := range y {
+		pp[i] = make([]netlist.NetID, len(x))
+		for j := range x {
+			pp[i][j] = b.And(x[j], y[i])
+		}
+	}
+	return pp
+}
+
+// ArrayMultiply builds the classic ripple-carry array multiplier of the
+// paper's Figure 6: each row of multiplier cells (AND + full adder) adds
+// one shifted partial product to the running sum, with carries rippling
+// within the row. The structure has many unbalanced delay paths — the
+// paper's high-glitch architecture. Returns the 2N-bit product.
+func ArrayMultiply(b *netlist.Builder, style Style, x, y []netlist.NetID) []netlist.NetID {
+	mustSameWidth("ArrayMultiply", x, y)
+	n := len(x)
+	pp := partialProducts(b, x, y)
+	product := make([]netlist.NetID, 2*n)
+
+	// Running accumulator: row 0 of partial products.
+	acc := append([]netlist.NetID(nil), pp[0]...)
+	product[0] = acc[0]
+	topCarry := b.Const(0)
+	for i := 1; i < n; i++ {
+		// Add pp[i] (weight i+j) to acc shifted down one bit:
+		// operand A = acc[1..n-1] ++ topCarry.
+		opA := make([]netlist.NetID, n)
+		copy(opA, acc[1:])
+		opA[n-1] = topCarry
+		zero := b.Const(0)
+		sum, cout := RippleAdd(b, style, opA, pp[i], zero)
+		product[i] = sum[0]
+		acc = sum
+		topCarry = cout
+	}
+	copy(product[n:2*n-1], acc[1:])
+	product[2*n-1] = topCarry
+	return product
+}
+
+// WallaceMultiply builds a Wallace-tree multiplier (the paper's Figure
+// 7): partial product columns are reduced with carry-save adder stages
+// until at most two rows remain, then a final ripple-carry adder merges
+// them. The balanced tree has far fewer unbalanced delay paths, and —
+// as Table 1 shows — far fewer useless transitions. Returns the 2N-bit
+// product.
+func WallaceMultiply(b *netlist.Builder, style Style, x, y []netlist.NetID) []netlist.NetID {
+	mustSameWidth("WallaceMultiply", x, y)
+	n := len(x)
+	pp := partialProducts(b, x, y)
+
+	// cols[k] holds the bits of weight 2^k awaiting reduction. One spare
+	// column beyond bit 2n−1 absorbs structural carries out of the top
+	// column; since x·y < 2^{2n}, any bit landing there is provably
+	// constant 0 and is dropped from the product.
+	cols := make([][]netlist.NetID, 2*n+1)
+	for i := range y {
+		for j := range x {
+			cols[i+j] = append(cols[i+j], pp[i][j])
+		}
+	}
+
+	// Wallace reduction: in every stage, each column applies full adders
+	// to groups of three and a half adder to a remaining pair, until all
+	// columns have height ≤ 2.
+	for maxHeight(cols) > 2 {
+		next := make([][]netlist.NetID, len(cols))
+		for k, col := range cols {
+			i := 0
+			for ; i+3 <= len(col); i += 3 {
+				s, c := FullAdd(b, style, col[i], col[i+1], col[i+2])
+				next[k] = append(next[k], s)
+				if k+1 < len(next) {
+					next[k+1] = append(next[k+1], c)
+				}
+			}
+			if len(col)-i == 2 {
+				s, c := HalfAdd(b, style, col[i], col[i+1])
+				next[k] = append(next[k], s)
+				if k+1 < len(next) {
+					next[k+1] = append(next[k+1], c)
+				}
+			} else if len(col)-i == 1 {
+				next[k] = append(next[k], col[i])
+			}
+		}
+		cols = next
+	}
+
+	// Final addition: merge the remaining ≤2 rows with a ripple-carry
+	// adder (the "17bit RCA" of Figure 7).
+	product := make([]netlist.NetID, 2*n)
+	zero := b.Const(0)
+	carry := zero
+	for k := 0; k < 2*n; k++ {
+		switch len(cols[k]) {
+		case 0:
+			product[k] = carry
+			carry = zero
+		case 1:
+			if carry == zero {
+				product[k] = cols[k][0]
+			} else {
+				product[k], carry = HalfAdd(b, style, cols[k][0], carry)
+			}
+		case 2:
+			product[k], carry = FullAdd(b, style, cols[k][0], cols[k][1], carry)
+		default:
+			panic("circuits: wallace reduction left a column higher than 2")
+		}
+	}
+	return product
+}
+
+func maxHeight(cols [][]netlist.NetID) int {
+	h := 0
+	for _, c := range cols {
+		if len(c) > h {
+			h = len(c)
+		}
+	}
+	return h
+}
+
+// NewArrayMultiplier returns a complete N×N unsigned array multiplier
+// netlist with input buses "x", "y" and output bus "p".
+func NewArrayMultiplier(width int, style Style) *netlist.Netlist {
+	b := netlist.NewBuilder(circuitName("arraymul", width, style))
+	x := b.InputBus("x", width)
+	y := b.InputBus("y", width)
+	p := ArrayMultiply(b, style, x, y)
+	b.OutputBus("p", p)
+	return b.MustBuild()
+}
+
+// NewWallaceMultiplier returns a complete N×N unsigned Wallace-tree
+// multiplier netlist with input buses "x", "y" and output bus "p".
+func NewWallaceMultiplier(width int, style Style) *netlist.Netlist {
+	b := netlist.NewBuilder(circuitName("wallacemul", width, style))
+	x := b.InputBus("x", width)
+	y := b.InputBus("y", width)
+	p := WallaceMultiply(b, style, x, y)
+	b.OutputBus("p", p)
+	return b.MustBuild()
+}

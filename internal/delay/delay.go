@@ -1,0 +1,156 @@
+// Package delay defines propagation-delay models for gate-level timing
+// simulation. Delays are integers in abstract gate-delay units, as in the
+// paper's "unit delay" simulations; a model maps each cell output pin to
+// its delay.
+//
+// The paper's two multiplier timing experiments correspond to:
+//
+//	delay.Unit()               // Table 1: every cell delay 1
+//	delay.FullAdderRatio(2, 1) // Table 2: dsum = 2·dcarry in FA/HA cells
+package delay
+
+import (
+	"fmt"
+
+	"glitchsim/internal/netlist"
+)
+
+// Model maps a cell output pin to a propagation delay in integer units.
+type Model interface {
+	// Delay returns the propagation delay from any input of c to output
+	// pin outPin. It must be non-negative and deterministic.
+	Delay(c *netlist.Cell, outPin int) int
+	// Name identifies the model in reports.
+	Name() string
+}
+
+// Func adapts a function to a Model.
+type Func struct {
+	F func(c *netlist.Cell, outPin int) int
+	N string
+}
+
+// Delay implements Model.
+func (f Func) Delay(c *netlist.Cell, outPin int) int { return f.F(c, outPin) }
+
+// Name implements Model.
+func (f Func) Name() string { return f.N }
+
+type unit struct{ d int }
+
+func (u unit) Delay(*netlist.Cell, int) int { return u.d }
+func (u unit) Name() string {
+	if u.d == 1 {
+		return "unit"
+	}
+	return fmt.Sprintf("uniform(%d)", u.d)
+}
+
+// Unit returns the unit-delay model: every cell output has delay 1. This
+// is the model used for the paper's Table 1 and §4.2 simulations.
+func Unit() Model { return unit{d: 1} }
+
+// Uniform returns a model where every output has the same delay d.
+func Uniform(d int) Model {
+	if d < 0 {
+		panic("delay: negative delay")
+	}
+	return unit{d: d}
+}
+
+// Zero returns the zero-delay model: the circuit settles instantly, so no
+// glitches can occur. It is the glitch-blind baseline the ablation
+// benchmarks compare against.
+func Zero() Model { return Func{F: func(*netlist.Cell, int) int { return 0 }, N: "zero"} }
+
+type faRatio struct {
+	dsum, dcarry int
+	base         Model
+}
+
+func (m faRatio) Name() string {
+	return fmt.Sprintf("fa(dsum=%d,dcarry=%d)/%s", m.dsum, m.dcarry, m.base.Name())
+}
+
+func (m faRatio) Delay(c *netlist.Cell, outPin int) int {
+	if c.Type == netlist.FA || c.Type == netlist.HA {
+		if outPin == netlist.PinSum {
+			return m.dsum
+		}
+		return m.dcarry
+	}
+	return m.base.Delay(c, outPin)
+}
+
+// FullAdderRatio returns a model giving compound FA and HA cells a sum
+// delay of dsum and a carry delay of dcarry; all other cells are unit
+// delay. The paper's more realistic Table 2 model is FullAdderRatio(2, 1):
+// "the delay of the sum calculation in a full adder is about twice as
+// large as the delay of the carry calculation".
+func FullAdderRatio(dsum, dcarry int) Model {
+	return FullAdderRatioOver(dsum, dcarry, Unit())
+}
+
+// FullAdderRatioOver is FullAdderRatio with an explicit base model for
+// non-adder cells.
+func FullAdderRatioOver(dsum, dcarry int, base Model) Model {
+	if dsum < 0 || dcarry < 0 {
+		panic("delay: negative delay")
+	}
+	return faRatio{dsum: dsum, dcarry: dcarry, base: base}
+}
+
+// PerType returns a model with an explicit delay per cell type; types not
+// in the map fall back to def.
+func PerType(m map[netlist.CellType]int, def int) Model {
+	cp := make(map[netlist.CellType]int, len(m))
+	for k, v := range m {
+		if v < 0 {
+			panic("delay: negative delay")
+		}
+		cp[k] = v
+	}
+	return Func{
+		F: func(c *netlist.Cell, _ int) int {
+			if d, ok := cp[c.Type]; ok {
+				return d
+			}
+			return def
+		},
+		N: "per-type",
+	}
+}
+
+// Typical returns a per-type model loosely reflecting relative static-CMOS
+// gate delays (inverters fastest, XOR/mux slowest). Used by the ablation
+// benchmarks as a more heterogeneous alternative to unit delay.
+func Typical() Model {
+	m := map[netlist.CellType]int{
+		netlist.Const0: 0, netlist.Const1: 0,
+		netlist.Buf: 1, netlist.Not: 1,
+		netlist.Nand: 1, netlist.Nor: 1,
+		netlist.And: 2, netlist.Or: 2,
+		netlist.Xor: 3, netlist.Xnor: 3,
+		netlist.Mux2: 2, netlist.Maj3: 2,
+		netlist.HA: 2, netlist.FA: 3,
+	}
+	base := PerType(m, 1)
+	return Func{
+		F: func(c *netlist.Cell, pin int) int {
+			if c.Type == netlist.FA && pin == netlist.PinCarry {
+				return 2 // carry faster than sum
+			}
+			if c.Type == netlist.HA && pin == netlist.PinCarry {
+				return 1
+			}
+			return base.Delay(c, pin)
+		},
+		N: "typical",
+	}
+}
+
+// AsDelayFunc converts a Model to the netlist.DelayFunc used by static
+// timing helpers.
+func AsDelayFunc(m Model) netlist.DelayFunc {
+	return func(c *netlist.Cell, pin int) int { return m.Delay(c, pin) }
+}

@@ -1,0 +1,126 @@
+package delay
+
+import (
+	"strings"
+	"testing"
+
+	"glitchsim/internal/netlist"
+)
+
+func cells(t *testing.T) (fa, ha, xor, inv *netlist.Cell) {
+	t.Helper()
+	b := netlist.NewBuilder("c")
+	x := b.Input("x")
+	y := b.Input("y")
+	z := b.Input("z")
+	b.FullAdder(x, y, z)
+	b.HalfAdder(x, y)
+	b.Xor(x, y)
+	b.Not(x)
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n.Cell(0), n.Cell(1), n.Cell(2), n.Cell(3)
+}
+
+func TestUnit(t *testing.T) {
+	fa, _, xor, inv := cells(t)
+	m := Unit()
+	if m.Delay(fa, 0) != 1 || m.Delay(fa, 1) != 1 || m.Delay(xor, 0) != 1 || m.Delay(inv, 0) != 1 {
+		t.Error("unit delays must all be 1")
+	}
+	if m.Name() != "unit" {
+		t.Error("name")
+	}
+}
+
+func TestUniformAndZero(t *testing.T) {
+	fa, _, _, _ := cells(t)
+	if Uniform(3).Delay(fa, 0) != 3 {
+		t.Error("uniform")
+	}
+	if Zero().Delay(fa, 1) != 0 {
+		t.Error("zero")
+	}
+	if !strings.Contains(Uniform(3).Name(), "3") || Zero().Name() != "zero" {
+		t.Error("names")
+	}
+}
+
+func TestUniformPanicsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Uniform(-1)
+}
+
+func TestFullAdderRatio(t *testing.T) {
+	fa, ha, xor, _ := cells(t)
+	m := FullAdderRatio(2, 1)
+	if m.Delay(fa, netlist.PinSum) != 2 {
+		t.Error("FA sum delay")
+	}
+	if m.Delay(fa, netlist.PinCarry) != 1 {
+		t.Error("FA carry delay")
+	}
+	if m.Delay(ha, netlist.PinSum) != 2 || m.Delay(ha, netlist.PinCarry) != 1 {
+		t.Error("HA delays")
+	}
+	if m.Delay(xor, 0) != 1 {
+		t.Error("non-adder falls back to unit")
+	}
+	if !strings.Contains(m.Name(), "dsum=2") {
+		t.Error("name")
+	}
+}
+
+func TestFullAdderRatioOver(t *testing.T) {
+	_, _, xor, _ := cells(t)
+	m := FullAdderRatioOver(2, 1, Uniform(5))
+	if m.Delay(xor, 0) != 5 {
+		t.Error("base model not used")
+	}
+}
+
+func TestPerType(t *testing.T) {
+	fa, _, xor, inv := cells(t)
+	m := PerType(map[netlist.CellType]int{netlist.Xor: 3}, 7)
+	if m.Delay(xor, 0) != 3 {
+		t.Error("mapped type")
+	}
+	if m.Delay(inv, 0) != 7 || m.Delay(fa, 0) != 7 {
+		t.Error("default")
+	}
+}
+
+func TestTypical(t *testing.T) {
+	fa, ha, xor, inv := cells(t)
+	m := Typical()
+	if m.Delay(inv, 0) != 1 {
+		t.Error("inverter should be fastest")
+	}
+	if m.Delay(xor, 0) != 3 {
+		t.Error("xor should be 3")
+	}
+	if m.Delay(fa, netlist.PinSum) != 3 || m.Delay(fa, netlist.PinCarry) != 2 {
+		t.Error("FA sum should be slower than carry")
+	}
+	if m.Delay(ha, netlist.PinCarry) != 1 {
+		t.Error("HA carry")
+	}
+}
+
+func TestFuncAdapter(t *testing.T) {
+	fa, _, _, _ := cells(t)
+	m := Func{F: func(c *netlist.Cell, pin int) int { return pin + 1 }, N: "pin"}
+	if m.Delay(fa, 1) != 2 || m.Name() != "pin" {
+		t.Error("func adapter")
+	}
+	df := AsDelayFunc(m)
+	if df(fa, 0) != 1 {
+		t.Error("AsDelayFunc")
+	}
+}

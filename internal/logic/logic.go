@@ -1,0 +1,203 @@
+// Package logic provides the three-valued logic system used throughout
+// glitchsim: the strong levels 0 and 1 plus the unknown value X used for
+// uninitialized nets. Gate evaluation follows standard pessimistic
+// (Kleene) three-valued semantics: a gate output is X only when the known
+// inputs do not determine it.
+package logic
+
+import "fmt"
+
+// V is a three-valued logic level.
+type V uint8
+
+// The three logic values. X is the zero value so that freshly allocated
+// net state starts out unknown.
+const (
+	X  V = iota // unknown / uninitialized
+	L0          // logic low
+	L1          // logic high
+)
+
+// String returns "x", "0" or "1".
+func (v V) String() string {
+	switch v {
+	case L0:
+		return "0"
+	case L1:
+		return "1"
+	case X:
+		return "x"
+	default:
+		return fmt.Sprintf("V(%d)", uint8(v))
+	}
+}
+
+// Known reports whether v is a strong (binary) level.
+func (v V) Known() bool { return v == L0 || v == L1 }
+
+// Bool converts a strong level to a bool. It panics on X; callers must
+// check Known first when X is possible.
+func (v V) Bool() bool {
+	switch v {
+	case L0:
+		return false
+	case L1:
+		return true
+	}
+	panic("logic: Bool of unknown value")
+}
+
+// FromBool converts a bool to a strong level.
+func FromBool(b bool) V {
+	if b {
+		return L1
+	}
+	return L0
+}
+
+// FromBit converts the low bit of an integer to a strong level.
+func FromBit(b uint64) V { return FromBool(b&1 == 1) }
+
+// Bit returns 0 or 1 for strong levels and panics on X.
+func (v V) Bit() uint64 {
+	if v == L1 {
+		return 1
+	}
+	if v == L0 {
+		return 0
+	}
+	panic("logic: Bit of unknown value")
+}
+
+// Not returns the three-valued complement of v.
+func Not(v V) V {
+	switch v {
+	case L0:
+		return L1
+	case L1:
+		return L0
+	default:
+		return X
+	}
+}
+
+// And returns the three-valued conjunction of vs. An AND with any 0 input
+// is 0 even if other inputs are X.
+func And(vs ...V) V {
+	out := L1
+	for _, v := range vs {
+		switch v {
+		case L0:
+			return L0
+		case X:
+			out = X
+		}
+	}
+	return out
+}
+
+// Or returns the three-valued disjunction of vs. An OR with any 1 input
+// is 1 even if other inputs are X.
+func Or(vs ...V) V {
+	out := L0
+	for _, v := range vs {
+		switch v {
+		case L1:
+			return L1
+		case X:
+			out = X
+		}
+	}
+	return out
+}
+
+// Xor returns the three-valued parity of vs: X if any input is X.
+func Xor(vs ...V) V {
+	parity := false
+	for _, v := range vs {
+		if !v.Known() {
+			return X
+		}
+		parity = parity != v.Bool()
+	}
+	return FromBool(parity)
+}
+
+// Mux returns a when sel=0 and b when sel=1. When sel is X the output is
+// X unless both data inputs agree on a strong level.
+func Mux(sel, a, b V) V {
+	switch sel {
+	case L0:
+		return a
+	case L1:
+		return b
+	default:
+		if a == b && a.Known() {
+			return a
+		}
+		return X
+	}
+}
+
+// Maj3 returns the three-valued majority of three inputs (the carry
+// function of a full adder).
+func Maj3(a, b, c V) V {
+	return Or(And(a, b), And(a, c), And(b, c))
+}
+
+// FullAdd returns the sum and carry-out of a full adder.
+func FullAdd(a, b, cin V) (sum, cout V) {
+	return Xor(a, b, cin), Maj3(a, b, cin)
+}
+
+// HalfAdd returns the sum and carry-out of a half adder.
+func HalfAdd(a, b V) (sum, cout V) {
+	return Xor(a, b), And(a, b)
+}
+
+// Vector is a bus of logic values, index 0 = least significant bit.
+type Vector []V
+
+// NewVector returns a Vector of n X values.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// VectorFromUint encodes the low n bits of u, LSB first.
+func VectorFromUint(u uint64, n int) Vector {
+	v := make(Vector, n)
+	for i := range v {
+		v[i] = FromBit(u >> uint(i))
+	}
+	return v
+}
+
+// Uint decodes a fully known vector into an unsigned integer (LSB first).
+// It panics if any bit is X or if the vector is wider than 64 bits.
+func (vec Vector) Uint() uint64 {
+	if len(vec) > 64 {
+		panic("logic: vector wider than 64 bits")
+	}
+	var u uint64
+	for i, v := range vec {
+		u |= v.Bit() << uint(i)
+	}
+	return u
+}
+
+// Known reports whether every bit of the vector is a strong level.
+func (vec Vector) Known() bool {
+	for _, v := range vec {
+		if !v.Known() {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the vector MSB first, e.g. "0101" or "0x1x".
+func (vec Vector) String() string {
+	buf := make([]byte, len(vec))
+	for i, v := range vec {
+		buf[len(vec)-1-i] = v.String()[0]
+	}
+	return string(buf)
+}

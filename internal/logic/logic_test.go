@@ -1,0 +1,242 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStringAndKnown(t *testing.T) {
+	cases := []struct {
+		v     V
+		s     string
+		known bool
+	}{
+		{L0, "0", true},
+		{L1, "1", true},
+		{X, "x", false},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.s {
+			t.Errorf("%v.String() = %q, want %q", c.v, got, c.s)
+		}
+		if got := c.v.Known(); got != c.known {
+			t.Errorf("%v.Known() = %v, want %v", c.v, got, c.known)
+		}
+	}
+	if s := V(9).String(); s != "V(9)" {
+		t.Errorf("invalid value String() = %q", s)
+	}
+}
+
+func TestBoolConversions(t *testing.T) {
+	if FromBool(true) != L1 || FromBool(false) != L0 {
+		t.Fatal("FromBool wrong")
+	}
+	if !L1.Bool() || L0.Bool() {
+		t.Fatal("Bool wrong")
+	}
+	if FromBit(3) != L1 || FromBit(2) != L0 {
+		t.Fatal("FromBit wrong")
+	}
+	if L1.Bit() != 1 || L0.Bit() != 0 {
+		t.Fatal("Bit wrong")
+	}
+}
+
+func TestBoolPanicsOnX(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	_ = X.Bool()
+}
+
+func TestBitPanicsOnX(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	_ = X.Bit()
+}
+
+func TestNot(t *testing.T) {
+	if Not(L0) != L1 || Not(L1) != L0 || Not(X) != X {
+		t.Fatal("Not wrong")
+	}
+}
+
+func TestAndTruthTable(t *testing.T) {
+	cases := []struct{ a, b, want V }{
+		{L0, L0, L0}, {L0, L1, L0}, {L1, L0, L0}, {L1, L1, L1},
+		{X, L0, L0}, {L0, X, L0}, {X, L1, X}, {L1, X, X}, {X, X, X},
+	}
+	for _, c := range cases {
+		if got := And(c.a, c.b); got != c.want {
+			t.Errorf("And(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOrTruthTable(t *testing.T) {
+	cases := []struct{ a, b, want V }{
+		{L0, L0, L0}, {L0, L1, L1}, {L1, L0, L1}, {L1, L1, L1},
+		{X, L1, L1}, {L1, X, L1}, {X, L0, X}, {L0, X, X}, {X, X, X},
+	}
+	for _, c := range cases {
+		if got := Or(c.a, c.b); got != c.want {
+			t.Errorf("Or(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestXorTruthTable(t *testing.T) {
+	cases := []struct{ a, b, want V }{
+		{L0, L0, L0}, {L0, L1, L1}, {L1, L0, L1}, {L1, L1, L0},
+		{X, L0, X}, {L1, X, X}, {X, X, X},
+	}
+	for _, c := range cases {
+		if got := Xor(c.a, c.b); got != c.want {
+			t.Errorf("Xor(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestVariadicGates(t *testing.T) {
+	if And(L1, L1, L1, L0) != L0 {
+		t.Error("4-input And")
+	}
+	if Or(L0, L0, L0, L1) != L1 {
+		t.Error("4-input Or")
+	}
+	if Xor(L1, L1, L1) != L1 {
+		t.Error("3-input Xor parity")
+	}
+	if And() != L1 || Or() != L0 || Xor() != L0 {
+		t.Error("empty gate identities")
+	}
+}
+
+func TestMux(t *testing.T) {
+	cases := []struct{ sel, a, b, want V }{
+		{L0, L1, L0, L1},
+		{L1, L1, L0, L0},
+		{X, L1, L1, L1},
+		{X, L0, L0, L0},
+		{X, L0, L1, X},
+		{X, X, X, X},
+	}
+	for _, c := range cases {
+		if got := Mux(c.sel, c.a, c.b); got != c.want {
+			t.Errorf("Mux(%v,%v,%v) = %v, want %v", c.sel, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMaj3(t *testing.T) {
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 2; b++ {
+			for c := 0; c < 2; c++ {
+				want := FromBool(a+b+c >= 2)
+				got := Maj3(FromBit(uint64(a)), FromBit(uint64(b)), FromBit(uint64(c)))
+				if got != want {
+					t.Errorf("Maj3(%d,%d,%d) = %v, want %v", a, b, c, got, want)
+				}
+			}
+		}
+	}
+	if Maj3(L0, L0, X) != L0 || Maj3(L1, L1, X) != L1 || Maj3(L0, L1, X) != X {
+		t.Error("Maj3 X dominance wrong")
+	}
+}
+
+func TestFullAndHalfAdd(t *testing.T) {
+	for a := uint64(0); a < 2; a++ {
+		for b := uint64(0); b < 2; b++ {
+			for c := uint64(0); c < 2; c++ {
+				s, co := FullAdd(FromBit(a), FromBit(b), FromBit(c))
+				total := a + b + c
+				if s.Bit() != total&1 || co.Bit() != total>>1 {
+					t.Errorf("FullAdd(%d,%d,%d) = %v,%v", a, b, c, s, co)
+				}
+			}
+			s, co := HalfAdd(FromBit(a), FromBit(b))
+			if s.Bit() != (a+b)&1 || co.Bit() != (a+b)>>1 {
+				t.Errorf("HalfAdd(%d,%d) = %v,%v", a, b, s, co)
+			}
+		}
+	}
+}
+
+func TestVectorRoundTrip(t *testing.T) {
+	f := func(u uint64) bool {
+		v := VectorFromUint(u, 64)
+		return v.Uint() == u && v.Known()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorTruncation(t *testing.T) {
+	v := VectorFromUint(0xFF, 4)
+	if v.Uint() != 0xF {
+		t.Errorf("got %d, want 15", v.Uint())
+	}
+}
+
+func TestVectorString(t *testing.T) {
+	v := Vector{L1, L0, X, L1} // LSB first
+	if v.String() != "1x01" {
+		t.Errorf("got %q, want %q", v.String(), "1x01")
+	}
+}
+
+func TestVectorKnown(t *testing.T) {
+	if (Vector{L0, X}).Known() {
+		t.Error("vector with X reported Known")
+	}
+	if !NewVector(0).Known() {
+		t.Error("empty vector should be Known")
+	}
+	if NewVector(3).Known() {
+		t.Error("fresh vector should be unknown")
+	}
+}
+
+func TestVectorUintPanicsWide(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for >64-bit vector")
+		}
+	}()
+	_ = NewVector(65).Uint()
+}
+
+// Property: De Morgan duality holds in three-valued logic.
+func TestDeMorganProperty(t *testing.T) {
+	vals := []V{L0, L1, X}
+	for _, a := range vals {
+		for _, b := range vals {
+			if Not(And(a, b)) != Or(Not(a), Not(b)) {
+				t.Errorf("De Morgan AND failed for %v,%v", a, b)
+			}
+			if Not(Or(a, b)) != And(Not(a), Not(b)) {
+				t.Errorf("De Morgan OR failed for %v,%v", a, b)
+			}
+		}
+	}
+}
+
+// Property: Xor is associative and commutative over strong values.
+func TestXorAlgebraProperty(t *testing.T) {
+	f := func(a, b, c bool) bool {
+		va, vb, vc := FromBool(a), FromBool(b), FromBool(c)
+		return Xor(Xor(va, vb), vc) == Xor(va, Xor(vb, vc)) &&
+			Xor(va, vb) == Xor(vb, va)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,78 @@
+package netlist
+
+import (
+	"fmt"
+
+	"glitchsim/internal/logic"
+)
+
+// Eval computes the combinational outputs of a cell of type t from its
+// input values, writing them into out (which must have length
+// t.Outputs()). DFF cells are not combinational; evaluating one returns
+// its input unchanged (the value a transparent latch would pass), and the
+// simulator must never call Eval for DFFs during intra-cycle propagation.
+func Eval(t CellType, in []logic.V, out []logic.V) {
+	switch t {
+	case Const0:
+		out[0] = logic.L0
+	case Const1:
+		out[0] = logic.L1
+	case Buf:
+		out[0] = in[0]
+	case Not:
+		out[0] = logic.Not(in[0])
+	case And:
+		out[0] = logic.And(in...)
+	case Nand:
+		out[0] = logic.Not(logic.And(in...))
+	case Or:
+		out[0] = logic.Or(in...)
+	case Nor:
+		out[0] = logic.Not(logic.Or(in...))
+	case Xor:
+		out[0] = logic.Xor(in...)
+	case Xnor:
+		out[0] = logic.Not(logic.Xor(in...))
+	case Mux2:
+		out[0] = logic.Mux(in[2], in[0], in[1])
+	case Maj3:
+		out[0] = logic.Maj3(in[0], in[1], in[2])
+	case HA:
+		out[PinSum], out[PinCarry] = logic.HalfAdd(in[0], in[1])
+	case FA:
+		out[PinSum], out[PinCarry] = logic.FullAdd(in[0], in[1], in[2])
+	case DFF:
+		out[0] = in[0]
+	default:
+		panic(fmt.Sprintf("netlist: Eval of unknown cell type %d", t))
+	}
+}
+
+// EvalOutputs evaluates every combinational cell of the netlist in
+// topological order given primary-input and DFF-output values, returning
+// the zero-delay steady-state value of every net. The values slice is
+// indexed by NetID; entries for PIs and DFF outputs must be set by the
+// caller, all other entries are overwritten. It is the reference
+// functional model the event-driven simulator is tested against.
+func (n *Netlist) EvalOutputs(values []logic.V) {
+	order := n.TopoOrder()
+	var inBuf [8]logic.V
+	var outBuf [2]logic.V
+	for _, cid := range order {
+		c := &n.Cells[cid]
+		if c.Type == DFF {
+			continue
+		}
+		ins := inBuf[:0]
+		for _, in := range c.In {
+			ins = append(ins, values[in])
+		}
+		outs := outBuf[:len(c.Out)]
+		Eval(c.Type, ins, outs)
+		for pin, o := range c.Out {
+			if o != NoNet {
+				values[o] = outs[pin]
+			}
+		}
+	}
+}

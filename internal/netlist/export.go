@@ -1,0 +1,71 @@
+package netlist
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteDOT emits the netlist as a Graphviz digraph: cells are boxes (DFFs
+// doubled), primary inputs/outputs are ovals, edges are nets.
+func (n *Netlist) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", n.Name)
+	for _, pi := range n.PIs {
+		fmt.Fprintf(&b, "  %q [shape=oval, color=blue];\n", "PI:"+n.Nets[pi].Name)
+	}
+	for i := range n.Cells {
+		c := &n.Cells[i]
+		shape := "box"
+		if c.Type == DFF {
+			shape = "box, peripheries=2"
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s, label=%q];\n", cellNode(c), shape,
+			fmt.Sprintf("%s\\n%s", c.Name, c.Type))
+	}
+	for i := range n.Nets {
+		net := &n.Nets[i]
+		src := ""
+		if net.IsPrimaryInput() {
+			src = "PI:" + net.Name
+		} else {
+			src = cellNode(&n.Cells[net.Driver])
+		}
+		for _, s := range net.Sinks {
+			fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", src, cellNode(&n.Cells[s.Cell]), net.Name)
+		}
+	}
+	for _, po := range n.POs {
+		net := &n.Nets[po]
+		fmt.Fprintf(&b, "  %q [shape=oval, color=red];\n", "PO:"+net.Name)
+		src := "PI:" + net.Name
+		if !net.IsPrimaryInput() {
+			src = cellNode(&n.Cells[net.Driver])
+		}
+		fmt.Fprintf(&b, "  %q -> %q;\n", src, "PO:"+net.Name)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func cellNode(c *Cell) string { return fmt.Sprintf("c%d:%s", c.ID, c.Name) }
+
+// Summary returns a human-readable one-paragraph description of the
+// netlist: cell counts by type, net count, I/O widths and logic depth.
+func (n *Netlist) Summary() string {
+	counts := n.CellCounts()
+	types := make([]CellType, 0, len(counts))
+	for t := range counts {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d cells, %d nets, %d PIs, %d POs, depth %d\n",
+		n.Name, len(n.Cells), len(n.Nets), len(n.PIs), len(n.POs), n.LogicDepth())
+	for _, t := range types {
+		fmt.Fprintf(&b, "  %-7s %d\n", t.String(), counts[t])
+	}
+	return b.String()
+}

@@ -1,0 +1,141 @@
+package netlist
+
+// cellHeap is a min-heap of CellIDs used to make TopoOrder deterministic
+// (smallest ready cell first) without repeated sorting.
+type cellHeap []CellID
+
+func (h *cellHeap) push(x CellID) {
+	*h = append(*h, x)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[p] <= (*h)[i] {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+func (h *cellHeap) pop() CellID {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && (*h)[l] < (*h)[small] {
+			small = l
+		}
+		if r < last && (*h)[r] < (*h)[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return top
+}
+
+// TopoOrder returns every cell in a topological order of the
+// combinational subgraph: a cell appears after all combinational cells
+// whose outputs it reads. DFF cells appear first (their outputs act as
+// sources, like primary inputs). The order is deterministic.
+func (n *Netlist) TopoOrder() []CellID {
+	order := make([]CellID, 0, len(n.Cells))
+	// indeg counts combinational fanin cells not yet emitted.
+	indeg := make([]int, len(n.Cells))
+	for i := range n.Cells {
+		c := &n.Cells[i]
+		if c.Type == DFF {
+			continue
+		}
+		for _, in := range c.In {
+			d := n.Nets[in].Driver
+			if d != NoCell && n.Cells[d].Type != DFF {
+				indeg[i]++
+			}
+		}
+	}
+	var ready cellHeap
+	for i := range n.Cells {
+		if n.Cells[i].Type == DFF {
+			order = append(order, CellID(i))
+		} else if indeg[i] == 0 {
+			ready.push(CellID(i))
+		}
+	}
+	for len(ready) > 0 {
+		cid := ready.pop()
+		order = append(order, cid)
+		for _, o := range n.Cells[cid].Out {
+			if o == NoNet {
+				continue
+			}
+			for _, s := range n.Nets[o].Sinks {
+				if n.Cells[s.Cell].Type == DFF {
+					continue
+				}
+				indeg[s.Cell]--
+				if indeg[s.Cell] == 0 {
+					ready.push(s.Cell)
+				}
+			}
+		}
+	}
+	return order
+}
+
+// DelayFunc maps a cell output pin to its propagation delay in integer
+// time units. It is the minimal interface topo-based timing needs; the
+// delay package provides implementations.
+type DelayFunc func(c *Cell, outPin int) int
+
+// ArrivalTimes returns, for every net, the worst-case settling time of
+// the net within a clock cycle under the given delay function: primary
+// inputs and DFF outputs arrive at t=0, every combinational cell adds its
+// per-output delay. The result is indexed by NetID.
+func (n *Netlist) ArrivalTimes(delay DelayFunc) []int {
+	at := make([]int, len(n.Nets))
+	for _, cid := range n.TopoOrder() {
+		c := &n.Cells[cid]
+		if c.Type == DFF {
+			continue // Q arrives at 0
+		}
+		worst := 0
+		for _, in := range c.In {
+			if at[in] > worst {
+				worst = at[in]
+			}
+		}
+		for pin, o := range c.Out {
+			if o != NoNet {
+				at[o] = worst + delay(c, pin)
+			}
+		}
+	}
+	return at
+}
+
+// CriticalPathLength returns the maximum arrival time over all nets: the
+// minimum clock period of the circuit under the delay model.
+func (n *Netlist) CriticalPathLength(delay DelayFunc) int {
+	worst := 0
+	for _, t := range n.ArrivalTimes(delay) {
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// LogicDepth returns the maximum number of combinational cells on any
+// PI/DFF-to-net path (unit delay critical path).
+func (n *Netlist) LogicDepth() int {
+	return n.CriticalPathLength(func(*Cell, int) int { return 1 })
+}

@@ -1,0 +1,155 @@
+package netlist
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Validate checks structural and semantic well-formedness:
+//   - every non-PI net has exactly the driver recorded on it,
+//   - cell pin counts are legal for their types,
+//   - all net/cell cross-references are consistent,
+//   - the combinational subgraph (DFF outputs cut) is acyclic.
+//
+// It returns a joined error describing every problem found.
+func (n *Netlist) Validate() error {
+	var errs []error
+
+	for i := range n.Cells {
+		c := &n.Cells[i]
+		if c.ID != CellID(i) {
+			errs = append(errs, fmt.Errorf("cell %d: stored ID %d mismatch", i, c.ID))
+		}
+		min, max := c.Type.InputRange()
+		if len(c.In) < min || (max >= 0 && len(c.In) > max) {
+			errs = append(errs, fmt.Errorf("cell %q (%s): %d inputs, want %d..%d", c.Name, c.Type, len(c.In), min, max))
+		}
+		if len(c.Out) != c.Type.Outputs() {
+			errs = append(errs, fmt.Errorf("cell %q (%s): %d outputs, want %d", c.Name, c.Type, len(c.Out), c.Type.Outputs()))
+		}
+		for pin, o := range c.Out {
+			if o == NoNet {
+				continue
+			}
+			if int(o) >= len(n.Nets) || o < 0 {
+				errs = append(errs, fmt.Errorf("cell %q: output %d references invalid net %d", c.Name, pin, o))
+				continue
+			}
+			net := &n.Nets[o]
+			if net.Driver != c.ID || net.DriverPin != pin {
+				errs = append(errs, fmt.Errorf("cell %q: output pin %d drives net %q whose driver record is cell %d pin %d",
+					c.Name, pin, net.Name, net.Driver, net.DriverPin))
+			}
+		}
+		for port, in := range c.In {
+			if int(in) >= len(n.Nets) || in < 0 {
+				errs = append(errs, fmt.Errorf("cell %q: input %d references invalid net %d", c.Name, port, in))
+			}
+		}
+	}
+
+	pi := make(map[NetID]bool, len(n.PIs))
+	for _, id := range n.PIs {
+		if pi[id] {
+			errs = append(errs, fmt.Errorf("net %q listed as primary input twice", n.Nets[id].Name))
+		}
+		pi[id] = true
+	}
+	for i := range n.Nets {
+		net := &n.Nets[i]
+		if net.ID != NetID(i) {
+			errs = append(errs, fmt.Errorf("net %d: stored ID %d mismatch", i, net.ID))
+		}
+		if net.Driver == NoCell && !pi[net.ID] {
+			errs = append(errs, fmt.Errorf("net %q has no driver and is not a primary input", net.Name))
+		}
+		if net.Driver != NoCell && pi[net.ID] {
+			errs = append(errs, fmt.Errorf("primary input %q is driven by cell %d", net.Name, net.Driver))
+		}
+		for _, s := range net.Sinks {
+			if int(s.Cell) >= len(n.Cells) || s.Cell < 0 {
+				errs = append(errs, fmt.Errorf("net %q: sink references invalid cell %d", net.Name, s.Cell))
+				continue
+			}
+			c := &n.Cells[s.Cell]
+			if s.Port >= len(c.In) || c.In[s.Port] != net.ID {
+				errs = append(errs, fmt.Errorf("net %q: sink (cell %q, port %d) does not read it back", net.Name, c.Name, s.Port))
+			}
+		}
+	}
+	for _, id := range n.POs {
+		if id < 0 || int(id) >= len(n.Nets) {
+			errs = append(errs, fmt.Errorf("primary output references invalid net %d", id))
+		}
+	}
+
+	if cyc := n.findCombinationalCycle(); cyc != nil {
+		names := make([]string, len(cyc))
+		for i, cid := range cyc {
+			names[i] = n.Cells[cid].Name
+		}
+		errs = append(errs, fmt.Errorf("combinational cycle through cells %v", names))
+	}
+
+	return errors.Join(errs...)
+}
+
+// findCombinationalCycle returns a cycle of combinational cells (each
+// driving the next through a net), or nil if the combinational subgraph
+// is acyclic. DFFs cut the graph: paths through a DFF are sequential and
+// legal.
+func (n *Netlist) findCombinationalCycle() []CellID {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]uint8, len(n.Cells))
+	parent := make([]CellID, len(n.Cells))
+	for i := range parent {
+		parent[i] = NoCell
+	}
+
+	// Iterative DFS over combinational cells.
+	var stack []CellID
+	for start := range n.Cells {
+		if color[start] != white || n.Cells[start].Type == DFF {
+			continue
+		}
+		stack = append(stack[:0], CellID(start))
+		for len(stack) > 0 {
+			cid := stack[len(stack)-1]
+			if color[cid] == white {
+				color[cid] = gray
+			} else {
+				color[cid] = black
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			for _, o := range n.Cells[cid].Out {
+				if o == NoNet {
+					continue
+				}
+				for _, s := range n.Nets[o].Sinks {
+					next := s.Cell
+					if n.Cells[next].Type == DFF {
+						continue
+					}
+					switch color[next] {
+					case white:
+						parent[next] = cid
+						stack = append(stack, next)
+					case gray:
+						// Reconstruct the cycle next -> ... -> cid -> next.
+						cyc := []CellID{next}
+						for v := cid; v != next && v != NoCell; v = parent[v] {
+							cyc = append(cyc, v)
+						}
+						return cyc
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

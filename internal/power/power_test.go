@@ -1,0 +1,247 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"glitchsim/internal/circuits"
+	"glitchsim/internal/core"
+	"glitchsim/internal/delay"
+	"glitchsim/internal/logic"
+	"glitchsim/internal/netlist"
+	"glitchsim/internal/retime"
+	"glitchsim/internal/sim"
+	"glitchsim/internal/stimulus"
+)
+
+func approx(a, b, rel float64) bool {
+	if b == 0 {
+		return math.Abs(a) < 1e-18
+	}
+	return math.Abs(a-b)/math.Abs(b) <= rel
+}
+
+func TestNodeCaps(t *testing.T) {
+	b := netlist.NewBuilder("caps")
+	x := b.Input("x")
+	inv := b.Not(x)
+	b.And(inv, x)
+	b.Or(inv, x)
+	b.Output("o", inv)
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tech := Default08um()
+	caps := NodeCaps(n, tech)
+	// x drives not, and, or -> 3 sinks; inv drives and, or -> 2 sinks.
+	if !approx(caps[x], tech.WireCapF+3*tech.InputCapF, 1e-12) {
+		t.Errorf("cap(x) = %v", caps[x])
+	}
+	if !approx(caps[inv], tech.WireCapF+2*tech.InputCapF, 1e-12) {
+		t.Errorf("cap(inv) = %v", caps[inv])
+	}
+}
+
+func TestClockCapAndAreaScaleWithFFs(t *testing.T) {
+	tech := Default08um()
+	mk := func(ffs int) *netlist.Netlist {
+		b := netlist.NewBuilder("ffs")
+		x := b.Input("x")
+		q := b.DFFChain(x, ffs)
+		b.Output("q", q)
+		return b.MustBuild()
+	}
+	n48, n350 := mk(48), mk(350)
+	// Paper Table 3: 48 FFs -> 3.2 pF, 350 FFs -> 19.9 pF.
+	if got := ClockCap(n48, tech); !approx(got, 3.2e-12, 0.05) {
+		t.Errorf("48-FF clock cap = %v pF, paper 3.2", got*1e12)
+	}
+	if got := ClockCap(n350, tech); !approx(got, 19.9e-12, 0.05) {
+		t.Errorf("350-FF clock cap = %v pF, paper 19.9", got*1e12)
+	}
+	// Area difference: paper 1.23-0.73 = 0.50 mm² for 302 extra FFs.
+	if diff := Area(n350, tech) - Area(n48, tech); !approx(diff, 0.50, 0.02) {
+		t.Errorf("area delta = %v mm², paper 0.50", diff)
+	}
+}
+
+func TestFlipflopPowerMatchesPaperCalibration(t *testing.T) {
+	// Paper: 48 flipflops dissipate 0.9 mW at 5 MHz.
+	tech := Default08um()
+	b := netlist.NewBuilder("ff48")
+	x := b.Input("x")
+	var outs []netlist.NetID
+	for i := 0; i < 48; i++ {
+		outs = append(outs, b.DFF(x))
+	}
+	b.OutputBus("q", outs)
+	n := b.MustBuild()
+	s := sim.New(n, sim.Options{})
+	c := core.NewCounter(n)
+	s.AttachMonitor(c)
+	for i := 0; i < 10; i++ {
+		if err := s.Step(logic.Vector{logic.FromBit(uint64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bd := FromActivity(c, tech)
+	if !approx(bd.FlipflopW, 0.9e-3, 0.01) {
+		t.Errorf("48-FF power = %v mW, paper 0.9", bd.FlipflopW*1e3)
+	}
+	if bd.LogicW != 0 {
+		t.Errorf("pure-FF circuit has logic power %v", bd.LogicW)
+	}
+	if bd.NumFFs != 48 {
+		t.Errorf("NumFFs = %d", bd.NumFFs)
+	}
+}
+
+func TestLogicPowerFormula(t *testing.T) {
+	// One inverter toggling every cycle: rising every other cycle.
+	tech := Default08um()
+	b := netlist.NewBuilder("inv")
+	x := b.Input("x")
+	y := b.Not(x)
+	b.Output("y", y)
+	n := b.MustBuild()
+	s := sim.New(n, sim.Options{})
+	c := core.NewCounter(n)
+	s.AttachMonitor(c)
+	const cycles = 1000
+	for i := 0; i < cycles; i++ {
+		if err := s.Step(logic.Vector{logic.FromBit(uint64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bd := FromActivity(c, tech)
+	// y has no sinks beyond the PO: cap = wire only. Rising rate ~0.5.
+	want := 0.5 * tech.WireCapF * tech.Vdd * tech.Vdd * tech.ClockFreq
+	if !approx(bd.LogicW, want, 0.01) {
+		t.Errorf("logic power = %v, want %v", bd.LogicW, want)
+	}
+	if bd.FlipflopW != 0 || bd.ClockCapF != tech.ClockBaseCapF {
+		t.Error("no-FF circuit has FF/clock contributions beyond base")
+	}
+	if !strings.Contains(bd.String(), "total=") {
+		t.Error("String format")
+	}
+	if !approx(bd.TotalW(), bd.LogicW+bd.FlipflopW+bd.ClockW, 1e-12) {
+		t.Error("total mismatch")
+	}
+}
+
+func TestTopConsumers(t *testing.T) {
+	// A hazard net glitching every other cycle plus a quiet inverter:
+	// the hazard output must rank first.
+	b := netlist.NewBuilder("rank")
+	x := b.Input("x")
+	na := b.Not(x)
+	hz := b.And(x, na)
+	one := b.Const(1)
+	quiet := b.And(one, one) // constant: never switches
+	b.Output("hz", hz)
+	b.Output("q", quiet)
+	n := b.MustBuild()
+	s := sim.New(n, sim.Options{})
+	c := core.NewCounter(n)
+	s.AttachMonitor(c)
+	for i := 0; i < 100; i++ {
+		if err := s.Step(logic.Vector{logic.FromBit(uint64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tech := Default08um()
+	top := TopConsumers(c, tech, 10)
+	if len(top) == 0 {
+		t.Fatal("no consumers found")
+	}
+	// All entries sorted by power.
+	for i := 1; i < len(top); i++ {
+		if top[i].PowerW > top[i-1].PowerW {
+			t.Error("not sorted")
+		}
+	}
+	// Truncation.
+	if got := TopConsumers(c, tech, 1); len(got) != 1 {
+		t.Errorf("k=1 returned %d entries", len(got))
+	}
+	// Empty counter.
+	if TopConsumers(core.NewCounter(n), tech, 5) != nil {
+		t.Error("expected nil for cycle-less counter")
+	}
+	// The glitching AND output is ranked; the constant net is absent.
+	names := map[string]float64{}
+	for _, np := range top {
+		names[np.Net] = np.PowerW
+	}
+	if _, ok := names[n.Net(hz).Name]; !ok {
+		t.Error("hazard net missing from ranking")
+	}
+	if _, ok := names[n.Net(quiet).Name]; ok {
+		t.Error("constant net must not appear in the ranking")
+	}
+}
+
+func TestPanicsWithoutCycles(t *testing.T) {
+	n := circuits.NewRCA(2, circuits.Cells)
+	c := core.NewCounter(n)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromActivity(c, Default08um())
+}
+
+// TestPipeliningTradeoffShape reproduces the qualitative shape of
+// Figure 10 on a small direction detector: logic power falls with deeper
+// pipelining while flipflop and clock power rise.
+func TestPipeliningTradeoffShape(t *testing.T) {
+	base := circuits.NewDirectionDetector(circuits.DirDetConfig{Width: 6, Style: circuits.Cells})
+	tech := Default08um()
+	measure := func(n *netlist.Netlist) Breakdown {
+		s := sim.New(n, sim.Options{Delay: delay.Unit()})
+		c := core.NewCounter(n)
+		s.AttachMonitor(c)
+		src := stimulus.NewRandom(n.InputWidth(), 99)
+		for i := 0; i < 30; i++ { // warm up
+			if err := s.Step(src.Next()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.Reset()
+		for i := 0; i < 300; i++ {
+			if err := s.Step(src.Next()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return FromActivity(c, tech)
+	}
+
+	var prev Breakdown
+	for stages := 0; stages <= 3; stages++ {
+		res, err := retime.Pipeline(base, delay.Unit(), stages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bd := measure(res.Netlist)
+		if stages > 0 {
+			if bd.FlipflopW <= prev.FlipflopW {
+				t.Errorf("stages %d: FF power did not rise (%v -> %v)", stages, prev.FlipflopW, bd.FlipflopW)
+			}
+			if bd.ClockW <= prev.ClockW {
+				t.Errorf("stages %d: clock power did not rise", stages)
+			}
+		}
+		prev = bd
+	}
+	// Logic power at depth 3 must be well below the unpipelined value.
+	res0, _ := retime.Pipeline(base, delay.Unit(), 0)
+	res3, _ := retime.Pipeline(base, delay.Unit(), 3)
+	l0, l3 := measure(res0.Netlist).LogicW, measure(res3.Netlist).LogicW
+	if l3 >= l0 {
+		t.Errorf("deep pipelining did not reduce logic power: %v -> %v", l0, l3)
+	}
+}

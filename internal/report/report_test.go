@@ -1,0 +1,83 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableString(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRowf("beta", 2.5)
+	out := tb.String()
+	for _, want := range []string{"Demo", "name", "alpha", "beta", "2.5", "----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q in:\n%s", want, out)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Error("row count")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Errorf("got %d lines", len(lines))
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("xxxxxxx", "y")
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines[0]) < 9 {
+		t.Errorf("header not padded: %q", lines[0])
+	}
+}
+
+func TestTablePanicsOnRaggedRow(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tb.AddRow("only-one")
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("t", "name", "note")
+	tb.AddRow("x", `has "quotes", and commas`)
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "name,note\n") {
+		t.Errorf("csv header wrong: %q", csv)
+	}
+	if !strings.Contains(csv, `"has ""quotes"", and commas"`) {
+		t.Errorf("csv escaping wrong: %q", csv)
+	}
+}
+
+func TestChart(t *testing.T) {
+	out := Chart("activity", []string{"bit0", "bit1"}, []Series{
+		{Name: "useful", Values: []float64{10, 20}},
+		{Name: "useless", Values: []float64{0, 40}},
+	}, 20)
+	if !strings.Contains(out, "activity") || !strings.Contains(out, "bit0") {
+		t.Errorf("chart missing pieces:\n%s", out)
+	}
+	// The 40-value bar must be full width, the 10-value a quarter.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "useless") && strings.Contains(line, "40") {
+			if !strings.Contains(line, strings.Repeat("#", 20)) {
+				t.Errorf("max bar not full: %q", line)
+			}
+		}
+	}
+}
+
+func TestChartZeroMax(t *testing.T) {
+	out := Chart("flat", []string{"x"}, []Series{{Name: "s", Values: []float64{0}}}, 10)
+	if !strings.Contains(out, "|          |") {
+		t.Errorf("zero chart wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,125 @@
+package retime
+
+import (
+	"testing"
+
+	"glitchsim/internal/delay"
+	"glitchsim/internal/logic"
+	"glitchsim/internal/sim"
+	"glitchsim/internal/stimulus"
+	"glitchsim/internal/testutil"
+)
+
+// TestPropertyPipelineEquivalence: pipelining any random feedforward
+// netlist by k stages yields a circuit equivalent modulo k cycles of
+// latency, with period no larger than the original.
+func TestPropertyPipelineEquivalence(t *testing.T) {
+	rng := stimulus.NewPRNG(4242)
+	for trial := 0; trial < 20; trial++ {
+		n := testutil.RandomNetlist(rng, testutil.RandConfig{
+			Inputs:       3 + int(rng.Uintn(4)),
+			Gates:        10 + int(rng.Uintn(40)),
+			Outputs:      3,
+			WithCompound: trial%2 == 0,
+			WithDFFs:     trial%3 == 0,
+		})
+		stages := 1 + int(rng.Uintn(3))
+		res, err := Pipeline(n, delay.Unit(), stages)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		g := FromNetlist(n, delay.Unit(), 0)
+		if res.Period > g.ClockPeriod(nil) {
+			t.Fatalf("trial %d: pipelined period %d exceeds original %d",
+				trial, res.Period, g.ClockPeriod(nil))
+		}
+
+		so := sim.New(n, sim.Options{})
+		sr := sim.New(res.Netlist, sim.Options{})
+		seed := rng.Uint64()
+		srcO := stimulus.NewRandom(n.InputWidth(), seed)
+		srcR := stimulus.NewRandom(n.InputWidth(), seed)
+		var history []logic.Vector
+		warm := stages + n.LogicDepth() + 2
+		for cycle := 0; cycle < 50; cycle++ {
+			if err := so.Step(srcO.Next()); err != nil {
+				t.Fatal(err)
+			}
+			history = append(history, append(logic.Vector(nil), so.Outputs()...))
+			if err := sr.Step(srcR.Next()); err != nil {
+				t.Fatal(err)
+			}
+			if cycle < warm {
+				continue
+			}
+			want := history[cycle-stages]
+			got := sr.Outputs()
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("trial %d (stages %d) cycle %d: output %d = %v, want %v",
+						trial, stages, cycle, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyRegisterCountsConsistent: the graph's register prediction
+// equals the rebuilt netlist's DFF count for random circuits and random
+// feasible periods.
+func TestPropertyRegisterCountsConsistent(t *testing.T) {
+	rng := stimulus.NewPRNG(31415)
+	for trial := 0; trial < 15; trial++ {
+		n := testutil.RandomNetlist(rng, testutil.RandConfig{
+			Inputs: 4, Gates: 25, Outputs: 2, WithDFFs: true,
+		})
+		stages := int(rng.Uintn(3))
+		g := FromNetlist(n, delay.Unit(), stages)
+		c, r := g.MinPeriod()
+		out := g.Apply(r, "")
+		if predicted := g.Registers(r); predicted != out.NumDFFs() {
+			t.Fatalf("trial %d: predicted %d registers, netlist has %d", trial, predicted, out.NumDFFs())
+		}
+		if err := out.Validate(); err != nil {
+			t.Fatalf("trial %d: rebuilt netlist invalid: %v", trial, err)
+		}
+		if got := out.CriticalPathLength(delay.AsDelayFunc(delay.Unit())); got > c+1 {
+			// The netlist CP counts const cells as delay-1; allow +1.
+			t.Fatalf("trial %d: netlist CP %d far above promised period %d", trial, got, c)
+		}
+	}
+}
+
+// TestPropertyFeasibilityMonotone: if period c is feasible then c+1 is,
+// and deeper pipelines never need longer periods.
+func TestPropertyFeasibilityMonotone(t *testing.T) {
+	rng := stimulus.NewPRNG(888)
+	for trial := 0; trial < 10; trial++ {
+		n := testutil.RandomNetlist(rng, testutil.RandConfig{
+			Inputs: 4, Gates: 30, Outputs: 2,
+		})
+		g0 := FromNetlist(n, delay.Unit(), 0)
+		cp := g0.ClockPeriod(nil)
+		prevMin := cp + 1
+		for stages := 0; stages <= 3; stages++ {
+			g := FromNetlist(n, delay.Unit(), stages)
+			c, _ := g.MinPeriod()
+			if c > prevMin {
+				t.Fatalf("trial %d: min period grew from %d to %d at %d stages",
+					trial, prevMin, c, stages)
+			}
+			prevMin = c
+			// Feasibility monotone in c.
+			feasibleAt := func(cc int) bool { _, ok := g.Feasible(cc); return ok }
+			if !feasibleAt(c) {
+				t.Fatalf("trial %d: min period %d reported infeasible", trial, c)
+			}
+			if c > 1 && feasibleAt(c-1) {
+				t.Fatalf("trial %d: c-1=%d feasible but MinPeriod said %d", trial, c-1, c)
+			}
+			if !feasibleAt(c + 1) {
+				t.Fatalf("trial %d: c+1 infeasible", trial)
+			}
+		}
+	}
+}

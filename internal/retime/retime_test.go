@@ -1,0 +1,303 @@
+package retime
+
+import (
+	"testing"
+
+	"glitchsim/internal/circuits"
+	"glitchsim/internal/delay"
+	"glitchsim/internal/logic"
+	"glitchsim/internal/netlist"
+	"glitchsim/internal/sim"
+	"glitchsim/internal/stimulus"
+)
+
+// equivalent simulates both netlists on the same random stimulus and
+// checks that the retimed outputs equal the original outputs delayed by
+// `latency` cycles. Warm-up cycles (X or pipeline fill) are skipped.
+func equivalent(t *testing.T, orig, rt *netlist.Netlist, latency, cycles int, seed uint64) {
+	t.Helper()
+	if orig.InputWidth() != rt.InputWidth() || orig.OutputWidth() != rt.OutputWidth() {
+		t.Fatalf("interface mismatch: %d/%d vs %d/%d",
+			orig.InputWidth(), orig.OutputWidth(), rt.InputWidth(), rt.OutputWidth())
+	}
+	so := sim.New(orig, sim.Options{})
+	sr := sim.New(rt, sim.Options{})
+	srcO := stimulus.NewRandom(orig.InputWidth(), seed)
+	srcR := stimulus.NewRandom(orig.InputWidth(), seed)
+	var history []logic.Vector
+	warm := latency + orig.LogicDepth() + 2
+	for i := 0; i < cycles; i++ {
+		if err := so.Step(srcO.Next()); err != nil {
+			t.Fatal(err)
+		}
+		history = append(history, append(logic.Vector(nil), so.Outputs()...))
+		if err := sr.Step(srcR.Next()); err != nil {
+			t.Fatal(err)
+		}
+		if i < warm || i-latency < 0 {
+			continue
+		}
+		want := history[i-latency]
+		got := sr.Outputs()
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("cycle %d output %d (%s): got %v, want %v",
+					i, j, rt.Net(rt.POs[j]).Name, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestPureRetimingPreservesRCA(t *testing.T) {
+	n := circuits.NewRCA(8, circuits.Cells)
+	res, err := Retime(n, delay.Unit(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A combinational circuit cannot be sped up by pure retiming: the
+	// period stays at the 8-FA carry chain (constants settle at start-up
+	// and contribute no delay).
+	if res.Period != 8 {
+		t.Errorf("pure retiming changed period to %d, want 8", res.Period)
+	}
+	if res.Registers != 0 {
+		t.Errorf("pure retiming of combinational circuit created %d registers", res.Registers)
+	}
+	equivalent(t, n, res.Netlist, 0, 100, 1)
+}
+
+func TestPipelineRCAHalvesPeriod(t *testing.T) {
+	n := circuits.NewRCA(8, circuits.Cells)
+	cp := n.CriticalPathLength(delay.AsDelayFunc(delay.Unit()))
+	res, err := Pipeline(n, delay.Unit(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Period > (cp+1)/2+1 {
+		t.Errorf("1-stage pipeline period %d, expected about half of %d", res.Period, cp)
+	}
+	if res.Registers == 0 {
+		t.Error("pipelining created no registers")
+	}
+	equivalent(t, n, res.Netlist, 1, 150, 2)
+}
+
+func TestDeepPipelineReachesUnitPeriod(t *testing.T) {
+	n := circuits.NewRCA(4, circuits.Cells)
+	cp := n.CriticalPathLength(delay.AsDelayFunc(delay.Unit()))
+	res, err := ForPeriod(n, delay.Unit(), 1, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Period != 1 {
+		t.Errorf("period %d, want 1", res.Period)
+	}
+	equivalent(t, n, res.Netlist, res.Latency, 120, 3)
+}
+
+func TestForPeriodInfeasible(t *testing.T) {
+	n := circuits.NewRCA(4, circuits.Cells)
+	// Period 0 can never be met (unit-delay cells).
+	if _, err := ForPeriod(n, delay.Unit(), 0, 8); err == nil {
+		t.Fatal("expected infeasibility error")
+	}
+	if _, err := Retime(n, delay.Unit(), Options{TargetPeriod: 1}); err == nil {
+		t.Fatal("expected error: period 1 without extra latency")
+	}
+}
+
+func TestPipelineMultiplier(t *testing.T) {
+	n := circuits.NewWallaceMultiplier(4, circuits.Cells)
+	res, err := Pipeline(n, delay.Unit(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equivalent(t, n, res.Netlist, 2, 150, 4)
+}
+
+func TestPipelineGateLevelDirectionDetector(t *testing.T) {
+	n := circuits.NewDirectionDetector(circuits.DirDetConfig{Width: 4, Style: circuits.Gates})
+	res, err := Pipeline(n, delay.Unit(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equivalent(t, n, res.Netlist, 1, 120, 5)
+}
+
+func TestRetimeSequentialCircuit(t *testing.T) {
+	// An accumulator-style circuit with an existing register: retiming
+	// must preserve behaviour including the feedback loop.
+	b := netlist.NewBuilder("acc")
+	x := b.InputBus("x", 4)
+	seed := b.Const(0)
+	// sum = DFF(sum + x): build adder reading a placeholder, then rewire.
+	placeholder := []netlist.NetID{seed, seed, seed, seed}
+	sum, _ := circuits.RippleAdd(b, circuits.Cells, x, placeholder, b.Const(0))
+	reg := b.RegisterBus(sum)
+	for i, fa := range []int{0, 1, 2, 3} {
+		// FA cells are cells 2..5 (after two consts); rewire port 1.
+		_ = fa
+		b.Rewire(netlist.CellID(2+i), 1, reg[i])
+	}
+	b.OutputBus("acc", reg)
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Retime(n, delay.Unit(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	equivalent(t, n, res.Netlist, 0, 100, 6)
+}
+
+func TestRegistersMatchNetlistCount(t *testing.T) {
+	n := circuits.NewDirectionDetector(circuits.DirDetConfig{Width: 4, Style: circuits.Cells})
+	for stages := 0; stages <= 3; stages++ {
+		g := FromNetlist(n, delay.Unit(), stages)
+		c, r := g.MinPeriod()
+		out := g.Apply(r, "")
+		if got := g.Registers(r); got != out.NumDFFs() {
+			t.Errorf("stages %d: graph predicts %d registers, netlist has %d", stages, got, out.NumDFFs())
+		}
+		if got := out.CriticalPathLength(delay.AsDelayFunc(delay.Unit())); got > c {
+			t.Errorf("stages %d: netlist critical path %d exceeds promised period %d", stages, got, c)
+		}
+	}
+}
+
+func TestMoreStagesShorterPeriod(t *testing.T) {
+	n := circuits.NewDirectionDetector(circuits.DirDetConfig{Width: 6, Style: circuits.Cells})
+	prevPeriod := 1 << 30
+	prevRegs := -1
+	for stages := 0; stages <= 4; stages++ {
+		res, err := Pipeline(n, delay.Unit(), stages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Period > prevPeriod {
+			t.Errorf("stages %d: period %d grew from %d", stages, res.Period, prevPeriod)
+		}
+		if stages > 0 && res.Registers <= prevRegs {
+			t.Errorf("stages %d: registers %d did not grow from %d", stages, res.Registers, prevRegs)
+		}
+		prevPeriod, prevRegs = res.Period, res.Registers
+	}
+}
+
+func TestPipeliningKillsGlitchesAtCut(t *testing.T) {
+	// The §5 claim (Figure 9): flipflops at the inputs of an operation
+	// align its operand arrival times, so glitches vanish downstream.
+	// Build xor(x, buf(buf(x))): the skewed reconvergence glitches every
+	// time x toggles; a 1-deep pipeline re-aligns it.
+	build := func() *netlist.Netlist {
+		b := netlist.NewBuilder("skew")
+		x := b.Input("x")
+		slow := b.Buf(b.Buf(x))
+		y := b.Xor(x, slow)
+		b.Output("y", y)
+		return b.MustBuild()
+	}
+	count := func(n *netlist.Netlist) (useless uint64) {
+		s := sim.New(n, sim.Options{})
+		mon := &uselessCounter{n: n}
+		s.AttachMonitor(mon)
+		for i := 0; i < 40; i++ {
+			if err := s.Step(logic.Vector{logic.FromBit(uint64(i))}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return mon.useless
+	}
+	orig := build()
+	if u := count(orig); u == 0 {
+		t.Fatal("expected glitches in the skewed circuit")
+	}
+	res, err := Pipeline(build(), delay.Unit(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Period != 1 {
+		t.Fatalf("period %d, want fully pipelined 1", res.Period)
+	}
+	if u := count(res.Netlist); u != 0 {
+		t.Errorf("fully pipelined circuit still has %d useless transitions", u)
+	}
+}
+
+// uselessCounter tallies useless transitions by the parity rule without
+// importing package core (which would create an import cycle in tests).
+type uselessCounter struct {
+	n       *netlist.Netlist
+	cur     map[netlist.NetID]int
+	useless uint64
+}
+
+func (u *uselessCounter) OnChange(net netlist.NetID, _, _ int, old, _ logic.V) {
+	if !old.Known() || u.n.Net(net).IsPrimaryInput() {
+		return
+	}
+	if u.cur == nil {
+		u.cur = map[netlist.NetID]int{}
+	}
+	u.cur[net]++
+}
+
+func (u *uselessCounter) OnCycleEnd(int) {
+	for net, n := range u.cur {
+		if n%2 == 1 {
+			u.useless += uint64(n - 1)
+		} else {
+			u.useless += uint64(n)
+		}
+		delete(u.cur, net)
+	}
+}
+
+func TestApplyPanicsOnBadRetiming(t *testing.T) {
+	n := circuits.NewRCA(2, circuits.Cells)
+	g := FromNetlist(n, delay.Unit(), 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	bad := make([]int, g.V)
+	bad[g.Host] = 1 // not normalized
+	g.Apply(bad, "")
+}
+
+func TestFromNetlistNegativeLatencyPanics(t *testing.T) {
+	n := circuits.NewRCA(2, circuits.Cells)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromNetlist(n, delay.Unit(), -1)
+}
+
+func TestBusNamesSurviveRetiming(t *testing.T) {
+	n := circuits.NewRCA(4, circuits.Cells)
+	res, err := Pipeline(n, delay.Unit(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := res.Netlist
+	if len(rt.Bus("a")) != 4 || len(rt.Bus("b")) != 4 {
+		t.Error("input buses lost")
+	}
+	if len(rt.Bus("s")) != 4 {
+		t.Error("output bus lost")
+	}
+	if len(rt.Bus("cout")) != 1 {
+		t.Error("single-bit output bus lost")
+	}
+}
+
+func TestMinPeriodOf(t *testing.T) {
+	n := circuits.NewRCA(8, circuits.Cells)
+	if got := MinPeriodOf(n, delay.Unit()); got != 8 {
+		t.Errorf("min period %d, want 8 (combinational RCA cannot be retimed faster)", got)
+	}
+}

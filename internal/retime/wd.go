@@ -1,0 +1,183 @@
+package retime
+
+import "math"
+
+// WD holds the Leiserson–Saxe W and D matrices: for every ordered vertex
+// pair (u,v) connected by a path, W[u][v] is the minimum register count
+// over all u→v paths and D[u][v] the maximum total vertex delay among
+// the minimum-register paths. Unreachable pairs hold W = +inf.
+//
+// The matrices are the classic O(V³) formulation of retiming
+// feasibility (Theorem 7 of Leiserson–Saxe): a retiming with period ≤ c
+// exists iff the difference-constraint system
+//
+//	r(u) − r(v) ≤ w(e)          for every edge u→v
+//	r(u) − r(v) ≤ W[u][v] − 1   whenever D[u][v] > c
+//
+// is satisfiable. This package's production path uses FEAS (algo.go);
+// WD exists as an independently derived oracle the property tests check
+// FEAS against.
+type WD struct {
+	W, D [][]int
+}
+
+const inf = math.MaxInt32 / 4
+
+// ComputeWD builds the matrices by Floyd–Warshall over lexicographic
+// (registers, −delay) path costs. Paths may not pass *through* the host
+// (the environment does not propagate combinational delay), matching the
+// semantics of deltas. O(V³): intended for moderate graphs.
+func (g *Graph) ComputeWD() *WD {
+	v := g.V
+	w := make([][]int, v)
+	neg := make([][]int, v) // accumulated −d(u) along the path
+	for i := range w {
+		w[i] = make([]int, v)
+		neg[i] = make([]int, v)
+		for j := range w[i] {
+			w[i][j] = inf
+		}
+	}
+	better := func(w1, n1, w2, n2 int) bool {
+		if w1 != w2 {
+			return w1 < w2
+		}
+		return n1 < n2
+	}
+	for _, e := range g.Edges {
+		cost := e.W
+		nd := -g.d[e.From]
+		if better(cost, nd, w[e.From][e.To], neg[e.From][e.To]) {
+			w[e.From][e.To] = cost
+			neg[e.From][e.To] = nd
+		}
+	}
+	for k := 0; k < v; k++ {
+		if k == g.Host {
+			continue // no combinational paths through the environment
+		}
+		for i := 0; i < v; i++ {
+			if w[i][k] >= inf {
+				continue
+			}
+			for j := 0; j < v; j++ {
+				if w[k][j] >= inf {
+					continue
+				}
+				nw, nn := w[i][k]+w[k][j], neg[i][k]+neg[k][j]
+				if better(nw, nn, w[i][j], neg[i][j]) {
+					w[i][j] = nw
+					neg[i][j] = nn
+				}
+			}
+		}
+	}
+	d := make([][]int, v)
+	for i := range d {
+		d[i] = make([]int, v)
+		for j := range d[i] {
+			if w[i][j] >= inf {
+				d[i][j] = -1
+				continue
+			}
+			d[i][j] = g.d[j] - neg[i][j]
+		}
+		// The empty path: W(u,u)=0, D(u,u)=d(u). A cycle may offer a
+		// lower-cost non-empty path only with w ≥ 1 (legal circuits),
+		// which never beats (0, d(u)) lexicographically... unless a
+		// zero-weight cycle exists, which Feasible rejects anyway.
+		if w[i][i] > 0 || w[i][i] >= inf {
+			w[i][i] = 0
+			d[i][i] = g.d[i]
+		}
+	}
+	return &WD{W: w, D: d}
+}
+
+// FeasibleWD decides period feasibility from the matrices by solving the
+// difference-constraint system with Bellman–Ford. It returns a legal
+// retiming normalized to r[Host] = 0, or ok = false.
+func (g *Graph) FeasibleWD(wd *WD, c int) (r []int, ok bool) {
+	type cEdge struct{ from, to, w int }
+	var ces []cEdge
+	// r(u) − r(v) ≤ w  ⇔  edge v→u with weight w.
+	for _, e := range g.Edges {
+		ces = append(ces, cEdge{from: e.To, to: e.From, w: e.W})
+	}
+	for u := 0; u < g.V; u++ {
+		for v := 0; v < g.V; v++ {
+			if wd.W[u][v] >= inf || wd.D[u][v] < 0 {
+				continue
+			}
+			if wd.D[u][v] > c {
+				if u == v {
+					return nil, false // a single vertex/cycle exceeds c
+				}
+				ces = append(ces, cEdge{from: v, to: u, w: wd.W[u][v] - 1})
+			}
+		}
+	}
+	dist := make([]int, g.V) // virtual source at distance 0 to all
+	for iter := 0; iter < g.V; iter++ {
+		changed := false
+		for _, e := range ces {
+			if dist[e.from]+e.w < dist[e.to] {
+				dist[e.to] = dist[e.from] + e.w
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		if iter == g.V-1 {
+			return nil, false // negative cycle: infeasible
+		}
+	}
+	h := dist[g.Host]
+	for v := range dist {
+		dist[v] -= h
+	}
+	return dist, true
+}
+
+// MinPeriodWD binary-searches the minimum period using the W/D oracle
+// over the distinct D values (the classic OPT1 algorithm).
+func (g *Graph) MinPeriodWD() (int, []int) {
+	wd := g.ComputeWD()
+	// Candidate periods are the distinct finite D entries.
+	seen := map[int]bool{}
+	var cands []int
+	for i := range wd.D {
+		for j := range wd.D[i] {
+			if d := wd.D[i][j]; d >= 0 && !seen[d] {
+				seen[d] = true
+				cands = append(cands, d)
+			}
+		}
+	}
+	sortInts(cands)
+	lo, hi := 0, len(cands)-1
+	bestC, bestR := -1, []int(nil)
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if r, ok := g.FeasibleWD(wd, cands[mid]); ok {
+			bestC, bestR = cands[mid], r
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	if bestR == nil {
+		// Degenerate graphs (no candidates): identity.
+		return g.ClockPeriod(nil), make([]int, g.V)
+	}
+	return bestC, bestR
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"testing"
+
+	"glitchsim/internal/delay"
+	"glitchsim/internal/logic"
+	"glitchsim/internal/netlist"
+	"glitchsim/internal/stimulus"
+	"glitchsim/internal/testutil"
+)
+
+// TestPropertySettledStateMatchesReference: for random netlists, random
+// stimulus and every delay model, the event-driven settled state must
+// equal the topological zero-delay evaluation. This is the master
+// correctness property of the simulator.
+func TestPropertySettledStateMatchesReference(t *testing.T) {
+	rng := stimulus.NewPRNG(12345)
+	models := []delay.Model{delay.Unit(), delay.Zero(), delay.Typical(), delay.FullAdderRatio(3, 1)}
+	for trial := 0; trial < 30; trial++ {
+		n := testutil.RandomNetlist(rng, testutil.RandConfig{
+			Inputs:       3 + int(rng.Uintn(6)),
+			Gates:        10 + int(rng.Uintn(60)),
+			Outputs:      2,
+			WithDFFs:     trial%2 == 0,
+			WithCompound: trial%3 == 0,
+		})
+		dm := models[trial%len(models)]
+		s := New(n, Options{Delay: dm, Mode: Mode(trial % 2)})
+		ref := make([]logic.V, n.NumNets())
+		refQ := make([]logic.V, n.NumCells())
+		// Replicate the simulator's reset state: DFFs at 0, then a
+		// three-valued settle with unknown primary inputs.
+		for i := range n.Cells {
+			if c := &n.Cells[i]; c.Type == netlist.DFF {
+				refQ[i] = logic.L0
+				ref[c.Out[0]] = logic.L0
+			}
+		}
+		n.EvalOutputs(ref)
+		pi := make(logic.Vector, n.InputWidth())
+		for cycle := 0; cycle < 20; cycle++ {
+			// Reference: all DFFs sample their D from the previous
+			// settled reference state simultaneously, then drive their
+			// outputs — two passes so chained DFFs don't see each
+			// other's new values.
+			for i := range n.Cells {
+				c := &n.Cells[i]
+				if c.Type != netlist.DFF {
+					continue
+				}
+				if d := ref[c.In[0]]; d.Known() {
+					refQ[i] = d
+				}
+			}
+			for i := range n.Cells {
+				if c := &n.Cells[i]; c.Type == netlist.DFF {
+					ref[c.Out[0]] = refQ[i]
+				}
+			}
+			for i := range pi {
+				pi[i] = logic.FromBit(rng.Uint64())
+			}
+			if err := s.Step(pi); err != nil {
+				t.Fatal(err)
+			}
+			for i, id := range n.PIs {
+				ref[id] = pi[i]
+			}
+			n.EvalOutputs(ref)
+			for i := range n.Nets {
+				if s.Value(netlist.NetID(i)) != ref[i] {
+					t.Fatalf("trial %d (%s, %v) cycle %d: net %s = %v, ref %v",
+						trial, dm.Name(), Mode(trial%2), cycle,
+						n.Nets[i].Name, s.Value(netlist.NetID(i)), ref[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyInertialNeverExceedsTransport: pulse swallowing can only
+// reduce activity, never add it, on any circuit.
+func TestPropertyInertialNeverExceedsTransport(t *testing.T) {
+	rng := stimulus.NewPRNG(777)
+	for trial := 0; trial < 15; trial++ {
+		n := testutil.RandomNetlist(rng, testutil.RandConfig{
+			Inputs: 4, Gates: 40, Outputs: 2, WithCompound: true,
+		})
+		seed := rng.Uint64()
+		count := func(mode Mode) int {
+			s := New(n, Options{Delay: delay.Typical(), Mode: mode})
+			rec := &recorder{}
+			s.AttachMonitor(rec)
+			src := stimulus.NewRandom(n.InputWidth(), seed)
+			for i := 0; i < 30; i++ {
+				if err := s.Step(src.Next()); err != nil {
+					t.Fatal(err)
+				}
+			}
+			known := 0
+			for _, c := range rec.changes {
+				if c.old.Known() {
+					known++
+				}
+			}
+			return known
+		}
+		tr, in := count(Transport), count(Inertial)
+		if in > tr {
+			t.Fatalf("trial %d: inertial %d transitions > transport %d", trial, in, tr)
+		}
+	}
+}
+
+// TestPropertyMonotoneDelayScaling: multiplying every delay by a
+// constant must not change which transitions occur under transport
+// delay (time stretches, activity is identical).
+func TestPropertyMonotoneDelayScaling(t *testing.T) {
+	rng := stimulus.NewPRNG(31337)
+	for trial := 0; trial < 10; trial++ {
+		n := testutil.RandomNetlist(rng, testutil.RandConfig{
+			Inputs: 4, Gates: 30, Outputs: 2,
+		})
+		seed := rng.Uint64()
+		counts := func(dm delay.Model) []int {
+			s := New(n, Options{Delay: dm})
+			rec := &recorder{}
+			s.AttachMonitor(rec)
+			src := stimulus.NewRandom(n.InputWidth(), seed)
+			for i := 0; i < 25; i++ {
+				if err := s.Step(src.Next()); err != nil {
+					t.Fatal(err)
+				}
+			}
+			perNet := make([]int, n.NumNets())
+			for _, c := range rec.changes {
+				if c.old.Known() {
+					perNet[c.net]++
+				}
+			}
+			return perNet
+		}
+		a := counts(delay.Unit())
+		b := counts(delay.Uniform(3))
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d: net %d activity %d (unit) vs %d (3x)", trial, i, a[i], b[i])
+			}
+		}
+	}
+}

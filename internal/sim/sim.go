@@ -1,0 +1,387 @@
+// Package sim implements an event-driven gate-level simulator for
+// synchronous netlists, the measurement instrument behind all of the
+// paper's experiments.
+//
+// # Cycle semantics
+//
+// Each call to Step simulates one clock cycle:
+//
+//  1. Every DFF samples its D input from the settled state of the
+//     previous cycle.
+//  2. At time 0 of the new cycle, all primary inputs change to the new
+//     stimulus vector and all DFF outputs change to their sampled values
+//     ("new input bits always arrive at the beginning of a clock cycle").
+//  3. The combinational network settles by discrete-event propagation
+//     under the configured delay model.
+//
+// # Transition semantics
+//
+// A net transition is a change of the net's settled value between two
+// consecutive time instants: all writes to a net within one instant are
+// coalesced and a single OnChange is reported with the value before and
+// after the instant. Zero-width pulses therefore do not count, and
+// zero-delay simulation reports at most one transition per net per cycle
+// (the glitch-free functional baseline).
+package sim
+
+import (
+	"fmt"
+
+	"glitchsim/internal/delay"
+	"glitchsim/internal/logic"
+	"glitchsim/internal/netlist"
+)
+
+// Mode selects how a cell output reacts to input changes arriving while a
+// previous output change is still in flight.
+type Mode uint8
+
+const (
+	// Transport delay propagates every pulse, however narrow. This is
+	// the model behind the paper's unit-delay glitch counts.
+	Transport Mode = iota
+	// Inertial delay swallows pulses narrower than the cell delay, as a
+	// real gate's output capacitance would.
+	Inertial
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Inertial {
+		return "inertial"
+	}
+	return "transport"
+}
+
+// Options configures a Simulator.
+type Options struct {
+	// Delay is the propagation-delay model. Nil means unit delay.
+	Delay delay.Model
+	// Mode selects transport (default) or inertial delay handling.
+	Mode Mode
+	// MaxTimePerCycle guards against runaway event cascades; Step fails
+	// if the network has not settled by this time. 0 means 1<<16.
+	MaxTimePerCycle int
+}
+
+// Monitor observes net value changes. Implementations include the
+// activity counter (package core) and the VCD writer (package vcd).
+type Monitor interface {
+	// OnChange reports that net settled from old to new at time t of the
+	// given cycle. old may be logic.X during start-up.
+	OnChange(net netlist.NetID, cycle, t int, old, new logic.V)
+	// OnCycleEnd reports that the network has settled for the cycle.
+	OnCycleEnd(cycle int)
+}
+
+type event struct {
+	time   int
+	serial uint64
+	net    netlist.NetID
+	val    logic.V
+	key    int32 // cell-output key for inertial cancellation; -1 for injections
+}
+
+// Simulator drives one netlist. It is not safe for concurrent use.
+type Simulator struct {
+	n     *netlist.Netlist
+	dm    delay.Model
+	mode  Mode
+	guard int
+
+	values []logic.V
+	ffQ    []logic.V // sampled Q per cell ID (only DFF entries used)
+
+	queue      eventHeap
+	serial     uint64
+	pending    []int32  // in-flight events per net
+	lastSerial []uint64 // per cell-output key, for inertial cancellation
+
+	changedInit []logic.V
+	changedMark []bool
+	changedList []netlist.NetID
+
+	touchEpoch []int
+	epoch      int
+	touched    []netlist.CellID
+
+	monitors []Monitor
+	cycle    int
+	settle   int // settle time of the most recent cycle
+
+	evalIn  []logic.V
+	evalOut [2]logic.V
+}
+
+// New returns a Simulator for the netlist. The netlist must be valid (see
+// netlist.Validate); New panics otherwise, since simulating an invalid
+// netlist produces meaningless activity numbers.
+func New(n *netlist.Netlist, opts Options) *Simulator {
+	if err := n.Validate(); err != nil {
+		panic(fmt.Sprintf("sim: invalid netlist: %v", err))
+	}
+	dm := opts.Delay
+	if dm == nil {
+		dm = delay.Unit()
+	}
+	guard := opts.MaxTimePerCycle
+	if guard == 0 {
+		guard = 1 << 16
+	}
+	s := &Simulator{
+		n:           n,
+		dm:          dm,
+		mode:        opts.Mode,
+		guard:       guard,
+		values:      make([]logic.V, n.NumNets()),
+		ffQ:         make([]logic.V, n.NumCells()),
+		pending:     make([]int32, n.NumNets()),
+		lastSerial:  make([]uint64, 2*n.NumCells()),
+		changedInit: make([]logic.V, n.NumNets()),
+		changedMark: make([]bool, n.NumNets()),
+		touchEpoch:  make([]int, n.NumCells()),
+		evalIn:      make([]logic.V, 0, 8),
+	}
+	// DFFs reset to 0. The initial net state is the three-valued steady
+	// state with primary inputs unknown: constants (and anything
+	// computable from constants and DFF reset values alone) settle here,
+	// since such nets never receive events during simulation.
+	for i := range n.Cells {
+		if n.Cells[i].Type == netlist.DFF {
+			s.ffQ[i] = logic.L0
+			s.values[n.Cells[i].Out[0]] = logic.L0
+		}
+	}
+	n.EvalOutputs(s.values)
+	return s
+}
+
+// AttachMonitor registers a monitor for subsequent cycles.
+func (s *Simulator) AttachMonitor(m Monitor) { s.monitors = append(s.monitors, m) }
+
+// DetachMonitors removes all monitors.
+func (s *Simulator) DetachMonitors() { s.monitors = nil }
+
+// Netlist returns the simulated netlist.
+func (s *Simulator) Netlist() *netlist.Netlist { return s.n }
+
+// Cycle returns the number of completed cycles.
+func (s *Simulator) Cycle() int { return s.cycle }
+
+// SettleTime returns the time at which the most recent cycle settled.
+func (s *Simulator) SettleTime() int { return s.settle }
+
+// Value returns the settled value of a net.
+func (s *Simulator) Value(id netlist.NetID) logic.V { return s.values[id] }
+
+// BusValue returns the settled values of a bus (LSB first).
+func (s *Simulator) BusValue(bus []netlist.NetID) logic.Vector {
+	v := make(logic.Vector, len(bus))
+	for i, id := range bus {
+		v[i] = s.values[id]
+	}
+	return v
+}
+
+// Outputs returns the settled primary-output vector.
+func (s *Simulator) Outputs() logic.Vector { return s.BusValue(s.n.POs) }
+
+// Step simulates one clock cycle with the given primary-input vector
+// (aligned with the netlist's PIs). It returns an error if the network
+// fails to settle within the configured guard time.
+func (s *Simulator) Step(pi logic.Vector) error {
+	if len(pi) != len(s.n.PIs) {
+		panic(fmt.Sprintf("sim: stimulus width %d, netlist has %d inputs", len(pi), len(s.n.PIs)))
+	}
+
+	// 1. Sample DFF D inputs from the previous cycle's settled state. An
+	// unknown D holds the flipflop's current (reset) state, so circuits
+	// always leave X within a few cycles.
+	for i := range s.n.Cells {
+		c := &s.n.Cells[i]
+		if c.Type != netlist.DFF {
+			continue
+		}
+		if d := s.values[c.In[0]]; d.Known() {
+			s.ffQ[i] = d
+		}
+	}
+
+	// 2. Inject PI changes and DFF Q updates at t=0.
+	for i, id := range s.n.PIs {
+		s.schedule(0, id, pi[i], -1)
+	}
+	for i := range s.n.Cells {
+		c := &s.n.Cells[i]
+		if c.Type == netlist.DFF {
+			s.schedule(0, c.Out[0], s.ffQ[i], -1)
+		}
+	}
+
+	// 3. Propagate.
+	if err := s.run(); err != nil {
+		return err
+	}
+	for _, m := range s.monitors {
+		m.OnCycleEnd(s.cycle)
+	}
+	s.cycle++
+	return nil
+}
+
+func (s *Simulator) schedule(t int, net netlist.NetID, v logic.V, key int32) {
+	// Skip no-ops: the value already holds and nothing is in flight.
+	if v == s.values[net] && s.pending[net] == 0 {
+		if key >= 0 {
+			s.lastSerial[key] = 0 // cancel any stale inertial claim
+		}
+		return
+	}
+	s.serial++
+	if key >= 0 && s.mode == Inertial {
+		s.lastSerial[key] = s.serial
+	}
+	s.pending[net]++
+	s.queue.push(event{time: t, serial: s.serial, net: net, val: v, key: key})
+}
+
+func (s *Simulator) run() error {
+	flushAt := -1
+	for len(s.queue) > 0 {
+		t := s.queue[0].time
+		if t > s.guard {
+			return fmt.Errorf("sim: cycle %d did not settle by time %d (oscillation or guard too low)", s.cycle, s.guard)
+		}
+		if flushAt >= 0 && t > flushAt {
+			s.flush(flushAt)
+		}
+		flushAt = t
+		s.applyBatch(t)
+		s.evalTouched(t)
+	}
+	if flushAt >= 0 {
+		s.flush(flushAt)
+		s.settle = flushAt
+	} else {
+		s.settle = 0
+	}
+	return nil
+}
+
+// applyBatch pops and applies every event at time t, recording per-net
+// initial values and marking affected combinational cells.
+func (s *Simulator) applyBatch(t int) {
+	s.epoch++
+	for len(s.queue) > 0 && s.queue[0].time == t {
+		e := s.queue.pop()
+		s.pending[e.net]--
+		if e.key >= 0 && s.mode == Inertial && s.lastSerial[e.key] != e.serial {
+			continue // cancelled by a later evaluation of the same output
+		}
+		if s.values[e.net] == e.val {
+			continue
+		}
+		if !s.changedMark[e.net] {
+			s.changedMark[e.net] = true
+			s.changedInit[e.net] = s.values[e.net]
+			s.changedList = append(s.changedList, e.net)
+		}
+		s.values[e.net] = e.val
+		for _, sink := range s.n.Nets[e.net].Sinks {
+			c := &s.n.Cells[sink.Cell]
+			if c.Type == netlist.DFF {
+				continue // DFFs react only at the clock edge
+			}
+			if s.touchEpoch[sink.Cell] != s.epoch {
+				s.touchEpoch[sink.Cell] = s.epoch
+				s.touched = append(s.touched, sink.Cell)
+			}
+		}
+	}
+}
+
+// evalTouched re-evaluates every cell whose inputs changed at time t and
+// schedules the resulting output changes.
+func (s *Simulator) evalTouched(t int) {
+	for _, cid := range s.touched {
+		c := &s.n.Cells[cid]
+		s.evalIn = s.evalIn[:0]
+		for _, in := range c.In {
+			s.evalIn = append(s.evalIn, s.values[in])
+		}
+		outs := s.evalOut[:len(c.Out)]
+		netlist.Eval(c.Type, s.evalIn, outs)
+		for pin, o := range c.Out {
+			if o == netlist.NoNet {
+				continue
+			}
+			key := int32(cid)*2 + int32(pin)
+			s.schedule(t+s.dm.Delay(c, pin), o, outs[pin], key)
+		}
+	}
+	s.touched = s.touched[:0]
+}
+
+// flush reports coalesced per-instant transitions to the monitors.
+func (s *Simulator) flush(t int) {
+	for _, net := range s.changedList {
+		init := s.changedInit[net]
+		final := s.values[net]
+		s.changedMark[net] = false
+		if init == final {
+			continue // zero-width excursion within one instant
+		}
+		for _, m := range s.monitors {
+			m.OnChange(net, s.cycle, t, init, final)
+		}
+	}
+	s.changedList = s.changedList[:0]
+}
+
+// eventHeap is a binary min-heap ordered by (time, serial).
+type eventHeap []event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].serial < h[j].serial
+}
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h).less(p, i) {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+func (h *eventHeap) pop() event {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && (*h).less(l, small) {
+			small = l
+		}
+		if r < last && (*h).less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return top
+}

@@ -1,0 +1,160 @@
+// Package stats measures signal statistics during simulation: per-net
+// signal probability, cycle-to-cycle toggle rate and lag-1
+// autocorrelation of the settled end-of-cycle values.
+//
+// The paper justifies random stimulus by claiming that "the original
+// video input signal statistics and correlations are almost completely
+// lost very early in the circuit, immediately after the absolute
+// differences are taken" (§4.2). This package makes that claim testable:
+// drive the direction detector with strongly correlated video-like
+// samples and watch the autocorrelation collapse stage by stage.
+package stats
+
+import (
+	"math"
+
+	"glitchsim/internal/logic"
+	"glitchsim/internal/netlist"
+)
+
+// Collector is a sim.Monitor sampling settled end-of-cycle values of a
+// set of nets.
+type Collector struct {
+	n       *netlist.Netlist
+	include []bool
+	nets    []netlist.NetID
+
+	cur  []logic.V // running value (updated by OnChange)
+	prev []logic.V // sample at the previous cycle end
+
+	cycles  int
+	ones    []uint64 // cycles with value 1
+	toggles []uint64 // sample-to-sample changes
+	both1   []uint64 // cycles where sample and previous sample are both 1
+	pairs   []uint64 // valid consecutive known sample pairs
+}
+
+// NewCollector monitors the given nets (nil = every net including
+// primary inputs).
+func NewCollector(n *netlist.Netlist, nets []netlist.NetID) *Collector {
+	if nets == nil {
+		nets = make([]netlist.NetID, n.NumNets())
+		for i := range nets {
+			nets[i] = netlist.NetID(i)
+		}
+	}
+	c := &Collector{
+		n:       n,
+		include: make([]bool, n.NumNets()),
+		nets:    append([]netlist.NetID(nil), nets...),
+		cur:     make([]logic.V, n.NumNets()),
+		prev:    make([]logic.V, n.NumNets()),
+		ones:    make([]uint64, n.NumNets()),
+		toggles: make([]uint64, n.NumNets()),
+		both1:   make([]uint64, n.NumNets()),
+		pairs:   make([]uint64, n.NumNets()),
+	}
+	for _, id := range nets {
+		c.include[id] = true
+	}
+	return c
+}
+
+// OnChange implements sim.Monitor.
+func (c *Collector) OnChange(net netlist.NetID, _, _ int, _, newV logic.V) {
+	if c.include[net] {
+		c.cur[net] = newV
+	}
+}
+
+// OnCycleEnd implements sim.Monitor: samples every monitored net.
+func (c *Collector) OnCycleEnd(int) {
+	for _, id := range c.nets {
+		v := c.cur[id]
+		if !v.Known() {
+			continue
+		}
+		if v == logic.L1 {
+			c.ones[id]++
+		}
+		if p := c.prev[id]; p.Known() {
+			c.pairs[id]++
+			if p != v {
+				c.toggles[id]++
+			}
+			if p == logic.L1 && v == logic.L1 {
+				c.both1[id]++
+			}
+		}
+		c.prev[id] = v
+	}
+	c.cycles++
+}
+
+// Cycles returns the number of sampled cycles.
+func (c *Collector) Cycles() int { return c.cycles }
+
+// Prob returns the measured signal probability P(net = 1).
+func (c *Collector) Prob(net netlist.NetID) float64 {
+	if c.cycles == 0 {
+		return 0
+	}
+	return float64(c.ones[net]) / float64(c.cycles)
+}
+
+// ToggleRate returns the fraction of cycle boundaries at which the
+// settled value changed: the useful-transition rate of the net.
+func (c *Collector) ToggleRate(net netlist.NetID) float64 {
+	if c.pairs[net] == 0 {
+		return 0
+	}
+	return float64(c.toggles[net]) / float64(c.pairs[net])
+}
+
+// Autocorr returns the lag-1 autocorrelation (phi coefficient) of the
+// net's binary end-of-cycle sample series; 0 for constant nets.
+func (c *Collector) Autocorr(net netlist.NetID) float64 {
+	n := float64(c.pairs[net])
+	if n == 0 {
+		return 0
+	}
+	p := float64(c.ones[net]) / float64(c.cycles)
+	q := 1 - p
+	if p == 0 || q == 0 {
+		return 0
+	}
+	p11 := float64(c.both1[net]) / n
+	return (p11 - p*p) / (p * q)
+}
+
+// BusSummary aggregates statistics over a named bus.
+type BusSummary struct {
+	Bus string
+	// MeanProb is the average signal probability over the bus bits.
+	MeanProb float64
+	// MeanToggle is the average per-cycle toggle rate.
+	MeanToggle float64
+	// MeanAbsAutocorr is the average |lag-1 autocorrelation|: near 0 for
+	// white signals, near 1 for strongly correlated ones.
+	MeanAbsAutocorr float64
+}
+
+// Bus summarizes a named bus; it returns the zero value for unknown or
+// empty buses.
+func (c *Collector) Bus(name string) BusSummary {
+	ids := c.n.Bus(name)
+	if len(ids) == 0 {
+		return BusSummary{Bus: name}
+	}
+	s := BusSummary{Bus: name}
+	for _, id := range ids {
+		s.MeanProb += c.Prob(id)
+		s.MeanToggle += c.ToggleRate(id)
+		s.MeanAbsAutocorr += math.Abs(c.Autocorr(id))
+	}
+	k := float64(len(ids))
+	s.MeanProb /= k
+	s.MeanToggle /= k
+	s.MeanAbsAutocorr /= k
+	return s
+}

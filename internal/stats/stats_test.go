@@ -1,0 +1,188 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"glitchsim/internal/circuits"
+	"glitchsim/internal/logic"
+	"glitchsim/internal/netlist"
+	"glitchsim/internal/sim"
+	"glitchsim/internal/stimulus"
+)
+
+func buildBuf(t *testing.T) (*netlist.Netlist, netlist.NetID, netlist.NetID) {
+	t.Helper()
+	b := netlist.NewBuilder("buf")
+	x := b.Input("x")
+	y := b.Buf(x)
+	b.Output("y", y)
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, x, y
+}
+
+func drive(t *testing.T, n *netlist.Netlist, c *Collector, bits []uint64) {
+	t.Helper()
+	s := sim.New(n, sim.Options{})
+	s.AttachMonitor(c)
+	for _, bit := range bits {
+		if err := s.Step(logic.Vector{logic.FromBit(bit)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestProbAndToggle(t *testing.T) {
+	n, x, y := buildBuf(t)
+	c := NewCollector(n, nil)
+	// 8 cycles: 1,1,1,1,0,0,0,0 -> p=0.5, one toggle in 7 pairs.
+	drive(t, n, c, []uint64{1, 1, 1, 1, 0, 0, 0, 0})
+	if c.Cycles() != 8 {
+		t.Fatalf("cycles = %d", c.Cycles())
+	}
+	for _, id := range []netlist.NetID{x, y} {
+		if got := c.Prob(id); got != 0.5 {
+			t.Errorf("prob = %v, want 0.5", got)
+		}
+		if got := c.ToggleRate(id); math.Abs(got-1.0/7) > 1e-12 {
+			t.Errorf("toggle = %v, want 1/7", got)
+		}
+	}
+}
+
+func TestAutocorrExtremes(t *testing.T) {
+	n, x, _ := buildBuf(t)
+	// Strongly positively correlated: long runs.
+	c1 := NewCollector(n, nil)
+	drive(t, n, c1, []uint64{1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0})
+	if got := c1.Autocorr(x); got < 0.5 {
+		t.Errorf("run-structured series autocorr = %v, want high", got)
+	}
+	// Alternating: strong negative correlation.
+	n2, x2, _ := buildBuf(t)
+	c2 := NewCollector(n2, nil)
+	drive(t, n2, c2, []uint64{0, 1, 0, 1, 0, 1, 0, 1, 0, 1})
+	if got := c2.Autocorr(x2); got > -0.5 {
+		t.Errorf("alternating series autocorr = %v, want strongly negative", got)
+	}
+}
+
+func TestConstantNetIsZero(t *testing.T) {
+	n, _, _ := buildBuf(t)
+	c := NewCollector(n, nil)
+	drive(t, n, c, []uint64{1, 1, 1, 1})
+	// x stuck at 1: p=1 -> autocorr defined as 0, toggle 0.
+	if c.Autocorr(0) != 0 || c.ToggleRate(0) != 0 {
+		t.Error("constant net should have zero autocorr and toggle rate")
+	}
+}
+
+func TestRandomIsWhite(t *testing.T) {
+	n, x, _ := buildBuf(t)
+	c := NewCollector(n, nil)
+	s := sim.New(n, sim.Options{})
+	s.AttachMonitor(c)
+	rng := stimulus.NewPRNG(11)
+	for i := 0; i < 20000; i++ {
+		if err := s.Step(logic.Vector{logic.FromBit(rng.Uint64())}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Prob(x); math.Abs(got-0.5) > 0.02 {
+		t.Errorf("random prob = %v", got)
+	}
+	if got := c.Autocorr(x); math.Abs(got) > 0.03 {
+		t.Errorf("random autocorr = %v, want ~0", got)
+	}
+	if got := c.ToggleRate(x); math.Abs(got-0.5) > 0.02 {
+		t.Errorf("random toggle rate = %v, want ~0.5", got)
+	}
+}
+
+func TestBusSummaryAndSelection(t *testing.T) {
+	b := netlist.NewBuilder("bus")
+	xs := b.InputBus("x", 4)
+	inv := make([]netlist.NetID, 4)
+	for i, id := range xs {
+		inv[i] = b.Not(id)
+	}
+	b.OutputBus("o", inv)
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monitor only the output bus.
+	c := NewCollector(n, n.Bus("o"))
+	s := sim.New(n, sim.Options{})
+	s.AttachMonitor(c)
+	rng := stimulus.NewPRNG(3)
+	pi := make(logic.Vector, 4)
+	for i := 0; i < 2000; i++ {
+		for j := range pi {
+			pi[j] = logic.FromBit(rng.Uint64())
+		}
+		if err := s.Step(pi); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum := c.Bus("o")
+	if math.Abs(sum.MeanProb-0.5) > 0.05 || math.Abs(sum.MeanToggle-0.5) > 0.05 {
+		t.Errorf("bus summary off: %+v", sum)
+	}
+	// Unmonitored bus reports zeros.
+	if got := c.Bus("x"); got.MeanProb != 0 {
+		t.Errorf("unmonitored bus should be zero, got %+v", got)
+	}
+	if got := c.Bus("nope"); got.MeanProb != 0 || got.Bus != "nope" {
+		t.Errorf("unknown bus: %+v", got)
+	}
+}
+
+// TestCorrelationDiesAfterAbsDiff verifies the paper's §4.2 claim: feed
+// the direction detector smoothly varying (highly autocorrelated) video
+// samples; the inputs show strong lag-1 autocorrelation, but after the
+// absolute-difference stage the signals are already nearly white.
+func TestCorrelationDiesAfterAbsDiff(t *testing.T) {
+	n := circuits.NewDirectionDetector(circuits.DirDetConfig{Width: 8, Style: circuits.Cells})
+	c := NewCollector(n, nil)
+	s := sim.New(n, sim.Options{})
+	s.AttachMonitor(c)
+	src := stimulus.NewConcat(
+		stimulus.NewCorrelated(6, 8, 2, 99),              // slow random walks: video-like
+		stimulus.NewConstant(logic.VectorFromUint(8, 8)), // threshold
+	)
+	for i := 0; i < 4000; i++ {
+		if err := s.Step(src.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Correlation is carried by the low-order bits that dominate the
+	// switching activity; high bits of |a−b| stay correlated simply
+	// because small differences keep them at 0. Compare the two least
+	// significant bits, where nearly all transitions happen.
+	lowBits := func(bus string) float64 {
+		ids := n.Bus(bus)
+		return (math.Abs(c.Autocorr(ids[0])) + math.Abs(c.Autocorr(ids[1]))) / 2
+	}
+	inputCorr := 0.0
+	for _, bus := range []string{"a0", "a1", "a2", "b0", "b1", "b2"} {
+		inputCorr += lowBits(bus)
+	}
+	inputCorr /= 6
+	diffCorr := (lowBits("d0") + lowBits("d1") + lowBits("d2")) / 3
+
+	if inputCorr < 0.1 {
+		t.Fatalf("video inputs not correlated enough for the test: %v", inputCorr)
+	}
+	if diffCorr > inputCorr/2 {
+		t.Errorf("correlation after abs-diff (%.3f) not well below inputs (%.3f) — paper §4.2 claim violated",
+			diffCorr, inputCorr)
+	}
+	// Sanity: full-bus probabilities stay in range.
+	if p := c.Bus("d0").MeanProb; p <= 0 || p >= 1 {
+		t.Errorf("d0 probability %v implausible", p)
+	}
+}

@@ -1,0 +1,269 @@
+// Package stimulus generates deterministic input vector streams for
+// transition-activity simulation. All generators are seeded and
+// reproducible across platforms: they are built on a splitmix64 PRNG
+// rather than math/rand so that the experiment tables in EXPERIMENTS.md
+// regenerate bit-identically.
+package stimulus
+
+import (
+	"fmt"
+
+	"glitchsim/internal/logic"
+)
+
+// PRNG is a splitmix64 pseudo-random number generator. The zero value is
+// a valid generator with seed 0.
+type PRNG struct {
+	state uint64
+}
+
+// NewPRNG returns a PRNG with the given seed.
+func NewPRNG(seed uint64) *PRNG { return &PRNG{state: seed} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (p *PRNG) Uint64() uint64 {
+	p.state += 0x9E3779B97F4A7C15
+	z := p.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Uintn returns a uniform value in [0, n). It panics when n == 0.
+func (p *PRNG) Uintn(n uint64) uint64 {
+	if n == 0 {
+		panic("stimulus: Uintn(0)")
+	}
+	// Rejection sampling to avoid modulo bias.
+	max := ^uint64(0) - ^uint64(0)%n
+	for {
+		v := p.Uint64()
+		if v < max {
+			return v % n
+		}
+	}
+}
+
+// Bits returns n pseudo-random bits as a logic.Vector (LSB first).
+func (p *PRNG) Bits(n int) logic.Vector {
+	v := make(logic.Vector, n)
+	for i := 0; i < n; i += 64 {
+		w := p.Uint64()
+		for j := i; j < n && j < i+64; j++ {
+			v[j] = logic.FromBit(w >> uint(j-i))
+		}
+	}
+	return v
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (p *PRNG) Float64() float64 {
+	return float64(p.Uint64()>>11) / (1 << 53)
+}
+
+// Source produces one input vector per clock cycle for a circuit with a
+// fixed total input width.
+type Source interface {
+	// Next returns the primary-input values for the next clock cycle.
+	// The returned slice may be reused by the generator; callers must
+	// not retain it across calls.
+	Next() logic.Vector
+	// Width returns the length of vectors produced by Next.
+	Width() int
+}
+
+// Random is a Source of independent uniform random bits, the input model
+// the paper uses for all experiments ("random inputs are a good choice
+// ... signal statistics and correlations are lost").
+type Random struct {
+	rng *PRNG
+	buf logic.Vector
+}
+
+// NewRandom returns a Random source of the given width and seed.
+func NewRandom(width int, seed uint64) *Random {
+	return &Random{rng: NewPRNG(seed), buf: make(logic.Vector, width)}
+}
+
+// Width implements Source.
+func (r *Random) Width() int { return len(r.buf) }
+
+// Next implements Source.
+func (r *Random) Next() logic.Vector {
+	for i := 0; i < len(r.buf); i += 64 {
+		w := r.rng.Uint64()
+		for j := i; j < len(r.buf) && j < i+64; j++ {
+			r.buf[j] = logic.FromBit(w >> uint(j-i))
+		}
+	}
+	return r.buf
+}
+
+// Constant is a Source that repeats one fixed vector, useful for settling
+// and for directed tests.
+type Constant struct {
+	v logic.Vector
+}
+
+// NewConstant returns a source that always produces v.
+func NewConstant(v logic.Vector) *Constant { return &Constant{v: v} }
+
+// Width implements Source.
+func (c *Constant) Width() int { return len(c.v) }
+
+// Next implements Source.
+func (c *Constant) Next() logic.Vector { return c.v }
+
+// Sequence replays a fixed list of vectors, then wraps around. It is the
+// stimulus used by directed (non-random) tests.
+type Sequence struct {
+	vs  []logic.Vector
+	pos int
+}
+
+// NewSequence returns a source replaying vs cyclically. All vectors must
+// share one width; it panics on an empty or ragged list.
+func NewSequence(vs ...logic.Vector) *Sequence {
+	if len(vs) == 0 {
+		panic("stimulus: empty sequence")
+	}
+	w := len(vs[0])
+	for i, v := range vs {
+		if len(v) != w {
+			panic(fmt.Sprintf("stimulus: vector %d has width %d, want %d", i, len(v), w))
+		}
+	}
+	return &Sequence{vs: vs}
+}
+
+// Width implements Source.
+func (s *Sequence) Width() int { return len(s.vs[0]) }
+
+// Next implements Source.
+func (s *Sequence) Next() logic.Vector {
+	v := s.vs[s.pos]
+	s.pos = (s.pos + 1) % len(s.vs)
+	return v
+}
+
+// Gray is a Source that walks a Gray-code counter: exactly one input bit
+// toggles per cycle. It models maximally correlated, low-activity inputs
+// and is used by the ablation benchmarks as the opposite extreme of
+// Random.
+type Gray struct {
+	count uint64
+	width int
+	buf   logic.Vector
+}
+
+// NewGray returns a Gray-code source of the given width (≤64 bits).
+func NewGray(width int) *Gray {
+	if width > 64 {
+		panic("stimulus: gray source wider than 64 bits")
+	}
+	return &Gray{width: width, buf: make(logic.Vector, width)}
+}
+
+// Width implements Source.
+func (g *Gray) Width() int { return g.width }
+
+// Next implements Source.
+func (g *Gray) Next() logic.Vector {
+	code := g.count ^ (g.count >> 1)
+	g.count++
+	if g.width < 64 {
+		// Wrap so exactly one in-range bit toggles per step even at the
+		// rollover from all-ones.
+		g.count &= (1 << uint(g.width)) - 1
+	}
+	for i := 0; i < g.width; i++ {
+		g.buf[i] = logic.FromBit(code >> uint(i))
+	}
+	return g.buf
+}
+
+// Correlated is a Source modelling smooth video-like samples: each output
+// sample performs a bounded random walk, so neighbouring cycles are
+// strongly correlated. The paper argues such correlation disappears after
+// the first abs-diff stage; this source lets that claim be tested.
+type Correlated struct {
+	rng     *PRNG
+	samples []uint64
+	bits    int
+	step    uint64
+	buf     logic.Vector
+}
+
+// NewCorrelated returns a source of nSamples concatenated words of the
+// given bit width each, random-walking with the given maximum step per
+// cycle.
+func NewCorrelated(nSamples, bits int, step uint64, seed uint64) *Correlated {
+	c := &Correlated{
+		rng:     NewPRNG(seed),
+		samples: make([]uint64, nSamples),
+		bits:    bits,
+		step:    step,
+		buf:     make(logic.Vector, nSamples*bits),
+	}
+	for i := range c.samples {
+		c.samples[i] = c.rng.Uintn(1 << uint(bits))
+	}
+	return c
+}
+
+// Width implements Source.
+func (c *Correlated) Width() int { return len(c.buf) }
+
+// Next implements Source.
+func (c *Correlated) Next() logic.Vector {
+	limit := uint64(1) << uint(c.bits)
+	for i, s := range c.samples {
+		delta := c.rng.Uintn(2*c.step + 1)
+		ns := s + delta
+		if ns < c.step {
+			ns = 0
+		} else {
+			ns -= c.step
+		}
+		if ns >= limit {
+			ns = limit - 1
+		}
+		c.samples[i] = ns
+		for b := 0; b < c.bits; b++ {
+			c.buf[i*c.bits+b] = logic.FromBit(ns >> uint(b))
+		}
+	}
+	return c.buf
+}
+
+// Concat glues several sources into one wider source; vector bits are
+// ordered source-by-source. It is used to drive circuits whose input
+// buses need different statistics (e.g. random data plus a constant
+// threshold).
+type Concat struct {
+	srcs []Source
+	buf  logic.Vector
+}
+
+// NewConcat returns the concatenation of srcs.
+func NewConcat(srcs ...Source) *Concat {
+	w := 0
+	for _, s := range srcs {
+		w += s.Width()
+	}
+	return &Concat{srcs: srcs, buf: make(logic.Vector, w)}
+}
+
+// Width implements Source.
+func (c *Concat) Width() int { return len(c.buf) }
+
+// Next implements Source.
+func (c *Concat) Next() logic.Vector {
+	off := 0
+	for _, s := range c.srcs {
+		v := s.Next()
+		copy(c.buf[off:off+len(v)], v)
+		off += len(v)
+	}
+	return c.buf
+}

@@ -1,0 +1,102 @@
+package vcd
+
+import (
+	"strings"
+	"testing"
+
+	"glitchsim/internal/logic"
+	"glitchsim/internal/netlist"
+	"glitchsim/internal/sim"
+)
+
+func hazardNetlist(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	b := netlist.NewBuilder("hazard")
+	a := b.Input("a")
+	na := b.Not(a)
+	out := b.And(a, na)
+	b.Output("out", out)
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestVCDOutput(t *testing.T) {
+	n := hazardNetlist(t)
+	var sb strings.Builder
+	w, err := New(&sb, n, nil, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(n, sim.Options{})
+	s.AttachMonitor(w)
+	for i := 0; i < 4; i++ {
+		if err := s.Step(logic.Vector{logic.FromBit(uint64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(4); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"$timescale", "$var wire 1 ! a $end", "$enddefinitions",
+		"$dumpvars", "#0", "#16",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q", want)
+		}
+	}
+	// The glitch on `out` in cycle 1 must appear: time 17 (rise) and 18
+	// (fall) within cycle 1 (period 16).
+	if !strings.Contains(out, "#17\n") || !strings.Contains(out, "#18\n") {
+		t.Errorf("glitch timestamps missing:\n%s", out)
+	}
+}
+
+func TestVCDSelectedNets(t *testing.T) {
+	n := hazardNetlist(t)
+	var sb strings.Builder
+	out := n.NetByName("a")
+	w, err := New(&sb, n, []netlist.NetID{out}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(0); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(sb.String(), "$var") != 1 {
+		t.Error("expected exactly one declared var")
+	}
+}
+
+func TestVCDRejectsBadPeriod(t *testing.T) {
+	n := hazardNetlist(t)
+	if _, err := New(&strings.Builder{}, n, nil, 0); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestIDCodes(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		c := idCode(i)
+		if c == "" || seen[c] {
+			t.Fatalf("code %d = %q duplicate or empty", i, c)
+		}
+		seen[c] = true
+		for _, r := range c {
+			if r < '!' || r > '~' {
+				t.Fatalf("code %d contains non-printable %q", i, r)
+			}
+		}
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if sanitize("s[3] x") != "s(3)_x" {
+		t.Errorf("got %q", sanitize("s[3] x"))
+	}
+}

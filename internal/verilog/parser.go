@@ -1,0 +1,386 @@
+package verilog
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"glitchsim/internal/netlist"
+)
+
+// Parse reads the structural Verilog subset emitted by Write and
+// reconstructs a netlist. It parses the first non-helper module in the
+// stream; helper module definitions (glitchsim_*) are recognized by name
+// and skipped. Supported statements:
+//
+//	input/output/wire declarations (scalar)
+//	gate primitives: buf, not, and, nand, or, nor, xor, xnor
+//	helper instances: glitchsim_mux2/maj3/ha/fa/dff
+//	assign <net> = 1'b0 | 1'b1 | <net>;
+func Parse(r io.Reader) (*netlist.Netlist, error) {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	toks, err := lex(string(src))
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parse()
+}
+
+// --- lexer ---
+
+type token struct {
+	text string
+	line int
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			i += 2
+			for i+1 < len(src) && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			i += 2
+		case isIdentRune(c) || c == '\'':
+			j := i
+			for j < len(src) && (isIdentRune(src[j]) || src[j] == '\'') {
+				j++
+			}
+			toks = append(toks, token{text: src[i:j], line: line})
+			i = j
+		case strings.ContainsRune("(),;=@<>?:&|^~", rune(c)):
+			// Two-char operator <= used in helper bodies.
+			if c == '<' && i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{text: "<=", line: line})
+				i += 2
+				continue
+			}
+			toks = append(toks, token{text: string(c), line: line})
+			i++
+		default:
+			return nil, fmt.Errorf("verilog: line %d: unexpected character %q", line, c)
+		}
+	}
+	return toks, nil
+}
+
+func isIdentRune(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// --- parser ---
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos].text
+	}
+	return ""
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) line() int {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos].line
+	}
+	if len(p.toks) > 0 {
+		return p.toks[len(p.toks)-1].line
+	}
+	return 0
+}
+
+func (p *parser) expect(want string) error {
+	if got := p.next(); got != want {
+		return fmt.Errorf("verilog: line %d: expected %q, got %q", p.line(), want, got)
+	}
+	return nil
+}
+
+var helperSet = func() map[string]netlist.CellType {
+	m := map[string]netlist.CellType{}
+	for t, name := range helperModules {
+		m[name] = t
+	}
+	return m
+}()
+
+var primitiveSet = func() map[string]netlist.CellType {
+	m := map[string]netlist.CellType{}
+	for t, name := range primitives {
+		m[name] = t
+	}
+	return m
+}()
+
+// pendingCell is an instance awaiting net resolution.
+type pendingCell struct {
+	typ  netlist.CellType
+	name string
+	args []string
+	line int
+}
+
+type alias struct{ dst, src string } // assign dst = src
+
+func (p *parser) parse() (*netlist.Netlist, error) {
+	for p.peek() != "" {
+		if p.peek() != "module" {
+			return nil, fmt.Errorf("verilog: line %d: expected module, got %q", p.line(), p.peek())
+		}
+		// Look ahead at the module name.
+		name := p.toks[p.pos+1].text
+		if _, isHelper := helperSet[name]; isHelper {
+			p.skipModule()
+			continue
+		}
+		return p.parseModule()
+	}
+	return nil, fmt.Errorf("verilog: no user module found")
+}
+
+func (p *parser) skipModule() {
+	for p.peek() != "" && p.next() != "endmodule" {
+	}
+}
+
+func (p *parser) parseModule() (*netlist.Netlist, error) {
+	if err := p.expect("module"); err != nil {
+		return nil, err
+	}
+	modName := p.next()
+	// Port list (names only; directions come from declarations).
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	for p.peek() != ")" && p.peek() != "" {
+		p.next() // port name or comma
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+
+	var inputs, outputs, wires []string
+	var cells []pendingCell
+	var aliases []alias
+	var consts []struct {
+		net string
+		bit int
+	}
+
+	for {
+		switch t := p.next(); t {
+		case "endmodule":
+			return buildNetlist(modName, inputs, outputs, wires, cells, aliases, consts)
+		case "":
+			return nil, fmt.Errorf("verilog: unexpected end of input in module %s", modName)
+		case "input", "output", "wire":
+			for {
+				name := p.next()
+				switch t {
+				case "input":
+					inputs = append(inputs, name)
+				case "output":
+					outputs = append(outputs, name)
+				default:
+					wires = append(wires, name)
+				}
+				if sep := p.next(); sep == ";" {
+					break
+				} else if sep != "," {
+					return nil, fmt.Errorf("verilog: line %d: bad declaration separator %q", p.line(), sep)
+				}
+			}
+		case "assign":
+			dst := p.next()
+			if err := p.expect("="); err != nil {
+				return nil, err
+			}
+			rhs := p.next()
+			switch rhs {
+			case "1'b0":
+				consts = append(consts, struct {
+					net string
+					bit int
+				}{dst, 0})
+			case "1'b1":
+				consts = append(consts, struct {
+					net string
+					bit int
+				}{dst, 1})
+			default:
+				aliases = append(aliases, alias{dst: dst, src: rhs})
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		default:
+			typ, okP := primitiveSet[t]
+			htyp, okH := helperSet[t]
+			if !okP && !okH {
+				return nil, fmt.Errorf("verilog: line %d: unsupported statement %q", p.line(), t)
+			}
+			if okH {
+				typ = htyp
+			}
+			instName := p.next()
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			var args []string
+			for {
+				args = append(args, p.next())
+				if sep := p.next(); sep == ")" {
+					break
+				} else if sep != "," {
+					return nil, fmt.Errorf("verilog: line %d: bad argument separator %q", p.line(), sep)
+				}
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			cells = append(cells, pendingCell{typ: typ, name: instName, args: args, line: p.line()})
+		}
+	}
+}
+
+// buildNetlist assembles the parsed pieces. Output-port nets that are
+// pure aliases of internal nets (the writer's po_* pattern) are
+// registered as primary outputs of their source nets.
+func buildNetlist(name string, inputs, outputs, wires []string, cells []pendingCell,
+	aliases []alias, consts []struct {
+		net string
+		bit int
+	}) (*netlist.Netlist, error) {
+
+	b := netlist.NewBuilder(name)
+	nets := map[string]netlist.NetID{}
+
+	for _, in := range inputs {
+		if in == "clk" {
+			continue // implicit clock
+		}
+		nets[in] = b.Input(in)
+	}
+	for _, c := range consts {
+		if _, dup := nets[c.net]; dup {
+			return nil, fmt.Errorf("verilog: net %s driven twice", c.net)
+		}
+		nets[c.net] = b.Const(c.bit)
+	}
+
+	// Instantiate cells; forward references are resolved with a
+	// two-pass placeholder scheme.
+	placeholder := netlist.NoNet
+	type fixup struct {
+		cell netlist.CellID
+		port int
+		net  string
+	}
+	var fixups []fixup
+	for _, c := range cells {
+		outs := c.typ.Outputs()
+		if len(c.args) < outs {
+			return nil, fmt.Errorf("verilog: line %d: instance %s has too few connections", c.line, c.name)
+		}
+		inArgs := c.args[outs:]
+		if c.typ == netlist.DFF {
+			// Last connection is clk.
+			if len(inArgs) == 0 || inArgs[len(inArgs)-1] != "clk" {
+				return nil, fmt.Errorf("verilog: line %d: dff %s must end with clk", c.line, c.name)
+			}
+			inArgs = inArgs[:len(inArgs)-1]
+		}
+		ins := make([]netlist.NetID, len(inArgs))
+		cid := netlist.CellID(b.NumCells())
+		for port, a := range inArgs {
+			if id, ok := nets[a]; ok {
+				ins[port] = id
+				continue
+			}
+			if placeholder == netlist.NoNet {
+				placeholder = b.Const(0)
+				cid = netlist.CellID(b.NumCells())
+			}
+			ins[port] = placeholder
+			fixups = append(fixups, fixup{cell: cid, port: port, net: a})
+		}
+		created := b.AddCell(c.typ, c.name, ins...)
+		for pin, o := range created {
+			outName := c.args[pin]
+			if _, dup := nets[outName]; dup {
+				return nil, fmt.Errorf("verilog: line %d: net %s driven twice", c.line, outName)
+			}
+			nets[outName] = o
+		}
+	}
+	for _, f := range fixups {
+		id, ok := nets[f.net]
+		if !ok {
+			return nil, fmt.Errorf("verilog: undriven net %s", f.net)
+		}
+		b.Rewire(f.cell, f.port, id)
+	}
+
+	// Resolve aliases (assign dst = src) into direct references.
+	resolved := map[string]string{}
+	var lookup func(string) (netlist.NetID, bool)
+	lookup = func(nm string) (netlist.NetID, bool) {
+		if id, ok := nets[nm]; ok {
+			return id, true
+		}
+		if src, ok := resolved[nm]; ok {
+			return lookup(src)
+		}
+		return netlist.NoNet, false
+	}
+	for _, a := range aliases {
+		resolved[a.dst] = a.src
+	}
+
+	isOutput := map[string]bool{}
+	for _, o := range outputs {
+		isOutput[o] = true
+	}
+	for _, o := range outputs {
+		id, ok := lookup(o)
+		if !ok {
+			return nil, fmt.Errorf("verilog: output %s is undriven", o)
+		}
+		b.Output(strings.TrimPrefix(o, "po_"), id)
+	}
+	_ = wires
+	return b.Build()
+}

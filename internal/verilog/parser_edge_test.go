@@ -1,0 +1,140 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+
+	"glitchsim/internal/netlist"
+)
+
+func TestLexerComments(t *testing.T) {
+	src := `
+// line comment with module keyword inside
+/* block comment
+   spanning lines with ; tokens */
+module m(a, z); input a; output z; buf g(z, a); endmodule
+`
+	n, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumCells() != 1 {
+		t.Fatalf("cells = %d", n.NumCells())
+	}
+}
+
+func TestLexerRejectsStrayCharacters(t *testing.T) {
+	for _, src := range []string{"module m(a); input a; # endmodule", "mod%ule"} {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("source %q: expected error", src)
+		}
+	}
+}
+
+func TestParseAssignAlias(t *testing.T) {
+	// assign chains must resolve transitively to the driving net.
+	src := `
+module m(a, z);
+  input a;
+  output z;
+  wire w1, w2;
+  not g(w1, a);
+  assign w2 = w1;
+  assign z = w2;
+endmodule
+`
+	n, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.OutputWidth() != 1 || n.NumCells() != 1 {
+		t.Fatalf("unexpected structure: %d outputs, %d cells", n.OutputWidth(), n.NumCells())
+	}
+}
+
+func TestParseConstantAssigns(t *testing.T) {
+	src := `
+module m(a, z0, z1);
+  input a;
+  output z0, z1;
+  wire k0, k1;
+  assign k0 = 1'b0;
+  assign k1 = 1'b1;
+  and g0(z0, a, k1);
+  or  g1(z1, a, k0);
+endmodule
+`
+	n, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := n.CellCounts()
+	if counts[netlist.Const0] != 1 || counts[netlist.Const1] != 1 {
+		t.Fatalf("constants not recreated: %v", counts)
+	}
+}
+
+func TestParseMultipleHelperInstances(t *testing.T) {
+	src := `
+module m(clk, a, b, z);
+  input clk; input a, b;
+  output z;
+  wire s, co, q;
+  glitchsim_ha g0(s, co, a, b);
+  glitchsim_dff g1(q, co, clk);
+  glitchsim_mux2 g2(z, s, q, b);
+endmodule
+`
+	n, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumCells() != 3 || n.NumDFFs() != 1 {
+		t.Fatalf("structure: %d cells %d dffs", n.NumCells(), n.NumDFFs())
+	}
+}
+
+func TestParseDFFWithoutClk(t *testing.T) {
+	src := `module m(a, z); input a; output z; glitchsim_dff g(z, a, a); endmodule`
+	if _, err := Parse(strings.NewReader(src)); err == nil {
+		t.Fatal("dff without trailing clk should fail")
+	}
+}
+
+func TestParseTooFewConnections(t *testing.T) {
+	src := `module m(a, z); input a; output z; glitchsim_fa g(z); endmodule`
+	if _, err := Parse(strings.NewReader(src)); err == nil {
+		t.Fatal("short connection list should fail")
+	}
+}
+
+func TestParseBadSeparators(t *testing.T) {
+	// The port list itself is parsed leniently (directions come from the
+	// declarations), so only declaration and argument separators error.
+	for name, src := range map[string]string{
+		"decl": `module m(a); input a; b; endmodule`,
+		"args": `module m(a,z); input a; output z; buf g(z; a); endmodule`,
+	} {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestWriterCoversEveryCellType(t *testing.T) {
+	// Every netlist cell type must have an emission path: a primitive, a
+	// helper module, or the constant assign form.
+	for _, typ := range []netlist.CellType{
+		netlist.Const0, netlist.Const1, netlist.Buf, netlist.Not,
+		netlist.And, netlist.Nand, netlist.Or, netlist.Nor,
+		netlist.Xor, netlist.Xnor, netlist.Mux2, netlist.Maj3,
+		netlist.HA, netlist.FA, netlist.DFF,
+	} {
+		_, isPrim := primitives[typ]
+		_, isHelper := helperModules[typ]
+		isConst := typ == netlist.Const0 || typ == netlist.Const1
+		if !isPrim && !isHelper && !isConst {
+			t.Errorf("cell type %v has no Verilog emission path", typ)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+
+	"glitchsim/internal/circuits"
+	"glitchsim/internal/logic"
+	"glitchsim/internal/netlist"
+	"glitchsim/internal/sim"
+	"glitchsim/internal/stimulus"
+	"glitchsim/internal/testutil"
+)
+
+func roundTrip(t *testing.T, n *netlist.Netlist) *netlist.Netlist {
+	t.Helper()
+	var sb strings.Builder
+	if err := Write(&sb, n); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	parsed, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("parse: %v\n--- verilog ---\n%s", err, sb.String())
+	}
+	return parsed
+}
+
+// simEquivalent verifies cycle-by-cycle PO equivalence on random
+// stimulus. The parsed netlist may order PIs differently; both are
+// driven through name-matched vectors.
+func simEquivalent(t *testing.T, a, b *netlist.Netlist, cycles int, seed uint64) {
+	t.Helper()
+	if a.InputWidth() != b.InputWidth() || a.OutputWidth() != b.OutputWidth() {
+		t.Fatalf("interface mismatch: %d/%d vs %d/%d",
+			a.InputWidth(), a.OutputWidth(), b.InputWidth(), b.OutputWidth())
+	}
+	sa := sim.New(a, sim.Options{})
+	sb := sim.New(b, sim.Options{})
+	rng := stimulus.NewPRNG(seed)
+	va := make(logic.Vector, a.InputWidth())
+	vb := make(logic.Vector, b.InputWidth())
+	// Map PI names of a to PI positions in b (names survive sanitized).
+	bIndex := map[string]int{}
+	for i, id := range b.PIs {
+		bIndex[b.Net(id).Name] = i
+	}
+	for cycle := 0; cycle < cycles; cycle++ {
+		for i, id := range a.PIs {
+			bit := logic.FromBit(rng.Uint64())
+			va[i] = bit
+			j, ok := bIndex[ident(a.Net(id).Name)]
+			if !ok {
+				t.Fatalf("input %q lost in round trip", a.Net(id).Name)
+			}
+			vb[j] = bit
+		}
+		if err := sa.Step(va); err != nil {
+			t.Fatal(err)
+		}
+		if err := sb.Step(vb); err != nil {
+			t.Fatal(err)
+		}
+		oa, ob := sa.Outputs(), sb.Outputs()
+		for j := range oa {
+			if oa[j] != ob[j] {
+				t.Fatalf("cycle %d output %d differs: %v vs %v", cycle, j, oa[j], ob[j])
+			}
+		}
+	}
+}
+
+func TestWriteContainsStructure(t *testing.T) {
+	n := circuits.NewRCA(4, circuits.Cells)
+	var sb strings.Builder
+	if err := Write(&sb, n); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+	for _, want := range []string{
+		"module rca4(", "input a_0_", "glitchsim_fa", "assign", "endmodule",
+		"module glitchsim_fa",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("verilog missing %q", want)
+		}
+	}
+}
+
+func TestRoundTripRCA(t *testing.T) {
+	n := circuits.NewRCA(6, circuits.Cells)
+	parsed := roundTrip(t, n)
+	if parsed.NumCells() != n.NumCells() {
+		t.Errorf("cell count changed: %d -> %d", n.NumCells(), parsed.NumCells())
+	}
+	simEquivalent(t, n, parsed, 150, 5)
+}
+
+func TestRoundTripGateLevel(t *testing.T) {
+	n := circuits.NewRCA(5, circuits.Gates)
+	simEquivalent(t, n, roundTrip(t, n), 150, 6)
+}
+
+func TestRoundTripSequential(t *testing.T) {
+	n := circuits.NewDirectionDetector(circuits.DirDetConfig{
+		Width: 4, Style: circuits.Cells, RegisterInputs: true,
+	})
+	parsed := roundTrip(t, n)
+	if parsed.NumDFFs() != n.NumDFFs() {
+		t.Errorf("DFF count changed: %d -> %d", n.NumDFFs(), parsed.NumDFFs())
+	}
+	simEquivalent(t, n, parsed, 100, 7)
+}
+
+func TestRoundTripMultiplier(t *testing.T) {
+	n := circuits.NewWallaceMultiplier(4, circuits.Cells)
+	simEquivalent(t, n, roundTrip(t, n), 120, 8)
+}
+
+func TestRoundTripCLA(t *testing.T) {
+	n := circuits.NewCLA(8)
+	simEquivalent(t, n, roundTrip(t, n), 120, 9)
+}
+
+func TestPropertyRoundTripRandomNetlists(t *testing.T) {
+	rng := stimulus.NewPRNG(606)
+	for trial := 0; trial < 15; trial++ {
+		n := testutil.RandomNetlist(rng, testutil.RandConfig{
+			Inputs:       3 + int(rng.Uintn(4)),
+			Gates:        10 + int(rng.Uintn(40)),
+			Outputs:      3,
+			WithDFFs:     trial%2 == 0,
+			WithCompound: trial%3 == 0,
+		})
+		parsed := roundTrip(t, n)
+		if parsed.NumCells() < n.NumCells() {
+			t.Fatalf("trial %d: cells lost: %d -> %d", trial, n.NumCells(), parsed.NumCells())
+		}
+		simEquivalent(t, n, parsed, 30, rng.Uint64())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"not a module":  "wire x;",
+		"truncated":     "module m(a); input a;",
+		"bad statement": "module m(a); input a; frobnicate g(a); endmodule",
+		"undriven out":  "module m(a, z); input a; output z; endmodule",
+		"double driver": "module m(a, z); input a; output z; assign z = 1'b0; not g(z, a); endmodule",
+		"bad char":      "module m(a); input a; $x endmodule",
+	}
+	for name, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestParseStandaloneSource(t *testing.T) {
+	// Hand-written Verilog (not produced by Write) in the same subset.
+	src := `
+// half adder with registered carry
+module ha_reg(clk, x, y, s, co_q);
+  input clk;
+  input x, y;
+  output s, co_q;
+  wire co;
+  xor g0(s, x, y);
+  and g1(co, x, y);
+  glitchsim_dff g2(co_q, co, clk);
+endmodule
+` + helperLibrary
+	n, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumCells() != 3 || n.NumDFFs() != 1 {
+		t.Fatalf("parsed %d cells, %d dffs", n.NumCells(), n.NumDFFs())
+	}
+	s := sim.New(n, sim.Options{})
+	// x=1, y=1 -> s=0, co_q delayed by a cycle.
+	if err := s.Step(logic.Vector{logic.L1, logic.L1}); err != nil {
+		t.Fatal(err)
+	}
+	out1 := s.Outputs()
+	if out1[0] != logic.L0 {
+		t.Errorf("sum = %v, want 0", out1[0])
+	}
+	if err := s.Step(logic.Vector{logic.L0, logic.L0}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Outputs()[1]; got != logic.L1 {
+		t.Errorf("registered carry = %v, want 1 (one cycle after x=y=1)", got)
+	}
+}
+
+func TestIdent(t *testing.T) {
+	cases := map[string]string{
+		"a[3]":  "a_3_",
+		"n12":   "n12",
+		"3x":    "n3x",
+		"":      "n",
+		"ok_id": "ok_id",
+	}
+	for in, want := range cases {
+		if got := ident(in); got != want {
+			t.Errorf("ident(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHelperNamesStable(t *testing.T) {
+	names := sortedHelperNames()
+	if len(names) != 5 {
+		t.Fatalf("expected 5 helpers, got %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] <= names[i-1] {
+			t.Error("helper names unsorted")
+		}
+	}
+}
