@@ -1,0 +1,181 @@
+package glitchsim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"glitchsim/internal/core"
+	"glitchsim/internal/netlist"
+	"glitchsim/internal/sim"
+)
+
+// The parallel batch measurement layer: independent measurement configs
+// (seeds × circuits × delay models) are sharded across a worker pool of
+// per-goroutine simulators. Each distinct netlist is compiled once and
+// the immutable compiled form is shared read-only by all workers, so a
+// multi-seed study pays one compilation and N simulations. Results are
+// deterministic: job i's outcome depends only on jobs[i], never on the
+// worker count or scheduling order.
+
+// defaultWorkers holds the worker count the experiment drivers use;
+// 0 or negative means GOMAXPROCS.
+var defaultWorkers atomic.Int32
+
+// SetDefaultWorkers sets the worker-pool size used by the experiment
+// drivers (Table1, Table2, Table3, Figure10, SeedSweep, GraySweep, …)
+// and by MeasureMany calls with workers <= 0. n <= 0 restores the
+// default of GOMAXPROCS. The cmd/glitchsim -workers flag calls this.
+func SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int32(n))
+}
+
+// DefaultWorkers returns the current default worker-pool size.
+func DefaultWorkers() int {
+	if n := defaultWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// MeasureJob is one independent measurement: a circuit and the
+// configuration to measure it under. Jobs sharing a *netlist.Netlist
+// share one compiled form. A job with an explicit Config.Source must not
+// share that source with another job (sources are stateful); Seed-based
+// jobs need no such care.
+type MeasureJob struct {
+	Netlist *netlist.Netlist
+	Config  Config
+}
+
+// MeasureResult is the outcome of one MeasureJob.
+type MeasureResult struct {
+	// Activity summarizes the classified transition counts (valid when
+	// Err is nil).
+	Activity Activity
+	// Counter holds the full per-net statistics (nil when Err is set).
+	Counter *core.Counter
+	// Err reports a failed measurement; other jobs are unaffected.
+	Err error
+}
+
+// MeasureMany measures every job on a pool of `workers` goroutines
+// (workers <= 0 means DefaultWorkers) and returns one result per job, in
+// job order. Each distinct netlist is compiled once; per-goroutine
+// simulators share the compiled form. Results are bit-identical to
+// running Measure serially on each job.
+func MeasureMany(jobs []MeasureJob, workers int) []MeasureResult {
+	results := make([]MeasureResult, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	// Compile each distinct netlist once, up front and serially: Compile
+	// panics on invalid netlists (as Measure does) and the panic should
+	// surface on the caller's goroutine.
+	compiled := make(map[*netlist.Netlist]*sim.Compiled, len(jobs))
+	for i := range jobs {
+		if nl := jobs[i].Netlist; nl != nil && compiled[nl] == nil {
+			compiled[nl] = sim.Compile(nl)
+		}
+	}
+
+	parallelEach(len(jobs), workers, func(i int) error {
+		job := &jobs[i]
+		if job.Netlist == nil {
+			results[i].Err = fmt.Errorf("glitchsim: job %d has no netlist", i)
+			return nil
+		}
+		counter, err := measureCompiled(compiled[job.Netlist], job.Config)
+		if err != nil {
+			results[i].Err = err
+			return nil
+		}
+		results[i].Counter = counter
+		results[i].Activity = summarize(job.Netlist.Name, counter)
+		return nil // per-job errors live in results, never abort the batch
+	})
+	return results
+}
+
+// MeasureSeeds measures the same circuit under each stimulus seed in
+// parallel and merges the per-seed counters into one aggregate, which
+// reads like a single measurement of len(seeds)*cfg.Cycles cycles. Any
+// Source in cfg is ignored (each seed gets its own stream). The merge
+// order is fixed (seed order), so the aggregate is deterministic.
+func MeasureSeeds(n *netlist.Netlist, cfg Config, seeds []uint64, workers int) (*core.Counter, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("glitchsim: MeasureSeeds needs at least one seed")
+	}
+	jobs := make([]MeasureJob, len(seeds))
+	for i, seed := range seeds {
+		c := cfg
+		c.Seed = seed
+		c.Source = nil
+		jobs[i] = MeasureJob{Netlist: n, Config: c}
+	}
+	res := MeasureMany(jobs, workers)
+	agg := res[0].Counter
+	for i, r := range res {
+		if r.Err != nil {
+			return nil, fmt.Errorf("glitchsim: seed %d: %w", seeds[i], r.Err)
+		}
+		if i == 0 {
+			continue
+		}
+		if err := agg.Merge(r.Counter); err != nil {
+			return nil, err
+		}
+	}
+	return agg, nil
+}
+
+// parallelEach runs f(0), …, f(n-1) on a pool of `workers` goroutines
+// (workers <= 0 means DefaultWorkers) and returns the lowest-index
+// error, so the reported failure does not depend on scheduling order.
+// It is the harness behind experiment drivers whose per-item work is
+// more than a plain measurement (e.g. retime-then-measure sweeps).
+func parallelEach(n, workers int, f func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = f(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -208,16 +208,49 @@ func BenchmarkAblationGranularity(b *testing.B) {
 
 // BenchmarkSimulatorThroughput measures raw event-driven simulation
 // speed on the 16x16 array multiplier (the heaviest Table 1 workload).
+// events/s counts classified net transitions per wall-clock second, the
+// BENCH_kernel.json trajectory metric; see internal/sim's BenchmarkKernel
+// for a per-scheduler breakdown.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	nl := circuits.NewArrayMultiplier(16, circuits.Cells)
 	b.ResetTimer()
 	var cycles int
+	var events uint64
 	for i := 0; i < b.N; i++ {
 		act, err := glitchsim.Measure(nl, glitchsim.Config{Cycles: 100, Warmup: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
 		cycles += act.Cycles
+		events += act.Transitions
+	}
+	secs := b.Elapsed().Seconds()
+	b.ReportMetric(float64(cycles)/secs, "cycles/s")
+	b.ReportMetric(float64(events)/secs, "events/s")
+	b.ReportMetric(secs*1e9/float64(cycles), "ns/cycle")
+}
+
+// BenchmarkMeasureMany measures the parallel batch layer: a 16-seed
+// study of the 8x8 array multiplier sharded across all CPUs, the
+// many-scenario workload the batch API exists for.
+func BenchmarkMeasureMany(b *testing.B) {
+	nl := circuits.NewArrayMultiplier(8, circuits.Cells)
+	jobs := make([]glitchsim.MeasureJob, 16)
+	for i := range jobs {
+		jobs[i] = glitchsim.MeasureJob{
+			Netlist: nl,
+			Config:  glitchsim.Config{Cycles: 100, Warmup: 1, Seed: uint64(i + 1)},
+		}
+	}
+	b.ResetTimer()
+	var cycles int
+	for i := 0; i < b.N; i++ {
+		for _, r := range glitchsim.MeasureMany(jobs, 0) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+			cycles += r.Activity.Cycles
+		}
 	}
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
 }

@@ -28,6 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+
+	"glitchsim"
 )
 
 var commands = map[string]func(args []string) error{
@@ -54,9 +56,19 @@ var commands = map[string]func(args []string) error{
 	"all":       cmdAll,
 }
 
+// workers is the shared worker-pool size for the experiment drivers,
+// settable as either -workers or -parallel ahead of the subcommand.
+var workers int
+
+func init() {
+	flag.IntVar(&workers, "workers", 0, "measurement worker goroutines (0 = all CPUs)")
+	flag.IntVar(&workers, "parallel", 0, "alias for -workers")
+}
+
 func main() {
 	flag.Usage = usage
 	flag.Parse()
+	glitchsim.SetDefaultWorkers(workers)
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
@@ -77,7 +89,11 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `glitchsim - transition activity analysis and glitch reduction (DATE'95)
 
-usage: glitchsim <subcommand> [flags]
+usage: glitchsim [-workers N] <subcommand> [flags]
+
+global flags:
+  -workers N  measurement worker goroutines for the experiment drivers
+              (alias -parallel; 0 = all CPUs)
 
 paper experiments:
   worstcase   worst-case RCA transitions and probability (Fig 3, §3.1)

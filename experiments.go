@@ -152,51 +152,61 @@ type MultRow struct {
 
 // Table1 reproduces Table 1: transition activity of array and
 // Wallace-tree multipliers (8×8 and 16×16) over `cycles` random inputs
-// with unit delays.
+// with unit delays. The four rows are measured in parallel on the batch
+// layer.
 func Table1(cycles int, seed uint64) ([]MultRow, error) {
-	var rows []MultRow
-	for _, arch := range []string{"array", "wallace"} {
-		for _, width := range []int{8, 16} {
-			row, err := measureMultiplier(arch, width, 1, 1, cycles, seed)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, row)
-		}
-	}
-	return rows, nil
+	return measureMultipliers([]multSpec{
+		{"array", 8, 1, 1}, {"array", 16, 1, 1},
+		{"wallace", 8, 1, 1}, {"wallace", 16, 1, 1},
+	}, cycles, seed)
 }
 
 // Table2 reproduces Table 2: the 8×8 multipliers with dsum = dcarry
-// versus the more realistic dsum = 2·dcarry.
+// versus the more realistic dsum = 2·dcarry, measured in parallel on the
+// batch layer.
 func Table2(cycles int, seed uint64) ([]MultRow, error) {
-	var rows []MultRow
-	for _, arch := range []string{"array", "wallace"} {
-		for _, ds := range []int{1, 2} {
-			row, err := measureMultiplier(arch, 8, ds, 1, cycles, seed)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, row)
-		}
-	}
-	return rows, nil
+	return measureMultipliers([]multSpec{
+		{"array", 8, 1, 1}, {"array", 8, 2, 1},
+		{"wallace", 8, 1, 1}, {"wallace", 8, 2, 1},
+	}, cycles, seed)
 }
 
-func measureMultiplier(arch string, width, dsum, dcarry, cycles int, seed uint64) (MultRow, error) {
-	var nl = circuits.NewArrayMultiplier(width, circuits.Cells)
-	if arch == "wallace" {
-		nl = circuits.NewWallaceMultiplier(width, circuits.Cells)
+// multSpec names one multiplier measurement of Tables 1 and 2.
+type multSpec struct {
+	arch         string
+	width        int
+	dsum, dcarry int
+}
+
+func (sp multSpec) build() (*netlist.Netlist, delay.Model) {
+	nl := circuits.NewArrayMultiplier(sp.width, circuits.Cells)
+	if sp.arch == "wallace" {
+		nl = circuits.NewWallaceMultiplier(sp.width, circuits.Cells)
 	}
 	var dm delay.Model = delay.Unit()
-	if dsum != dcarry {
-		dm = delay.FullAdderRatio(dsum, dcarry)
+	if sp.dsum != sp.dcarry {
+		dm = delay.FullAdderRatio(sp.dsum, sp.dcarry)
 	}
-	act, err := Measure(nl, Config{Cycles: cycles, Seed: seed, Delay: dm})
-	if err != nil {
-		return MultRow{}, err
+	return nl, dm
+}
+
+// measureMultipliers measures the given multiplier specs concurrently
+// and returns one row per spec, in spec order.
+func measureMultipliers(specs []multSpec, cycles int, seed uint64) ([]MultRow, error) {
+	jobs := make([]MeasureJob, len(specs))
+	for i, sp := range specs {
+		nl, dm := sp.build()
+		jobs[i] = MeasureJob{Netlist: nl, Config: Config{Cycles: cycles, Seed: seed, Delay: dm}}
 	}
-	return MultRow{Arch: arch, Width: width, DSum: dsum, DCarry: dcarry, Activity: act}, nil
+	res := MeasureMany(jobs, 0)
+	rows := make([]MultRow, len(specs))
+	for i, sp := range specs {
+		if res[i].Err != nil {
+			return nil, res[i].Err
+		}
+		rows[i] = MultRow{Arch: sp.arch, Width: sp.width, DSum: sp.dsum, DCarry: sp.dcarry, Activity: res[i].Activity}
+	}
+	return rows, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -259,22 +269,25 @@ func Table3(cycles int, seed uint64) ([]Table3Row, error) {
 	targets := []int{cp, cp * 3 / 7, cp / 3, cp * 3 / 14}
 	tech := power.Default08um()
 
-	var rows []Table3Row
-	for i, tgt := range targets {
+	// Each variant retimes and measures independently: one worker per
+	// sweep point on the batch layer's pool.
+	rows := make([]Table3Row, len(targets))
+	err := parallelEach(len(targets), 0, func(i int) error {
+		tgt := targets[i]
 		if tgt < 1 {
 			tgt = 1
 		}
 		res, err := retime.ForPeriod(base, dm, tgt, 4*cp)
 		if err != nil {
-			return nil, fmt.Errorf("glitchsim: table 3 target %d: %w", tgt, err)
+			return fmt.Errorf("glitchsim: table 3 target %d: %w", tgt, err)
 		}
 		bd, act, err := MeasurePower(res.Netlist, Config{
 			Cycles: cycles, Seed: seed, Warmup: res.Latency + 16,
 		}, tech)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, Table3Row{
+		rows[i] = Table3Row{
 			Circuit:      i + 1,
 			TargetPeriod: tgt,
 			Period:       res.Period,
@@ -287,7 +300,11 @@ func Table3(cycles int, seed uint64) ([]Table3Row, error) {
 			ClockMW:      bd.ClockW * 1e3,
 			TotalMW:      bd.TotalW() * 1e3,
 			LOverF:       act.LOverF(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -305,29 +322,34 @@ func Figure10(targets []int, cycles int, seed uint64) ([]Table3Row, error) {
 		targets = []int{cp, cp / 2, cp / 3, cp / 4, cp / 5, cp / 7, cp / 9, cp / 12}
 	}
 	tech := power.Default08um()
-	var rows []Table3Row
-	for i, tgt := range targets {
+	rows := make([]Table3Row, len(targets))
+	err := parallelEach(len(targets), 0, func(i int) error {
+		tgt := targets[i]
 		if tgt < 1 {
 			tgt = 1
 		}
 		res, err := retime.ForPeriod(base, dm, tgt, 8*cp)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		bd, act, err := MeasurePower(res.Netlist, Config{
 			Cycles: cycles, Seed: seed, Warmup: res.Latency + 16,
 		}, tech)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, Table3Row{
+		rows[i] = Table3Row{
 			Circuit: i + 1, TargetPeriod: tgt, Period: res.Period,
 			Latency: res.Latency, FFs: bd.NumFFs,
 			AreaMM2: bd.AreaMM2, ClockCapPF: bd.ClockCapF * 1e12,
 			LogicMW: bd.LogicW * 1e3, FlipflopMW: bd.FlipflopW * 1e3,
 			ClockMW: bd.ClockW * 1e3, TotalMW: bd.TotalW() * 1e3,
 			LOverF: act.LOverF(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -415,21 +437,32 @@ func AblationZeroDelay(width, cycles int, seed uint64) (ZeroDelayComparison, err
 
 // SeedSweep re-runs the Table 1 array-vs-wallace comparison (8×8) for
 // several seeds, returning one pair of activities per seed — the
-// seed-sensitivity ablation: L/F must be stable across streams.
+// seed-sensitivity ablation: L/F must be stable across streams. All
+// 2·len(seeds) measurements run in parallel on the batch layer, sharing
+// one compiled form per architecture.
 func SeedSweep(cycles int, seeds []uint64) ([]AblationResult, error) {
-	var out []AblationResult
+	array := circuits.NewArrayMultiplier(8, circuits.Cells)
+	wallace := circuits.NewWallaceMultiplier(8, circuits.Cells)
+	jobs := make([]MeasureJob, 0, 2*len(seeds))
 	for _, seed := range seeds {
-		a, err := measureMultiplier("array", 8, 1, 1, cycles, seed)
-		if err != nil {
-			return nil, err
+		jobs = append(jobs,
+			MeasureJob{Netlist: array, Config: Config{Cycles: cycles, Seed: seed}},
+			MeasureJob{Netlist: wallace, Config: Config{Cycles: cycles, Seed: seed}},
+		)
+	}
+	res := MeasureMany(jobs, 0)
+	out := make([]AblationResult, len(seeds))
+	for i, seed := range seeds {
+		a, b := res[2*i], res[2*i+1]
+		if a.Err != nil {
+			return nil, a.Err
 		}
-		b, err := measureMultiplier("wallace", 8, 1, 1, cycles, seed)
-		if err != nil {
-			return nil, err
+		if b.Err != nil {
+			return nil, b.Err
 		}
-		out = append(out, AblationResult{
+		out[i] = AblationResult{
 			Name: fmt.Sprintf("seed-%d", seed), A: a.Activity, B: b.Activity,
-		})
+		}
 	}
 	return out, nil
 }
@@ -452,14 +485,18 @@ func GraySweep(cycles int) ([]Activity, error) {
 			stimulus.NewConstant(logic.VectorFromUint(16, 8)),
 		)},
 	}
-	var out []Activity
-	for _, s := range sources {
-		act, err := Measure(nl, Config{Cycles: cycles, Source: s.src})
-		if err != nil {
-			return nil, err
+	jobs := make([]MeasureJob, len(sources))
+	for i, s := range sources {
+		jobs[i] = MeasureJob{Netlist: nl, Config: Config{Cycles: cycles, Source: s.src}}
+	}
+	res := MeasureMany(jobs, 0)
+	out := make([]Activity, len(sources))
+	for i, s := range sources {
+		if res[i].Err != nil {
+			return nil, res[i].Err
 		}
-		act.Circuit = nl.Name + "/" + s.name
-		out = append(out, act)
+		out[i] = res[i].Activity
+		out[i].Circuit = nl.Name + "/" + s.name
 	}
 	return out, nil
 }

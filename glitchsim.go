@@ -55,13 +55,21 @@ func (a Activity) String() string {
 		a.Circuit, a.Cycles, a.Transitions, a.Useful, a.Useless, a.LOverF())
 }
 
+// ExplicitZero requests an actual count of zero for Config fields whose
+// zero value selects a default (Cycles, Warmup). Any negative value
+// works; the constant documents the intent:
+//
+//	Config{Warmup: glitchsim.ExplicitZero} // measure from reset, no warm-up
+const ExplicitZero = -1
+
 // Config controls a measurement run.
 type Config struct {
-	// Cycles is the number of measured cycles (default 500, the paper's
-	// Table 1 run length).
+	// Cycles is the number of measured cycles. 0 selects the default of
+	// 500, the paper's Table 1 run length; ExplicitZero runs none.
 	Cycles int
 	// Warmup cycles run before measurement starts, flushing X values and
-	// pipeline fill (default 8).
+	// pipeline fill. 0 selects the default of 8; ExplicitZero disables
+	// warm-up so start-up activity is measured too.
 	Warmup int
 	// Seed selects the random stimulus stream (default 1).
 	Seed uint64
@@ -74,11 +82,17 @@ type Config struct {
 }
 
 func (c Config) withDefaults(n *netlist.Netlist) Config {
-	if c.Cycles == 0 {
+	switch {
+	case c.Cycles == 0:
 		c.Cycles = 500
+	case c.Cycles < 0: // ExplicitZero
+		c.Cycles = 0
 	}
-	if c.Warmup == 0 {
+	switch {
+	case c.Warmup == 0:
 		c.Warmup = 8
+	case c.Warmup < 0: // ExplicitZero
+		c.Warmup = 0
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -95,6 +109,14 @@ func (c Config) withDefaults(n *netlist.Netlist) Config {
 // MeasureDetailed simulates the netlist under the configuration and
 // returns the attached activity counter with per-net statistics.
 func MeasureDetailed(n *netlist.Netlist, cfg Config) (*core.Counter, error) {
+	return measureCompiled(sim.Compile(n), cfg)
+}
+
+// measureCompiled is the measurement core shared by MeasureDetailed and
+// the parallel batch layer: the compiled netlist may be shared across
+// goroutines, everything else is per-call state.
+func measureCompiled(c *sim.Compiled, cfg Config) (*core.Counter, error) {
+	n := c.Netlist()
 	cfg = cfg.withDefaults(n)
 	if cfg.Source.Width() != n.InputWidth() {
 		return nil, fmt.Errorf("glitchsim: stimulus width %d, circuit %q has %d inputs",
@@ -104,7 +126,7 @@ func MeasureDetailed(n *netlist.Netlist, cfg Config) (*core.Counter, error) {
 	if cfg.Inertial {
 		mode = sim.Inertial
 	}
-	s := sim.New(n, sim.Options{Delay: cfg.Delay, Mode: mode})
+	s := sim.NewFromCompiled(c, sim.Options{Delay: cfg.Delay, Mode: mode})
 	counter := core.NewCounter(n)
 	s.AttachMonitor(counter)
 	for i := 0; i < cfg.Warmup; i++ {

@@ -1,0 +1,3 @@
+module glitchsim
+
+go 1.24

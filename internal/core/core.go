@@ -27,6 +27,7 @@ import (
 
 	"glitchsim/internal/logic"
 	"glitchsim/internal/netlist"
+	"glitchsim/internal/sim"
 )
 
 // NetStats accumulates classified activity for one net across all
@@ -75,10 +76,16 @@ type Counter struct {
 	n       *netlist.Netlist
 	include []bool
 	stats   []NetStats
-	cur     []uint32 // transitions so far this cycle
-	curRise []uint32
+	cur     []cycleCount // per-net activity so far this cycle
 	dirty   []netlist.NetID
 	cycles  int
+}
+
+// cycleCount is one net's activity within the current cycle; keeping the
+// transition and rising counts adjacent halves the cache traffic of the
+// per-transition hot path.
+type cycleCount struct {
+	n, rise uint32
 }
 
 // NewCounter returns a Counter monitoring every internal net of the
@@ -95,8 +102,7 @@ func NewCounterFor(n *netlist.Netlist, nets []netlist.NetID) *Counter {
 		n:       n,
 		include: make([]bool, n.NumNets()),
 		stats:   make([]NetStats, n.NumNets()),
-		cur:     make([]uint32, n.NumNets()),
-		curRise: make([]uint32, n.NumNets()),
+		cur:     make([]cycleCount, n.NumNets()),
 	}
 	for _, id := range nets {
 		c.include[id] = true
@@ -110,12 +116,32 @@ func (c *Counter) OnChange(net netlist.NetID, _, _ int, old, new logic.V) {
 	if !c.include[net] || !old.Known() || !new.Known() {
 		return
 	}
-	if c.cur[net] == 0 && c.curRise[net] == 0 {
+	p := &c.cur[net]
+	if p.n == 0 {
 		c.dirty = append(c.dirty, net)
 	}
-	c.cur[net]++
+	p.n++
 	if new == logic.L1 {
-		c.curRise[net]++
+		p.rise++
+	}
+}
+
+// OnChangeBatch implements sim.BatchMonitor: one dispatch per time
+// instant instead of one per transition.
+func (c *Counter) OnChangeBatch(_, _ int, changes []sim.Change) {
+	for i := range changes {
+		ch := &changes[i]
+		if !c.include[ch.Net] || !ch.Old.Known() || !ch.New.Known() {
+			continue
+		}
+		p := &c.cur[ch.Net]
+		if p.n == 0 {
+			c.dirty = append(c.dirty, ch.Net)
+		}
+		p.n++
+		if ch.New == logic.L1 {
+			p.rise++
+		}
 	}
 }
 
@@ -123,10 +149,11 @@ func (c *Counter) OnChange(net netlist.NetID, _, _ int, old, new logic.V) {
 // counts by the parity rule and clears the per-cycle state.
 func (c *Counter) OnCycleEnd(int) {
 	for _, net := range c.dirty {
-		n := uint64(c.cur[net])
+		p := &c.cur[net]
+		n := uint64(p.n)
 		st := &c.stats[net]
 		st.Transitions += n
-		st.Rising += uint64(c.curRise[net])
+		st.Rising += uint64(p.rise)
 		if n%2 == 1 {
 			st.Useful++
 			st.Useless += n - 1
@@ -137,11 +164,29 @@ func (c *Counter) OnCycleEnd(int) {
 		if uint32(n) > st.MaxPerCycle {
 			st.MaxPerCycle = uint32(n)
 		}
-		c.cur[net] = 0
-		c.curRise[net] = 0
+		*p = cycleCount{}
 	}
 	c.dirty = c.dirty[:0]
 	c.cycles++
+}
+
+// Merge folds the accumulated statistics of another counter into c:
+// per-net statistics add (MaxPerCycle takes the maximum) and the cycle
+// counts sum, so the aggregate reads like one long measurement. Both
+// counters must be built over netlists with the same net count —
+// typically the very same netlist, measured under different seeds or
+// stimulus streams by the parallel batch layer. Merging a counter whose
+// monitored net set differs is allowed; Totals keeps using c's own set.
+// The other counter must be mid-cycle idle (no partial cycle state).
+func (c *Counter) Merge(o *Counter) error {
+	if len(c.stats) != len(o.stats) {
+		return fmt.Errorf("core: cannot merge counters over %d and %d nets", len(c.stats), len(o.stats))
+	}
+	for i := range c.stats {
+		c.stats[i].add(o.stats[i])
+	}
+	c.cycles += o.cycles
+	return nil
 }
 
 // Reset clears all accumulated statistics (typically called after warm-up
@@ -151,8 +196,7 @@ func (c *Counter) Reset() {
 		c.stats[i] = NetStats{}
 	}
 	for _, net := range c.dirty {
-		c.cur[net] = 0
-		c.curRise[net] = 0
+		c.cur[net] = cycleCount{}
 	}
 	c.dirty = c.dirty[:0]
 	c.cycles = 0

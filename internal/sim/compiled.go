@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"fmt"
+
+	"glitchsim/internal/logic"
+	"glitchsim/internal/netlist"
+)
+
+// Compiled is an immutable, cache-friendly compilation of a netlist for
+// the simulation hot path: cell types, input/output net IDs and per-net
+// fanout lists live in contiguous CSR-style arrays instead of the
+// pointer-rich netlist.Cell/netlist.Net structures, so the event loop
+// never chases *Netlist pointers.
+//
+// A Compiled is read-only after Compile returns and may be shared by any
+// number of Simulators concurrently (the batch measurement layer compiles
+// each circuit once and hands the result to a pool of per-goroutine
+// simulators). The source netlist must not be mutated while a Compiled
+// built from it is in use.
+type Compiled struct {
+	n *netlist.Netlist
+
+	// Per-cell arrays, indexed by CellID.
+	cellType []netlist.CellType
+	inStart  []int32         // len NumCells+1; offsets into inNets
+	inNets   []netlist.NetID // concatenated input nets of all cells
+	outNets  []netlist.NetID // 2 per cell (outputsPerCell); NoNet when unused
+	outLen   []uint8         // number of declared output pins per cell
+
+	// Per-net fanout in CSR form: the combinational cells reading each
+	// net, deduplicated. DFF sinks are excluded — flipflops react only at
+	// the clock edge, never during intra-cycle propagation.
+	fanStart []int32
+	fanCells []netlist.CellID
+
+	// Flipflop shortcut lists so Step never scans the full cell array.
+	dffCells []netlist.CellID
+	dffD     []netlist.NetID // D input net per entry of dffCells
+	dffQ     []netlist.NetID // Q output net per entry of dffCells
+
+	// initVals is the reset-state settled value of every net: DFF outputs
+	// at 0, primary inputs unknown, everything else the three-valued
+	// steady state. Simulators start from a copy of this.
+	initVals []logic.V
+
+	maxIn int // widest cell input count, sizes the eval scratch buffer
+}
+
+// outputsPerCell is the per-cell stride of the outNets array (the widest
+// cell types, HA and FA, have two output pins).
+const outputsPerCell = 2
+
+// Compile flattens a netlist into the simulator's hot-path form. The
+// netlist must be valid (see netlist.Validate); Compile panics otherwise,
+// since simulating an invalid netlist produces meaningless activity
+// numbers.
+func Compile(n *netlist.Netlist) *Compiled {
+	if err := n.Validate(); err != nil {
+		panic(fmt.Sprintf("sim: invalid netlist: %v", err))
+	}
+	nc, nn := n.NumCells(), n.NumNets()
+	c := &Compiled{
+		n:        n,
+		cellType: make([]netlist.CellType, nc),
+		inStart:  make([]int32, nc+1),
+		outNets:  make([]netlist.NetID, outputsPerCell*nc),
+		outLen:   make([]uint8, nc),
+		fanStart: make([]int32, nn+1),
+	}
+
+	totalIn := 0
+	for i := range n.Cells {
+		totalIn += len(n.Cells[i].In)
+	}
+	c.inNets = make([]netlist.NetID, 0, totalIn)
+	for i := range n.Cells {
+		cell := &n.Cells[i]
+		c.cellType[i] = cell.Type
+		c.inStart[i] = int32(len(c.inNets))
+		c.inNets = append(c.inNets, cell.In...)
+		if len(cell.In) > c.maxIn {
+			c.maxIn = len(cell.In)
+		}
+		if len(cell.Out) > outputsPerCell {
+			panic(fmt.Sprintf("sim: cell %s has %d output pins, kernel supports at most %d",
+				cell.Name, len(cell.Out), outputsPerCell))
+		}
+		c.outLen[i] = uint8(len(cell.Out))
+		for pin := 0; pin < outputsPerCell; pin++ {
+			o := netlist.NoNet
+			if pin < len(cell.Out) {
+				o = cell.Out[pin]
+			}
+			c.outNets[outputsPerCell*i+pin] = o
+		}
+		if cell.Type == netlist.DFF {
+			c.dffCells = append(c.dffCells, netlist.CellID(i))
+			c.dffD = append(c.dffD, cell.In[0])
+			c.dffQ = append(c.dffQ, cell.Out[0])
+		}
+	}
+	c.inStart[nc] = int32(len(c.inNets))
+
+	// Fanout CSR, deduplicating cells that read the same net on several
+	// pins (the epoch check in applyBatch would skip the repeat anyway,
+	// but not walking it at all is cheaper).
+	seen := make([]int32, nc)
+	for i := range seen {
+		seen[i] = -1
+	}
+	count := 0
+	for netID := range n.Nets {
+		for _, s := range n.Nets[netID].Sinks {
+			if n.Cells[s.Cell].Type == netlist.DFF || seen[s.Cell] == int32(netID) {
+				continue
+			}
+			seen[s.Cell] = int32(netID)
+			count++
+		}
+	}
+	c.fanCells = make([]netlist.CellID, 0, count)
+	for i := range seen {
+		seen[i] = -1
+	}
+	for netID := range n.Nets {
+		c.fanStart[netID] = int32(len(c.fanCells))
+		for _, s := range n.Nets[netID].Sinks {
+			if n.Cells[s.Cell].Type == netlist.DFF || seen[s.Cell] == int32(netID) {
+				continue
+			}
+			seen[s.Cell] = int32(netID)
+			c.fanCells = append(c.fanCells, s.Cell)
+		}
+	}
+	c.fanStart[nn] = int32(len(c.fanCells))
+
+	// Reset-state settled values: DFFs reset to 0, primary inputs stay
+	// unknown, and everything computable from constants and DFF reset
+	// values settles by topological evaluation.
+	c.initVals = make([]logic.V, nn)
+	for _, q := range c.dffQ {
+		c.initVals[q] = logic.L0
+	}
+	n.EvalOutputs(c.initVals)
+	return c
+}
+
+// Netlist returns the netlist this compilation was built from.
+func (c *Compiled) Netlist() *netlist.Netlist { return c.n }

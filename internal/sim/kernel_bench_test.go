@@ -1,0 +1,46 @@
+package sim_test
+
+import (
+	"testing"
+
+	"glitchsim/internal/circuits"
+	"glitchsim/internal/core"
+	"glitchsim/internal/delay"
+	"glitchsim/internal/sim"
+	"glitchsim/internal/stimulus"
+)
+
+// BenchmarkKernel compares the three event schedulers on the 16x16
+// array multiplier with the activity counter attached — the same
+// workload as the root package's BenchmarkSimulatorThroughput, but
+// compiled once and broken out per kernel. events/s counts scheduler
+// events actually processed (Simulator.Events).
+func BenchmarkKernel(b *testing.B) {
+	nl := circuits.NewArrayMultiplier(16, circuits.Cells)
+	comp := sim.Compile(nl)
+	for _, tc := range []struct {
+		name string
+		opts sim.Options
+	}{
+		{"wave-unit", sim.Options{Delay: delay.Unit()}},
+		{"calendar-faratio", sim.Options{Delay: delay.FullAdderRatio(2, 1)}},
+		{"calendar-unit", sim.Options{Delay: delay.Unit(), Scheduler: sim.SchedulerCalendar}},
+		{"heap-unit", sim.Options{Delay: delay.Unit(), Scheduler: sim.SchedulerHeap}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			s := sim.NewFromCompiled(comp, tc.opts)
+			counter := core.NewCounter(nl)
+			s.AttachMonitor(counter)
+			src := stimulus.NewRandom(nl.InputWidth(), 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Step(src.Next()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			secs := b.Elapsed().Seconds()
+			b.ReportMetric(float64(s.Events())/secs, "events/s")
+			b.ReportMetric(secs*1e9/float64(b.N), "ns/cycle")
+		})
+	}
+}

@@ -22,10 +22,43 @@
 // after the instant. Zero-width pulses therefore do not count, and
 // zero-delay simulation reports at most one transition per net per cycle
 // (the glitch-free functional baseline).
+//
+// # Scheduler and determinism
+//
+// Pending events are ordered by (time, serial): time is the simulated
+// instant, serial a per-simulator counter incremented on every schedule.
+// Two interchangeable schedulers realize this order:
+//
+//   - The calendar queue (default) keeps a power-of-two ring of FIFO
+//     buckets indexed by t mod window. Because every per-hop cell delay
+//     is smaller than the window, all in-flight events span fewer than
+//     window time slots, each bucket holds events of a single absolute
+//     time, and FIFO order within a bucket equals serial order. Push and
+//     pop are O(1), versus O(log n) for a heap.
+//   - The binary heap handles delay models whose per-hop delays exceed
+//     the calendar window cap (4096 time units).
+//
+// Both produce the identical event order, so simulation results — every
+// per-net transition, its time, and therefore every activity statistic —
+// are bit-identical across schedulers and across runs. Options.Scheduler
+// can force a particular kernel; the cross-kernel equivalence test keeps
+// the two honest against each other.
+//
+// # Hot-path layout
+//
+// New first compiles the netlist into a Compiled: flat CSR-style arrays
+// of cell types, input/output net IDs and deduplicated per-net fanout
+// lists. The event loop touches only these contiguous arrays, never the
+// pointer-rich netlist structures. A Compiled is immutable and can be
+// shared by many Simulators concurrently — the batch measurement layer
+// compiles each circuit once per process, not once per goroutine. When
+// no Monitor is attached, the per-instant change-coalescing bookkeeping
+// is skipped entirely.
 package sim
 
 import (
 	"fmt"
+	"math"
 
 	"glitchsim/internal/delay"
 	"glitchsim/internal/logic"
@@ -53,6 +86,37 @@ func (m Mode) String() string {
 	return "transport"
 }
 
+// Scheduler selects the pending-event queue implementation.
+type Scheduler uint8
+
+const (
+	// SchedulerAuto picks the calendar queue when the delay model's
+	// per-hop delays fit its window cap, the heap otherwise.
+	SchedulerAuto Scheduler = iota
+	// SchedulerCalendar forces the O(1) calendar queue (the window grows
+	// to cover the delay model's largest per-hop delay).
+	SchedulerCalendar
+	// SchedulerHeap forces the O(log n) binary-heap queue.
+	SchedulerHeap
+)
+
+// String names the scheduler.
+func (s Scheduler) String() string {
+	switch s {
+	case SchedulerCalendar:
+		return "calendar"
+	case SchedulerHeap:
+		return "heap"
+	default:
+		return "auto"
+	}
+}
+
+// maxCalendarWindow caps the calendar ring size SchedulerAuto is willing
+// to allocate; delay models with larger per-hop delays fall back to the
+// heap.
+const maxCalendarWindow = 1 << 12
+
 // Options configures a Simulator.
 type Options struct {
 	// Delay is the propagation-delay model. Nil means unit delay.
@@ -62,6 +126,9 @@ type Options struct {
 	// MaxTimePerCycle guards against runaway event cascades; Step fails
 	// if the network has not settled by this time. 0 means 1<<16.
 	MaxTimePerCycle int
+	// Scheduler selects the event-queue kernel (default SchedulerAuto).
+	// All schedulers produce bit-identical simulation results.
+	Scheduler Scheduler
 }
 
 // Monitor observes net value changes. Implementations include the
@@ -74,52 +141,74 @@ type Monitor interface {
 	OnCycleEnd(cycle int)
 }
 
-type event struct {
-	time   int
-	serial uint64
-	net    netlist.NetID
-	val    logic.V
-	key    int32 // cell-output key for inertial cancellation; -1 for injections
+// Change is one coalesced per-instant net transition, as delivered to
+// BatchMonitors.
+type Change struct {
+	Net      netlist.NetID
+	Old, New logic.V
 }
 
-// Simulator drives one netlist. It is not safe for concurrent use.
+// BatchMonitor is an optional extension a Monitor can implement to
+// receive all transitions of one time instant in a single call instead
+// of one OnChange call each — one dynamic dispatch per instant rather
+// than per transition on the simulation hot path. The changes slice is
+// reused across calls and must not be retained. OnChange is not called
+// for monitors implementing BatchMonitor; OnCycleEnd still is.
+type BatchMonitor interface {
+	Monitor
+	OnChangeBatch(cycle, t int, changes []Change)
+}
+
+// Simulator drives one netlist. It is not safe for concurrent use, but
+// any number of Simulators may share one Compiled netlist.
 type Simulator struct {
-	n     *netlist.Netlist
+	c     *Compiled
 	dm    delay.Model
 	mode  Mode
 	guard int
 
 	values []logic.V
-	ffQ    []logic.V // sampled Q per cell ID (only DFF entries used)
+	ffQ    []logic.V // sampled Q, indexed like Compiled.dffCells
+	delays []int32   // per cell-output key, precomputed from the model
 
-	queue      eventHeap
+	wq         *waveQueue     // uniform-delay scheduler; nil unless active
+	cal        *calendarQueue // O(1) scheduler; nil unless active
+	hq         *heapQueue     // fallback scheduler; nil unless active
 	serial     uint64
 	pending    []int32  // in-flight events per net
 	lastSerial []uint64 // per cell-output key, for inertial cancellation
 
-	changedInit []logic.V
-	changedMark []bool
+	coalesce    bool          // multi-batch instants possible (some delay is 0)
+	changed     []changeState // per net: flush epoch + pre-instant value
+	flushEpoch  int32
 	changedList []netlist.NetID
+	changeBuf   []Change
 
-	touchEpoch []int
-	epoch      int
+	touchEpoch []int32
+	epoch      int32
 	touched    []netlist.CellID
 
-	monitors []Monitor
-	cycle    int
-	settle   int // settle time of the most recent cycle
+	monitors  []Monitor      // monitors without batch support
+	batchMons []BatchMonitor // monitors taking per-instant batches
+	cycle     int
+	settle    int    // settle time of the most recent cycle
+	events    uint64 // total events processed
 
 	evalIn  []logic.V
-	evalOut [2]logic.V
+	evalOut [outputsPerCell]logic.V
 }
 
 // New returns a Simulator for the netlist. The netlist must be valid (see
 // netlist.Validate); New panics otherwise, since simulating an invalid
 // netlist produces meaningless activity numbers.
 func New(n *netlist.Netlist, opts Options) *Simulator {
-	if err := n.Validate(); err != nil {
-		panic(fmt.Sprintf("sim: invalid netlist: %v", err))
-	}
+	return NewFromCompiled(Compile(n), opts)
+}
+
+// NewFromCompiled returns a Simulator running on a previously compiled
+// netlist, skipping validation and compilation. This is the constructor
+// the batch layer uses: one Compile, many concurrent simulators.
+func NewFromCompiled(c *Compiled, opts Options) *Simulator {
 	dm := opts.Delay
 	if dm == nil {
 		dm = delay.Unit()
@@ -128,48 +217,104 @@ func New(n *netlist.Netlist, opts Options) *Simulator {
 	if guard == 0 {
 		guard = 1 << 16
 	}
+	n := c.n
+	nc, nn := n.NumCells(), n.NumNets()
 	s := &Simulator{
-		n:           n,
-		dm:          dm,
-		mode:        opts.Mode,
-		guard:       guard,
-		values:      make([]logic.V, n.NumNets()),
-		ffQ:         make([]logic.V, n.NumCells()),
-		pending:     make([]int32, n.NumNets()),
-		lastSerial:  make([]uint64, 2*n.NumCells()),
-		changedInit: make([]logic.V, n.NumNets()),
-		changedMark: make([]bool, n.NumNets()),
-		touchEpoch:  make([]int, n.NumCells()),
-		evalIn:      make([]logic.V, 0, 8),
+		c:          c,
+		dm:         dm,
+		mode:       opts.Mode,
+		guard:      guard,
+		values:     make([]logic.V, nn),
+		ffQ:        make([]logic.V, len(c.dffCells)),
+		delays:     make([]int32, outputsPerCell*nc),
+		pending:    make([]int32, nn),
+		lastSerial: make([]uint64, outputsPerCell*nc),
+		changed:    make([]changeState, nn),
+		flushEpoch: 1,
+		touchEpoch: make([]int32, nc),
+		evalIn:     make([]logic.V, c.maxIn),
 	}
-	// DFFs reset to 0. The initial net state is the three-valued steady
-	// state with primary inputs unknown: constants (and anything
-	// computable from constants and DFF reset values alone) settle here,
-	// since such nets never receive events during simulation.
-	for i := range n.Cells {
-		if n.Cells[i].Type == netlist.DFF {
-			s.ffQ[i] = logic.L0
-			s.values[n.Cells[i].Out[0]] = logic.L0
+	copy(s.values, c.initVals)
+	for i := range s.ffQ {
+		s.ffQ[i] = logic.L0
+	}
+
+	// Delay models are deterministic, so per-output delays are resolved
+	// once here and the event loop never makes an interface call.
+	maxDelay, minDelay := 0, -1
+	for cid := 0; cid < nc; cid++ {
+		if c.cellType[cid] == netlist.DFF {
+			continue
+		}
+		for pin := 0; pin < int(c.outLen[cid]); pin++ {
+			if c.outNets[outputsPerCell*cid+pin] == netlist.NoNet {
+				continue
+			}
+			d := dm.Delay(&n.Cells[cid], pin)
+			if d < 0 || d > math.MaxInt32 {
+				panic(fmt.Sprintf("sim: delay %d for cell %s pin %d outside [0, MaxInt32]", d, n.Cells[cid].Name, pin))
+			}
+			s.delays[outputsPerCell*cid+pin] = int32(d)
+			if d > maxDelay {
+				maxDelay = d
+			}
+			if minDelay < 0 || d < minDelay {
+				minDelay = d
+			}
 		}
 	}
-	n.EvalOutputs(s.values)
+
+	// With every delay >= 1, an instant consists of exactly one event
+	// batch and each net (single driver pin, fixed per-pin delay) changes
+	// at most once per instant, so transitions can be recorded directly
+	// as they commit. Zero-delay pins re-schedule within the instant and
+	// need the full per-instant coalescing machinery.
+	s.coalesce = minDelay == 0
+
+	switch opts.Scheduler {
+	case SchedulerHeap:
+		s.hq = newHeapQueue()
+	case SchedulerCalendar:
+		s.cal = newCalendarQueue(maxDelay)
+	default:
+		switch {
+		case minDelay == maxDelay:
+			// Uniform delay model (the paper's unit-delay experiments):
+			// all in-flight events share one time, no ring needed.
+			s.wq = newWaveQueue()
+		case maxDelay+2 <= maxCalendarWindow:
+			s.cal = newCalendarQueue(maxDelay)
+		default:
+			s.hq = newHeapQueue()
+		}
+	}
 	return s
 }
 
 // AttachMonitor registers a monitor for subsequent cycles.
-func (s *Simulator) AttachMonitor(m Monitor) { s.monitors = append(s.monitors, m) }
+func (s *Simulator) AttachMonitor(m Monitor) {
+	if bm, ok := m.(BatchMonitor); ok {
+		s.batchMons = append(s.batchMons, bm)
+		return
+	}
+	s.monitors = append(s.monitors, m)
+}
 
 // DetachMonitors removes all monitors.
-func (s *Simulator) DetachMonitors() { s.monitors = nil }
+func (s *Simulator) DetachMonitors() { s.monitors, s.batchMons = nil, nil }
 
 // Netlist returns the simulated netlist.
-func (s *Simulator) Netlist() *netlist.Netlist { return s.n }
+func (s *Simulator) Netlist() *netlist.Netlist { return s.c.n }
 
 // Cycle returns the number of completed cycles.
 func (s *Simulator) Cycle() int { return s.cycle }
 
 // SettleTime returns the time at which the most recent cycle settled.
 func (s *Simulator) SettleTime() int { return s.settle }
+
+// Events returns the total number of scheduler events processed since
+// construction, the raw workload measure behind events/sec throughput.
+func (s *Simulator) Events() uint64 { return s.events }
 
 // Value returns the settled value of a net.
 func (s *Simulator) Value(id netlist.NetID) logic.V { return s.values[id] }
@@ -184,43 +329,50 @@ func (s *Simulator) BusValue(bus []netlist.NetID) logic.Vector {
 }
 
 // Outputs returns the settled primary-output vector.
-func (s *Simulator) Outputs() logic.Vector { return s.BusValue(s.n.POs) }
+func (s *Simulator) Outputs() logic.Vector { return s.BusValue(s.c.n.POs) }
 
 // Step simulates one clock cycle with the given primary-input vector
 // (aligned with the netlist's PIs). It returns an error if the network
-// fails to settle within the configured guard time.
+// fails to settle within the configured guard time; the simulator
+// discards all in-flight events before reporting it.
 func (s *Simulator) Step(pi logic.Vector) error {
-	if len(pi) != len(s.n.PIs) {
-		panic(fmt.Sprintf("sim: stimulus width %d, netlist has %d inputs", len(pi), len(s.n.PIs)))
+	if len(pi) != len(s.c.n.PIs) {
+		panic(fmt.Sprintf("sim: stimulus width %d, netlist has %d inputs", len(pi), len(s.c.n.PIs)))
 	}
 
 	// 1. Sample DFF D inputs from the previous cycle's settled state. An
 	// unknown D holds the flipflop's current (reset) state, so circuits
 	// always leave X within a few cycles.
-	for i := range s.n.Cells {
-		c := &s.n.Cells[i]
-		if c.Type != netlist.DFF {
-			continue
-		}
-		if d := s.values[c.In[0]]; d.Known() {
-			s.ffQ[i] = d
+	for i, d := range s.c.dffD {
+		if v := s.values[d]; v.Known() {
+			s.ffQ[i] = v
 		}
 	}
 
 	// 2. Inject PI changes and DFF Q updates at t=0.
-	for i, id := range s.n.PIs {
+	if s.cal != nil {
+		s.cal.reset()
+	}
+	for i, id := range s.c.n.PIs {
 		s.schedule(0, id, pi[i], -1)
 	}
-	for i := range s.n.Cells {
-		c := &s.n.Cells[i]
-		if c.Type == netlist.DFF {
-			s.schedule(0, c.Out[0], s.ffQ[i], -1)
-		}
+	for i, q := range s.c.dffQ {
+		s.schedule(0, q, s.ffQ[i], -1)
 	}
 
 	// 3. Propagate.
+	if s.flushEpoch >= 1<<31-1 {
+		// Same wrap guard as applyBatch, for the per-net change stamps.
+		for i := range s.changed {
+			s.changed[i].epoch = 0
+		}
+		s.flushEpoch = 1
+	}
 	if err := s.run(); err != nil {
 		return err
+	}
+	for _, m := range s.batchMons {
+		m.OnCycleEnd(s.cycle)
 	}
 	for _, m := range s.monitors {
 		m.OnCycleEnd(s.cycle)
@@ -242,14 +394,23 @@ func (s *Simulator) schedule(t int, net netlist.NetID, v logic.V, key int32) {
 		s.lastSerial[key] = s.serial
 	}
 	s.pending[net]++
-	s.queue.push(event{time: t, serial: s.serial, net: net, val: v, key: key})
+	e := event{time: int32(t), serial: s.serial, net: net, val: v, key: key}
+	switch {
+	case s.wq != nil:
+		s.wq.push(e)
+	case s.cal != nil:
+		s.cal.push(e)
+	default:
+		s.hq.push(e)
+	}
 }
 
 func (s *Simulator) run() error {
 	flushAt := -1
-	for len(s.queue) > 0 {
-		t := s.queue[0].time
+	for !s.queueEmpty() {
+		t := s.queueNextTime()
 		if t > s.guard {
+			s.discardInFlight()
 			return fmt.Errorf("sim: cycle %d did not settle by time %d (oscillation or guard too low)", s.cycle, s.guard)
 		}
 		if flushAt >= 0 && t > flushAt {
@@ -268,33 +429,85 @@ func (s *Simulator) run() error {
 	return nil
 }
 
+// discardInFlight clears all pending events and per-cycle bookkeeping so
+// a Step after a guard error starts from a consistent (if functionally
+// stale) state instead of corrupting the queue.
+func (s *Simulator) discardInFlight() {
+	switch {
+	case s.wq != nil:
+		s.wq.clear()
+	case s.cal != nil:
+		s.cal.clear()
+	default:
+		s.hq.clear()
+	}
+	for i := range s.pending {
+		s.pending[i] = 0
+	}
+	s.flushEpoch++
+	s.changedList = s.changedList[:0]
+	s.changeBuf = s.changeBuf[:0]
+	s.touched = s.touched[:0]
+}
+
+// changeState tracks one net's membership in the current instant's
+// changed set: epoch matches flushEpoch while the net is in changedList,
+// and init holds its value from before the instant.
+type changeState struct {
+	epoch int32
+	init  logic.V
+}
+
 // applyBatch pops and applies every event at time t, recording per-net
-// initial values and marking affected combinational cells.
+// initial values (when a monitor is attached) and marking affected
+// combinational cells.
 func (s *Simulator) applyBatch(t int) {
+	if s.epoch == 1<<31-1 {
+		// The 32-bit epoch stamp is about to wrap: invalidate all stale
+		// stamps so old epochs can never alias new ones. Amortized cost
+		// is one clear per ~2^31 instants.
+		clear(s.touchEpoch)
+		s.epoch = 0
+	}
 	s.epoch++
-	for len(s.queue) > 0 && s.queue[0].time == t {
-		e := s.queue.pop()
-		s.pending[e.net]--
-		if e.key >= 0 && s.mode == Inertial && s.lastSerial[e.key] != e.serial {
+	epoch := s.epoch
+	var batch []event
+	switch {
+	case s.wq != nil:
+		batch = s.wq.popBatch(t)
+	case s.cal != nil:
+		batch = s.cal.popBatch(t)
+	default:
+		batch = s.hq.popBatch(t)
+	}
+	s.events += uint64(len(batch))
+	monitored := len(s.monitors) > 0 || len(s.batchMons) > 0
+	inertial := s.mode == Inertial
+	fanStart, fanCells := s.c.fanStart, s.c.fanCells
+	values, pending, touchEpoch := s.values, s.pending, s.touchEpoch
+	flushEpoch := s.flushEpoch
+	for i := range batch {
+		e := &batch[i]
+		pending[e.net]--
+		if e.key >= 0 && inertial && s.lastSerial[e.key] != e.serial {
 			continue // cancelled by a later evaluation of the same output
 		}
-		if s.values[e.net] == e.val {
+		if values[e.net] == e.val {
 			continue
 		}
-		if !s.changedMark[e.net] {
-			s.changedMark[e.net] = true
-			s.changedInit[e.net] = s.values[e.net]
-			s.changedList = append(s.changedList, e.net)
-		}
-		s.values[e.net] = e.val
-		for _, sink := range s.n.Nets[e.net].Sinks {
-			c := &s.n.Cells[sink.Cell]
-			if c.Type == netlist.DFF {
-				continue // DFFs react only at the clock edge
+		if monitored {
+			if !s.coalesce {
+				s.changeBuf = append(s.changeBuf, Change{Net: e.net, Old: values[e.net], New: e.val})
+			} else if s.changed[e.net].epoch != flushEpoch {
+				s.changed[e.net] = changeState{epoch: flushEpoch, init: values[e.net]}
+				s.changedList = append(s.changedList, e.net)
 			}
-			if s.touchEpoch[sink.Cell] != s.epoch {
-				s.touchEpoch[sink.Cell] = s.epoch
-				s.touched = append(s.touched, sink.Cell)
+		}
+		values[e.net] = e.val
+		for _, cid := range fanCells[fanStart[e.net]:fanStart[e.net+1]] {
+			if touchEpoch[cid] != epoch {
+				touchEpoch[cid] = epoch
+				s.touched = append(s.touched, cid)
 			}
 		}
 	}
@@ -303,85 +516,82 @@ func (s *Simulator) applyBatch(t int) {
 // evalTouched re-evaluates every cell whose inputs changed at time t and
 // schedules the resulting output changes.
 func (s *Simulator) evalTouched(t int) {
+	c := s.c
+	values, pending := s.values, s.pending
+	transport := s.mode != Inertial
 	for _, cid := range s.touched {
-		c := &s.n.Cells[cid]
-		s.evalIn = s.evalIn[:0]
-		for _, in := range c.In {
-			s.evalIn = append(s.evalIn, s.values[in])
-		}
-		outs := s.evalOut[:len(c.Out)]
-		netlist.Eval(c.Type, s.evalIn, outs)
-		for pin, o := range c.Out {
-			if o == netlist.NoNet {
-				continue
+		o0, o1, twoOut := s.evalCell(cid)
+		base := outputsPerCell * int(cid)
+		// The no-op elision check from schedule is inlined here for
+		// transport mode, where the common already-settled case needs no
+		// inertial-claim bookkeeping.
+		if o := c.outNets[base]; o != netlist.NoNet {
+			if !transport || o0 != values[o] || pending[o] != 0 {
+				s.schedule(t+int(s.delays[base]), o, o0, int32(base))
 			}
-			key := int32(cid)*2 + int32(pin)
-			s.schedule(t+s.dm.Delay(c, pin), o, outs[pin], key)
+		}
+		if twoOut {
+			if o := c.outNets[base+1]; o != netlist.NoNet {
+				if !transport || o1 != values[o] || pending[o] != 0 {
+					s.schedule(t+int(s.delays[base+1]), o, o1, int32(base+1))
+				}
+			}
 		}
 	}
 	s.touched = s.touched[:0]
 }
 
-// flush reports coalesced per-instant transitions to the monitors.
+func (s *Simulator) queueEmpty() bool {
+	switch {
+	case s.wq != nil:
+		return s.wq.empty()
+	case s.cal != nil:
+		return s.cal.empty()
+	default:
+		return s.hq.empty()
+	}
+}
+
+func (s *Simulator) queueNextTime() int {
+	switch {
+	case s.wq != nil:
+		return s.wq.nextTime()
+	case s.cal != nil:
+		return s.cal.nextTime()
+	default:
+		return s.hq.nextTime()
+	}
+}
+
+// flush reports the instant's transitions to the monitors. On the
+// coalescing path the per-net change records are first folded into the
+// change buffer, dropping zero-width excursions; on the direct path the
+// buffer was already filled as values committed.
 func (s *Simulator) flush(t int) {
-	for _, net := range s.changedList {
-		init := s.changedInit[net]
-		final := s.values[net]
-		s.changedMark[net] = false
-		if init == final {
-			continue // zero-width excursion within one instant
+	if s.coalesce {
+		buf := s.changeBuf[:0]
+		for _, net := range s.changedList {
+			init := s.changed[net].init
+			final := s.values[net]
+			if init == final {
+				continue // zero-width excursion within one instant
+			}
+			buf = append(buf, Change{Net: net, Old: init, New: final})
+		}
+		s.changeBuf = buf
+		s.flushEpoch++
+		s.changedList = s.changedList[:0]
+	}
+	if len(s.changeBuf) > 0 {
+		for _, m := range s.batchMons {
+			m.OnChangeBatch(s.cycle, t, s.changeBuf)
 		}
 		for _, m := range s.monitors {
-			m.OnChange(net, s.cycle, t, init, final)
+			for i := range s.changeBuf {
+				ch := &s.changeBuf[i]
+				m.OnChange(ch.Net, s.cycle, t, ch.Old, ch.New)
+			}
 		}
 	}
-	s.changedList = s.changedList[:0]
-}
-
-// eventHeap is a binary min-heap ordered by (time, serial).
-type eventHeap []event
-
-func (h eventHeap) less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].serial < h[j].serial
-}
-
-func (h *eventHeap) push(e event) {
-	*h = append(*h, e)
-	i := len(*h) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if (*h).less(p, i) {
-			break
-		}
-		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
-		i = p
-	}
-}
-
-func (h *eventHeap) pop() event {
-	old := *h
-	top := old[0]
-	last := len(old) - 1
-	old[0] = old[last]
-	*h = old[:last]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		small := i
-		if l < last && (*h).less(l, small) {
-			small = l
-		}
-		if r < last && (*h).less(r, small) {
-			small = r
-		}
-		if small == i {
-			break
-		}
-		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
-		i = small
-	}
-	return top
+	s.changeBuf = s.changeBuf[:0]
 }
