@@ -1,14 +1,13 @@
 package glitchsim
 
 import (
-	"fmt"
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"glitchsim/internal/core"
 	"glitchsim/internal/netlist"
-	"glitchsim/internal/sim"
 )
 
 // The parallel batch measurement layer: independent measurement configs
@@ -17,7 +16,9 @@ import (
 // the immutable compiled form is shared read-only by all workers, so a
 // multi-seed study pays one compilation and N simulations. Results are
 // deterministic: job i's outcome depends only on jobs[i], never on the
-// worker count or scheduling order.
+// worker count or scheduling order. The pool is context-aware: workers
+// stop picking up new items as soon as the request's context is
+// cancelled, and in-flight simulations abort from inside the kernel.
 
 // defaultWorkers holds the worker count the experiment drivers use;
 // 0 or negative means GOMAXPROCS.
@@ -25,8 +26,8 @@ var defaultWorkers atomic.Int32
 
 // SetDefaultWorkers sets the worker-pool size used by the experiment
 // drivers (Table1, Table2, Table3, Figure10, SeedSweep, GraySweep, …)
-// and by MeasureMany calls with workers <= 0. n <= 0 restores the
-// default of GOMAXPROCS. The cmd/glitchsim -workers flag calls this.
+// and by Engines without an explicit WithWorkers option. n <= 0 restores
+// the default of GOMAXPROCS. The cmd/glitchsim -workers flag calls this.
 func SetDefaultWorkers(n int) {
 	if n < 0 {
 		n = 0
@@ -68,43 +69,12 @@ type MeasureResult struct {
 // job order. Each distinct netlist is compiled once; per-goroutine
 // simulators share the compiled form. Results are bit-identical to
 // running Measure serially on each job.
+//
+// Deprecated: use DefaultEngine().MeasureMany (or your own Engine) to
+// get compiled-netlist caching and context cancellation. This wrapper
+// remains bit-identical to the historical behaviour.
 func MeasureMany(jobs []MeasureJob, workers int) []MeasureResult {
-	results := make([]MeasureResult, len(jobs))
-	if len(jobs) == 0 {
-		return results
-	}
-	if workers <= 0 {
-		workers = DefaultWorkers()
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-
-	// Compile each distinct netlist once, up front and serially: Compile
-	// panics on invalid netlists (as Measure does) and the panic should
-	// surface on the caller's goroutine.
-	compiled := make(map[*netlist.Netlist]*sim.Compiled, len(jobs))
-	for i := range jobs {
-		if nl := jobs[i].Netlist; nl != nil && compiled[nl] == nil {
-			compiled[nl] = sim.Compile(nl)
-		}
-	}
-
-	parallelEach(len(jobs), workers, func(i int) error {
-		job := &jobs[i]
-		if job.Netlist == nil {
-			results[i].Err = fmt.Errorf("glitchsim: job %d has no netlist", i)
-			return nil
-		}
-		counter, err := measureCompiled(compiled[job.Netlist], job.Config)
-		if err != nil {
-			results[i].Err = err
-			return nil
-		}
-		results[i].Counter = counter
-		results[i].Activity = summarize(job.Netlist.Name, counter)
-		return nil // per-job errors live in results, never abort the batch
-	})
+	results, _ := DefaultEngine().MeasureMany(context.Background(), BatchRequest{Jobs: jobs, Workers: workers})
 	return results
 }
 
@@ -113,41 +83,26 @@ func MeasureMany(jobs []MeasureJob, workers int) []MeasureResult {
 // reads like a single measurement of len(seeds)*cfg.Cycles cycles. Any
 // Source in cfg is ignored (each seed gets its own stream). The merge
 // order is fixed (seed order), so the aggregate is deterministic.
+//
+// Deprecated: use DefaultEngine().MeasureSeeds (or your own Engine) to
+// get compiled-netlist caching and context cancellation. This wrapper
+// remains bit-identical to the historical behaviour.
 func MeasureSeeds(n *netlist.Netlist, cfg Config, seeds []uint64, workers int) (*core.Counter, error) {
-	if len(seeds) == 0 {
-		return nil, fmt.Errorf("glitchsim: MeasureSeeds needs at least one seed")
-	}
-	jobs := make([]MeasureJob, len(seeds))
-	for i, seed := range seeds {
-		c := cfg
-		c.Seed = seed
-		c.Source = nil
-		jobs[i] = MeasureJob{Netlist: n, Config: c}
-	}
-	res := MeasureMany(jobs, workers)
-	agg := res[0].Counter
-	for i, r := range res {
-		if r.Err != nil {
-			return nil, fmt.Errorf("glitchsim: seed %d: %w", seeds[i], r.Err)
-		}
-		if i == 0 {
-			continue
-		}
-		if err := agg.Merge(r.Counter); err != nil {
-			return nil, err
-		}
-	}
-	return agg, nil
+	return DefaultEngine().MeasureSeeds(context.Background(), SeedSweepRequest{
+		Netlist: n, Config: cfg, Seeds: seeds, Workers: workers,
+	})
 }
 
-// parallelEach runs f(0), …, f(n-1) on a pool of `workers` goroutines
-// (workers <= 0 means DefaultWorkers) and returns the lowest-index
-// error, so the reported failure does not depend on scheduling order.
-// It is the harness behind experiment drivers whose per-item work is
-// more than a plain measurement (e.g. retime-then-measure sweeps).
-func parallelEach(n, workers int, f func(i int) error) error {
+// parallelEachCtx runs f(0), …, f(n-1) on a pool of `workers` goroutines
+// (workers <= 0 means DefaultWorkers). Workers stop claiming new indices
+// once ctx is cancelled; the function then returns ctx's error. With a
+// live context it returns the lowest-index error from f, so the reported
+// failure does not depend on scheduling order. It is the harness behind
+// every Engine fan-out (batches, seed sweeps, retime-then-measure
+// experiment drivers).
+func parallelEachCtx(ctx context.Context, n, workers int, f func(i int) error) error {
 	if n == 0 {
-		return nil
+		return ctx.Err()
 	}
 	if workers <= 0 {
 		workers = DefaultWorkers()
@@ -156,6 +111,7 @@ func parallelEach(n, workers int, f func(i int) error) error {
 		workers = n
 	}
 	errs := make([]error, n)
+	done := ctx.Done()
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -163,6 +119,13 @@ func parallelEach(n, workers int, f func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for {
+				if done != nil {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -172,6 +135,9 @@ func parallelEach(n, workers int, f func(i int) error) error {
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err

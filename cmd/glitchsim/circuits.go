@@ -1,62 +1,22 @@
 package main
 
 import (
-	"fmt"
-	"sort"
-	"strings"
-
-	"glitchsim/internal/circuits"
 	"glitchsim/internal/netlist"
+	"glitchsim/internal/registry"
 )
 
-// circuitBuilders maps CLI circuit names to generators.
-var circuitBuilders = map[string]func() *netlist.Netlist{
-	"rca4":      func() *netlist.Netlist { return circuits.NewRCA(4, circuits.Cells) },
-	"rca8":      func() *netlist.Netlist { return circuits.NewRCA(8, circuits.Cells) },
-	"rca16":     func() *netlist.Netlist { return circuits.NewRCA(16, circuits.Cells) },
-	"rca16g":    func() *netlist.Netlist { return circuits.NewRCA(16, circuits.Gates) },
-	"array8":    func() *netlist.Netlist { return circuits.NewArrayMultiplier(8, circuits.Cells) },
-	"array16":   func() *netlist.Netlist { return circuits.NewArrayMultiplier(16, circuits.Cells) },
-	"wallace8":  func() *netlist.Netlist { return circuits.NewWallaceMultiplier(8, circuits.Cells) },
-	"wallace16": func() *netlist.Netlist { return circuits.NewWallaceMultiplier(16, circuits.Cells) },
-	"dirdet8": func() *netlist.Netlist {
-		return circuits.NewDirectionDetector(circuits.DirDetConfig{Width: 8, Style: circuits.Cells})
-	},
-	"dirdet8r": func() *netlist.Netlist {
-		return circuits.NewDirectionDetector(circuits.DirDetConfig{Width: 8, Style: circuits.Cells, RegisterInputs: true})
-	},
-	"dirdet8g": func() *netlist.Netlist {
-		return circuits.NewDirectionDetector(circuits.DirDetConfig{Width: 8, Style: circuits.Gates})
-	},
-	"booth8":  func() *netlist.Netlist { return circuits.NewBoothMultiplier(8, circuits.Cells) },
-	"booth16": func() *netlist.Netlist { return circuits.NewBoothMultiplier(16, circuits.Cells) },
-	"cskip16": func() *netlist.Netlist { return circuits.NewCarrySkip(16, 4, circuits.Gates) },
-	"cla16":   func() *netlist.Netlist { return circuits.NewCLA(16) },
-	"csel16":  func() *netlist.Netlist { return circuits.NewCarrySelect(16, 4, circuits.Gates) },
-	"hazard":  buildHazard,
-}
+// The circuit catalogue lives in internal/registry, shared with the
+// glitchsimd service so both resolve the same names. These helpers keep
+// the CLI's historical shape.
 
 func buildHazard() *netlist.Netlist {
-	b := netlist.NewBuilder("hazard")
-	a := b.Input("a")
-	out := b.And(a, b.Not(a))
-	b.Output("out", out)
-	return b.MustBuild()
+	n, err := registry.Build("hazard")
+	if err != nil {
+		panic(err) // unreachable: "hazard" is a registry name
+	}
+	return n
 }
 
-func circuitNames() string {
-	names := make([]string, 0, len(circuitBuilders))
-	for n := range circuitBuilders {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return strings.Join(names, ", ")
-}
+func circuitNames() string { return registry.NameList() }
 
-func buildCircuit(name string) (*netlist.Netlist, error) {
-	f, ok := circuitBuilders[name]
-	if !ok {
-		return nil, fmt.Errorf("unknown circuit %q (available: %s)", name, circuitNames())
-	}
-	return f(), nil
-}
+func buildCircuit(name string) (*netlist.Netlist, error) { return registry.Build(name) }

@@ -3,10 +3,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"glitchsim"
 	"glitchsim/internal/report"
+	"glitchsim/internal/service"
 )
+
+// emitJSON writes v to stdout in the service layer's JSON encoding; the
+// -format json path of every experiment subcommand funnels through it.
+func emitJSON(v any) error { return service.WriteJSON(os.Stdout, v) }
 
 func cmdWorstCase(args []string) error {
 	fs := flag.NewFlagSet("worstcase", flag.ExitOnError)
@@ -17,6 +23,9 @@ func cmdWorstCase(args []string) error {
 	res, err := glitchsim.WorstCase(*n)
 	if err != nil {
 		return err
+	}
+	if jsonOut() {
+		return emitJSON(res)
 	}
 	fmt.Printf("Worst case of an N=%d bit ripple-carry adder (paper §3.1, Figure 3)\n\n", res.N)
 	fmt.Printf("  previous operands: A=%0*b B=%0*b (alternating carries)\n", res.N, res.PrevA, res.N, res.PrevB)
@@ -41,6 +50,9 @@ func cmdFig5(args []string) error {
 	res, err := glitchsim.Figure5(*n, *cycles, *seed)
 	if err != nil {
 		return err
+	}
+	if jsonOut() {
+		return emitJSON(res)
 	}
 	fmt.Printf("Figure 5: %d-bit RCA, %d random inputs\n\n", res.N, res.Cycles)
 	tb := report.NewTable("per-bit transitions (analytic | simulated)",
@@ -92,6 +104,9 @@ func cmdTable1(args []string) error {
 	if err != nil {
 		return err
 	}
+	if jsonOut() {
+		return emitJSON(service.RowsResponse{Rows: service.MultRowsFrom(rows)})
+	}
 	fmt.Println(multTable(fmt.Sprintf("Table 1: transition activity for %d random inputs (unit delay)", *cycles), rows))
 	fmt.Println("paper reference (500 inputs): array 8x8 L/F=1.51, 16x16 L/F=3.26; wallace 8x8 L/F=0.28, 16x16 L/F=0.16")
 	return nil
@@ -108,6 +123,9 @@ func cmdTable2(args []string) error {
 	if err != nil {
 		return err
 	}
+	if jsonOut() {
+		return emitJSON(service.RowsResponse{Rows: service.MultRowsFrom(rows)})
+	}
 	fmt.Println(multTable(fmt.Sprintf("Table 2: 8x8 multipliers, %d random inputs, sum/carry delay imbalance", *cycles), rows))
 	fmt.Println("paper reference: array 1.46 -> 2.01, wallace 0.29 -> 0.64")
 	return nil
@@ -123,6 +141,9 @@ func cmdDirDet(args []string) error {
 	res, err := glitchsim.DirectionDetector42(*cycles, *seed)
 	if err != nil {
 		return err
+	}
+	if jsonOut() {
+		return emitJSON(service.ActivityFrom(res.Activity))
 	}
 	fmt.Printf("Direction detector (§4.2), %d random inputs:\n\n", *cycles)
 	fmt.Printf("  number of useful transitions:  %d\n", res.Useful)
@@ -154,6 +175,9 @@ func cmdTable3(args []string) error {
 	if err != nil {
 		return err
 	}
+	if jsonOut() {
+		return emitJSON(service.Table3Response{Rows: service.Table3RowsFrom(rows)})
+	}
 	fmt.Println(table3Table("Table 3: power dissipation of retimed direction detector variants", rows))
 	fmt.Println("paper reference: ffs 48/174/218/350, logic 21.8/9.7/7.5/6.1 mW, total 23.2/14.5/13.4/15.5 mW (minimum at circuit 3)")
 	return nil
@@ -169,6 +193,9 @@ func cmdFig10(args []string) error {
 	rows, err := glitchsim.Figure10(nil, *cycles, *seed)
 	if err != nil {
 		return err
+	}
+	if jsonOut() {
+		return emitJSON(service.Table3Response{Rows: service.Table3RowsFrom(rows)})
 	}
 	fmt.Println(table3Table("Figure 10 sweep: power vs number of flipflops", rows))
 	labels := make([]string, len(rows))

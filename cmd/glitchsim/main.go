@@ -60,15 +60,28 @@ var commands = map[string]func(args []string) error{
 // settable as either -workers or -parallel ahead of the subcommand.
 var workers int
 
+// format selects the experiment output encoding: "text" renders the
+// report tables, "json" emits the service layer's JSON shapes, so
+// scripted pipelines see the same schema from the CLI and glitchsimd.
+var format string
+
 func init() {
 	flag.IntVar(&workers, "workers", 0, "measurement worker goroutines (0 = all CPUs)")
 	flag.IntVar(&workers, "parallel", 0, "alias for -workers")
+	flag.StringVar(&format, "format", "text", "experiment output format: text or json")
 }
+
+// jsonOut reports whether -format json was requested.
+func jsonOut() bool { return format == "json" }
 
 func main() {
 	flag.Usage = usage
 	flag.Parse()
 	glitchsim.SetDefaultWorkers(workers)
+	if format != "text" && format != "json" {
+		fmt.Fprintf(os.Stderr, "glitchsim: unknown -format %q (text or json)\n", format)
+		os.Exit(2)
+	}
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
@@ -92,8 +105,10 @@ func usage() {
 usage: glitchsim [-workers N] <subcommand> [flags]
 
 global flags:
-  -workers N  measurement worker goroutines for the experiment drivers
-              (alias -parallel; 0 = all CPUs)
+  -workers N    measurement worker goroutines for the experiment drivers
+                (alias -parallel; 0 = all CPUs)
+  -format FMT   experiment output: text (default) or json (the glitchsimd
+                service schema)
 
 paper experiments:
   worstcase   worst-case RCA transitions and probability (Fig 3, §3.1)

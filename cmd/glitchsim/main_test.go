@@ -6,10 +6,11 @@ import (
 
 	"glitchsim/internal/delay"
 	"glitchsim/internal/netlist"
+	"glitchsim/internal/registry"
 )
 
 func TestBuildCircuitAllNames(t *testing.T) {
-	for name := range circuitBuilders {
+	for _, name := range registry.Names() {
 		n, err := buildCircuit(name)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
@@ -32,7 +33,7 @@ func TestBuildCircuitUnknown(t *testing.T) {
 
 func TestCircuitNamesSorted(t *testing.T) {
 	names := strings.Split(circuitNames(), ", ")
-	if len(names) != len(circuitBuilders) {
+	if len(names) != len(registry.Names()) {
 		t.Fatal("name list incomplete")
 	}
 	for i := 1; i < len(names); i++ {

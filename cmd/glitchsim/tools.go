@@ -7,6 +7,7 @@ import (
 
 	"glitchsim"
 	"glitchsim/internal/delay"
+	"glitchsim/internal/registry"
 	"glitchsim/internal/retime"
 	"glitchsim/internal/sim"
 	"glitchsim/internal/stimulus"
@@ -15,16 +16,7 @@ import (
 
 // delayFlag builds the delay model from -dsum/-dcarry/-typical flags.
 func delayFlag(dsum, dcarry int, typical bool) delay.Model {
-	if typical {
-		return delay.Typical()
-	}
-	if dsum != dcarry {
-		return delay.FullAdderRatio(dsum, dcarry)
-	}
-	if dsum != 1 {
-		return delay.Uniform(dsum)
-	}
-	return delay.Unit()
+	return registry.DelayModel(dsum, dcarry, typical)
 }
 
 func cmdSim(args []string) error {

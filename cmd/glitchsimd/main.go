@@ -1,0 +1,71 @@
+// Command glitchsimd serves the glitchsim measurement engine over
+// HTTP/JSON: one shared Engine (compiled-netlist cache + worker pool)
+// behind /v1/measure, the /v1/experiments endpoints and /healthz. See
+// internal/service for the endpoint and parameter reference.
+//
+// Usage:
+//
+//	glitchsimd [-addr :8347] [-workers N] [-cache N]
+//
+// Examples:
+//
+//	curl localhost:8347/healthz
+//	curl -d '{"circuit":"wallace8","cycles":500}' localhost:8347/v1/measure
+//	curl 'localhost:8347/v1/measure?circuit=rca16&seeds=1,2,3,4&stream=1'
+//	curl -d '{"cycles":500}' localhost:8347/v1/experiments/table1
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"glitchsim"
+	"glitchsim/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8347", "listen address")
+	workers := flag.Int("workers", 0, "measurement worker goroutines per request (0 = all CPUs)")
+	cache := flag.Int("cache", glitchsim.DefaultCacheSize, "compiled-netlist cache entries (0 disables caching)")
+	flag.Parse()
+
+	engine := glitchsim.NewEngine(
+		glitchsim.WithWorkers(*workers),
+		glitchsim.WithCacheSize(*cache),
+	)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.New(engine),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("glitchsimd listening on %s (workers=%d, cache=%d)", *addr, engine.Workers(), *cache)
+		errc <- srv.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "glitchsimd: %v\n", err)
+		os.Exit(1)
+	case sig := <-stop:
+		log.Printf("glitchsimd: %v, draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "glitchsimd: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

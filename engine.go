@@ -1,0 +1,466 @@
+package glitchsim
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"glitchsim/internal/core"
+	"glitchsim/internal/delay"
+	"glitchsim/internal/netlist"
+	"glitchsim/internal/power"
+	"glitchsim/internal/sim"
+)
+
+// Engine is the execution core of the package: it owns a worker pool
+// configuration, an engine-wide simulation concurrency bound
+// (WithMaxConcurrency), default delay/technology models, and a cache of
+// compiled netlists keyed by structural identity, so repeated
+// measurements of the same circuit — across calls, goroutines and
+// service requests — pay for compilation once. All measurement entry
+// points take a context.Context and honour cancellation promptly, with
+// periodic checks inside the simulator's event loop.
+//
+// An Engine is safe for concurrent use by any number of goroutines; a
+// long-running service shares one Engine across all requests. The
+// package-level functions (Measure, Table1, …) are thin wrappers over a
+// shared DefaultEngine and remain bit-identical to their historical
+// behaviour.
+type Engine struct {
+	workers   int
+	delay     delay.Model
+	tech      power.Tech
+	cacheSize int
+	maxConc   int
+	sem       chan struct{} // engine-wide simulation slots, cap = maxConc
+
+	mu        sync.Mutex
+	lru       *list.List // of *cacheEntry; front = most recently used
+	entries   map[string]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// cacheEntry is one compiled netlist in the Engine's cache. Compilation
+// happens inside the entry's once, outside the cache lock, so concurrent
+// first requests for the same circuit do not serialize the whole engine
+// and do not compile twice.
+type cacheEntry struct {
+	key  string
+	once sync.Once
+	c    *sim.Compiled
+}
+
+// DefaultCacheSize is the number of distinct compiled netlists an Engine
+// retains when WithCacheSize is not given.
+const DefaultCacheSize = 128
+
+// EngineOption configures an Engine at construction.
+type EngineOption func(*Engine)
+
+// WithWorkers fixes the engine's worker-pool size for batch and sweep
+// measurements. n <= 0 (the default) tracks the process-wide
+// DefaultWorkers value, which the -workers CLI flag sets.
+func WithWorkers(n int) EngineOption {
+	return func(e *Engine) {
+		if n < 0 {
+			n = 0
+		}
+		e.workers = n
+	}
+}
+
+// WithDelayModel sets the delay model measurements fall back to when
+// their Config.Delay is nil. The default is unit delay, matching the
+// paper's experiments.
+func WithDelayModel(m delay.Model) EngineOption {
+	return func(e *Engine) { e.delay = m }
+}
+
+// WithTech sets the technology constants MeasurePower and the power
+// experiments use when the request does not carry its own. The default
+// is the calibrated 0.8 µm model of DefaultTech.
+func WithTech(t power.Tech) EngineOption {
+	return func(e *Engine) { e.tech = t }
+}
+
+// WithMaxConcurrency bounds the number of simulations the engine runs
+// simultaneously across ALL its calls and sessions, so a service facing
+// many concurrent requests cannot oversubscribe the machine: each
+// request still fans out onto its own workers, but at most n of them
+// simulate at any instant (the rest wait, honouring cancellation). n <=
+// 0 (the default) selects GOMAXPROCS. Per-request worker counts larger
+// than n are not an error — they just contend for the n slots.
+func WithMaxConcurrency(n int) EngineOption {
+	return func(e *Engine) {
+		if n < 0 {
+			n = 0
+		}
+		e.maxConc = n
+	}
+}
+
+// WithCacheSize bounds the compiled-netlist cache to n distinct
+// circuits (LRU eviction). n <= 0 disables caching entirely: every
+// measurement compiles its netlist, as the pre-Engine API did.
+func WithCacheSize(n int) EngineOption {
+	return func(e *Engine) {
+		if n < 0 {
+			n = 0
+		}
+		e.cacheSize = n
+	}
+}
+
+// NewEngine returns an Engine with the given options applied over the
+// defaults: workers tracking DefaultWorkers, unit fallback delay,
+// DefaultTech technology, DefaultCacheSize cache entries.
+func NewEngine(opts ...EngineOption) *Engine {
+	e := &Engine{
+		tech:      power.Default08um(),
+		cacheSize: DefaultCacheSize,
+		lru:       list.New(),
+		entries:   make(map[string]*list.Element),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.maxConc <= 0 {
+		e.maxConc = runtime.GOMAXPROCS(0)
+	}
+	e.sem = make(chan struct{}, e.maxConc)
+	return e
+}
+
+// acquire claims one of the engine's simulation slots, blocking until a
+// slot frees up or ctx is cancelled.
+func (e *Engine) acquire(ctx context.Context) error {
+	select {
+	case e.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (e *Engine) release() { <-e.sem }
+
+var (
+	defaultEngineOnce sync.Once
+	defaultEngine     *Engine
+)
+
+// DefaultEngine returns the process-wide Engine behind the package-level
+// measurement functions. It is created on first use with all defaults;
+// its worker count follows SetDefaultWorkers.
+func DefaultEngine() *Engine {
+	defaultEngineOnce.Do(func() { defaultEngine = NewEngine() })
+	return defaultEngine
+}
+
+// Tech returns the engine's default technology constants.
+func (e *Engine) Tech() power.Tech { return e.tech }
+
+// Workers returns the engine's effective worker-pool size.
+func (e *Engine) Workers() int { return e.workerCount(0) }
+
+// workerCount resolves the effective pool size: an explicit per-request
+// count wins, then the engine option, then the process default.
+func (e *Engine) workerCount(request int) int {
+	if request > 0 {
+		return request
+	}
+	if e.workers > 0 {
+		return e.workers
+	}
+	return DefaultWorkers()
+}
+
+// fillDefaults applies the engine-level fallbacks a request config did
+// not specify. Only the delay model is engine-scoped; everything else is
+// handled by Config.withDefaults at measurement time.
+func (e *Engine) fillDefaults(cfg Config) Config {
+	if cfg.Delay == nil && e.delay != nil {
+		cfg.Delay = e.delay
+	}
+	return cfg
+}
+
+// CacheStats reports the compiled-netlist cache counters since the
+// engine was created.
+type CacheStats struct {
+	// Size is the number of compiled netlists currently retained;
+	// Capacity the configured bound (0 = caching disabled).
+	Size, Capacity int
+	// Hits and Misses count cache lookups; Evictions counts entries
+	// dropped by the LRU bound.
+	Hits, Misses, Evictions uint64
+}
+
+// CacheStats returns a snapshot of the cache counters.
+func (e *Engine) CacheStats() CacheStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return CacheStats{
+		Size:      e.lru.Len(),
+		Capacity:  e.cacheSize,
+		Hits:      e.hits,
+		Misses:    e.misses,
+		Evictions: e.evictions,
+	}
+}
+
+// compiled returns the compiled form of n, from cache when possible.
+// The cache key is the netlist's structural fingerprint, so separately
+// built instances of the same circuit share one compilation. Compile
+// panics on invalid netlists (matching the historical Measure
+// behaviour); a panicked compilation never poisons the cache.
+func (e *Engine) compiled(n *netlist.Netlist) *sim.Compiled {
+	if e.cacheSize <= 0 {
+		return sim.Compile(n)
+	}
+	key := n.Fingerprint()
+
+	e.mu.Lock()
+	if el, ok := e.entries[key]; ok {
+		e.lru.MoveToFront(el)
+		ent := el.Value.(*cacheEntry)
+		e.hits++
+		e.mu.Unlock()
+		ent.once.Do(func() { ent.c = sim.Compile(n) })
+		if c := ent.c; c != nil {
+			return c
+		}
+		// The goroutine that owned the once panicked in Compile (invalid
+		// netlist). Drop the poisoned entry and report on this caller too.
+		e.dropEntry(key)
+		return sim.Compile(n)
+	}
+	ent := &cacheEntry{key: key}
+	e.entries[key] = e.lru.PushFront(ent)
+	e.misses++
+	if e.lru.Len() > e.cacheSize {
+		oldest := e.lru.Back()
+		e.lru.Remove(oldest)
+		delete(e.entries, oldest.Value.(*cacheEntry).key)
+		e.evictions++
+	}
+	e.mu.Unlock()
+
+	defer func() {
+		if ent.c == nil {
+			e.dropEntry(key) // Compile panicked: do not cache the failure
+		}
+	}()
+	ent.once.Do(func() { ent.c = sim.Compile(n) })
+	return ent.c
+}
+
+func (e *Engine) dropEntry(key string) {
+	e.mu.Lock()
+	if el, ok := e.entries[key]; ok {
+		e.lru.Remove(el)
+		delete(e.entries, key)
+	}
+	e.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Request structs.
+
+// MeasureRequest asks for one measurement of one circuit.
+type MeasureRequest struct {
+	// Netlist is the circuit to measure. Required.
+	Netlist *netlist.Netlist
+	// Config controls the run; zero-value fields select the documented
+	// defaults (and the engine's delay model, if one was configured).
+	Config Config
+	// Tech overrides the engine's technology constants for MeasurePower.
+	// Nil selects the engine default.
+	Tech *power.Tech
+}
+
+// BatchRequest asks for a set of independent measurements.
+type BatchRequest struct {
+	Jobs []MeasureJob
+	// Workers overrides the engine's pool size for this batch; 0 keeps
+	// the engine default.
+	Workers int
+}
+
+// SeedSweepRequest asks for the same circuit measured under several
+// stimulus seeds, merged into one aggregate counter.
+type SeedSweepRequest struct {
+	Netlist *netlist.Netlist
+	Config  Config
+	Seeds   []uint64
+	// Workers overrides the engine's pool size for this sweep; 0 keeps
+	// the engine default.
+	Workers int
+}
+
+// ExperimentRequest parameterizes the paper's experiment drivers.
+// Zero-value fields select each experiment's documented defaults.
+type ExperimentRequest struct {
+	// Cycles is the number of measured cycles per point (0 = the
+	// experiment's default run length).
+	Cycles int
+	// Seed selects the stimulus stream (0 = 1).
+	Seed uint64
+	// Width parameterizes width-dependent studies (Figure5, WorstCase,
+	// AdderStudy, MultiplierStudy).
+	Width int
+	// Targets overrides the Figure10 retiming-period sweep; nil selects
+	// the default eight-point sweep.
+	Targets []int
+	// Seeds parameterizes multi-seed studies (SeedSweep).
+	Seeds []uint64
+}
+
+// ---------------------------------------------------------------------------
+// Core measurement entry points.
+
+// MeasureDetailed simulates the request and returns the attached
+// activity counter with per-net statistics. Cancellation of ctx aborts
+// the simulation promptly, returning ctx's error.
+func (e *Engine) MeasureDetailed(ctx context.Context, req MeasureRequest) (*core.Counter, error) {
+	if req.Netlist == nil {
+		return nil, fmt.Errorf("glitchsim: MeasureRequest without a netlist")
+	}
+	c := e.compiled(req.Netlist)
+	if err := e.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer e.release()
+	return measureCompiled(ctx, c, e.fillDefaults(req.Config))
+}
+
+// Measure runs MeasureDetailed and summarizes the totals.
+func (e *Engine) Measure(ctx context.Context, req MeasureRequest) (Activity, error) {
+	counter, err := e.MeasureDetailed(ctx, req)
+	if err != nil {
+		return Activity{}, err
+	}
+	return summarize(req.Netlist.Name, counter), nil
+}
+
+// MeasurePower measures activity and evaluates the paper's
+// three-component power model on it, using the request's technology
+// constants or the engine default.
+func (e *Engine) MeasurePower(ctx context.Context, req MeasureRequest) (power.Breakdown, Activity, error) {
+	counter, err := e.MeasureDetailed(ctx, req)
+	if err != nil {
+		return power.Breakdown{}, Activity{}, err
+	}
+	tech := e.tech
+	if req.Tech != nil {
+		tech = *req.Tech
+	}
+	return power.FromActivity(counter, tech), summarize(req.Netlist.Name, counter), nil
+}
+
+// MeasureMany measures every job of the batch on the engine's worker
+// pool and returns one result per job, in job order. Per-job failures
+// land in the corresponding MeasureResult and never abort the batch; the
+// returned error is non-nil only when ctx is cancelled, in which case
+// jobs that never ran carry the context's error in their result.
+func (e *Engine) MeasureMany(ctx context.Context, req BatchRequest) ([]MeasureResult, error) {
+	return e.measureMany(ctx, req.Jobs, req.Workers, nil)
+}
+
+// measureMany is the fan-out core behind MeasureMany, MeasureSeeds and
+// the experiment drivers. emit, when non-nil, is called once per
+// completed job from the worker goroutines (concurrently, in completion
+// order) — the Session layer streams progress through it.
+func (e *Engine) measureMany(ctx context.Context, jobs []MeasureJob, workers int, emit func(int, *MeasureResult)) ([]MeasureResult, error) {
+	results := make([]MeasureResult, len(jobs))
+	if len(jobs) == 0 {
+		return results, ctx.Err()
+	}
+
+	// Resolve each distinct netlist once, up front and serially: Compile
+	// panics on invalid netlists (as Measure does) and the panic should
+	// surface on the caller's goroutine. The cache makes this a lookup
+	// for circuits the engine has seen before.
+	compiled := make(map[*netlist.Netlist]*sim.Compiled, len(jobs))
+	for i := range jobs {
+		if nl := jobs[i].Netlist; nl != nil && compiled[nl] == nil {
+			compiled[nl] = e.compiled(nl)
+		}
+	}
+
+	err := parallelEachCtx(ctx, len(jobs), e.workerCount(workers), func(i int) error {
+		job := &jobs[i]
+		if job.Netlist == nil {
+			results[i].Err = fmt.Errorf("glitchsim: job %d has no netlist", i)
+		} else if err := e.acquire(ctx); err != nil {
+			results[i].Err = err
+		} else {
+			counter, err := measureCompiled(ctx, compiled[job.Netlist], e.fillDefaults(job.Config))
+			e.release()
+			if err != nil {
+				results[i].Err = err
+			} else {
+				results[i].Counter = counter
+				results[i].Activity = summarize(job.Netlist.Name, counter)
+			}
+		}
+		if emit != nil {
+			emit(i, &results[i])
+		}
+		return nil // per-job errors live in results, never abort the batch
+	})
+	if err != nil {
+		// Mark jobs the cancelled pool never ran, so callers inspecting
+		// results see why they are empty.
+		for i := range results {
+			if results[i].Err == nil && results[i].Counter == nil {
+				results[i].Err = err
+			}
+		}
+		return results, err
+	}
+	return results, nil
+}
+
+// MeasureSeeds measures the request's circuit under each seed in
+// parallel and merges the per-seed counters into one aggregate, which
+// reads like a single measurement of len(Seeds)*Cycles cycles. Any
+// Source in the config is ignored (each seed gets its own stream). The
+// merge order is fixed (seed order), so the aggregate is deterministic.
+func (e *Engine) MeasureSeeds(ctx context.Context, req SeedSweepRequest) (*core.Counter, error) {
+	return e.measureSeeds(ctx, req, nil)
+}
+
+func (e *Engine) measureSeeds(ctx context.Context, req SeedSweepRequest, emit func(int, *MeasureResult)) (*core.Counter, error) {
+	if len(req.Seeds) == 0 {
+		return nil, fmt.Errorf("glitchsim: MeasureSeeds needs at least one seed")
+	}
+	jobs := make([]MeasureJob, len(req.Seeds))
+	for i, seed := range req.Seeds {
+		c := req.Config
+		c.Seed = seed
+		c.Source = nil
+		jobs[i] = MeasureJob{Netlist: req.Netlist, Config: c}
+	}
+	res, err := e.measureMany(ctx, jobs, req.Workers, emit)
+	if err != nil {
+		return nil, err
+	}
+	agg := res[0].Counter
+	for i, r := range res {
+		if r.Err != nil {
+			return nil, fmt.Errorf("glitchsim: seed %d: %w", req.Seeds[i], r.Err)
+		}
+		if i == 0 {
+			continue
+		}
+		if err := agg.Merge(r.Counter); err != nil {
+			return nil, err
+		}
+	}
+	return agg, nil
+}

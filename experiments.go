@@ -1,6 +1,7 @@
 package glitchsim
 
 import (
+	"context"
 	"fmt"
 
 	"glitchsim/internal/analytic"
@@ -9,11 +10,19 @@ import (
 	"glitchsim/internal/delay"
 	"glitchsim/internal/logic"
 	"glitchsim/internal/netlist"
-	"glitchsim/internal/power"
 	"glitchsim/internal/retime"
 	"glitchsim/internal/sim"
 	"glitchsim/internal/stimulus"
 )
+
+// The paper's experiment drivers, as Engine methods. Every driver takes
+// a context and routes all measurement through the engine's compiled-
+// netlist cache and worker pool. The package-level functions of the same
+// names are deprecated wrappers over DefaultEngine and remain
+// bit-identical to their historical behaviour for the arguments they
+// documented; zero-valued cycle/width arguments now select each
+// experiment's paper defaults instead of falling through to Config's
+// generic run length.
 
 // ---------------------------------------------------------------------------
 // E1 — §3.1 / Figure 3: worst-case transition count of a ripple-carry adder.
@@ -36,10 +45,18 @@ type WorstCaseResult struct {
 // WorstCase constructs the §3.1 worst-case stimulus for an N-bit RCA
 // (alternating carries from A=B=0101…, then a kill at stage 0 with all
 // higher stages propagating), and measures S_{N-1} and C_N transitions
-// both analytically and with the event-driven simulator.
-func WorstCase(n int) (WorstCaseResult, error) {
+// both analytically and with the event-driven simulator. req.Width
+// selects the adder width (default 4).
+func (e *Engine) WorstCase(ctx context.Context, req ExperimentRequest) (WorstCaseResult, error) {
+	n := req.Width
+	if n == 0 {
+		n = 4
+	}
 	if n < 2 || n > 16 {
 		return WorstCaseResult{}, fmt.Errorf("glitchsim: worst case supports 2..16 bits, got %d", n)
+	}
+	if err := ctx.Err(); err != nil {
+		return WorstCaseResult{}, err
 	}
 	mask := uint64(1)<<uint(n) - 1
 	res := WorstCaseResult{
@@ -57,7 +74,7 @@ func WorstCase(n int) (WorstCaseResult, error) {
 	nl := circuits.NewRCA(n, circuits.Cells)
 	sumNet := nl.Bus("sum")[n-1]
 	carryNet := nl.Bus("carry")[n-1]
-	s := sim.New(nl, sim.Options{Delay: delay.Unit()})
+	s := sim.NewFromCompiled(e.compiled(nl), sim.Options{Delay: delay.Unit()})
 	pi := make(logic.Vector, nl.InputWidth())
 	apply := func(a, b uint64) error {
 		copy(pi[:n], logic.VectorFromUint(a, n))
@@ -75,6 +92,18 @@ func WorstCase(n int) (WorstCaseResult, error) {
 	res.SimSumTransitions = int(counter.Stats(sumNet).Transitions)
 	res.SimCarryTransitions = int(counter.Stats(carryNet).Transitions)
 	return res, nil
+}
+
+// WorstCase is the package-level form of Engine.WorstCase.
+//
+// Deprecated: use DefaultEngine().WorstCase with a context.
+func WorstCase(n int) (WorstCaseResult, error) {
+	// The historical function validated n directly; keep rejecting n=0
+	// rather than letting the request default of 4 absorb it.
+	if n < 2 || n > 16 {
+		return WorstCaseResult{}, fmt.Errorf("glitchsim: worst case supports 2..16 bits, got %d", n)
+	}
+	return DefaultEngine().WorstCase(context.Background(), ExperimentRequest{Width: n})
 }
 
 // ---------------------------------------------------------------------------
@@ -102,13 +131,23 @@ type Fig5Result struct {
 	Sim Activity
 }
 
-// Figure5 reproduces Figure 5: an N-bit RCA driven with `cycles` random
-// vectors, classified per sum and carry bit, next to the closed-form
-// prediction.
-func Figure5(n, cycles int, seed uint64) (Fig5Result, error) {
+// Figure5 reproduces Figure 5: an N-bit RCA (req.Width, default 16)
+// driven with req.Cycles random vectors (default 4000), classified per
+// sum and carry bit, next to the closed-form prediction.
+func (e *Engine) Figure5(ctx context.Context, req ExperimentRequest) (Fig5Result, error) {
+	n := req.Width
+	if n == 0 {
+		n = 16
+	}
+	cycles := req.Cycles
+	if cycles == 0 {
+		cycles = 4000
+	}
 	pred := analytic.PredictRCA(n, cycles)
 	nl := circuits.NewRCA(n, circuits.Cells)
-	counter, err := MeasureDetailed(nl, Config{Cycles: cycles, Seed: seed})
+	counter, err := e.MeasureDetailed(ctx, MeasureRequest{
+		Netlist: nl, Config: Config{Cycles: cycles, Seed: req.Seed},
+	})
 	if err != nil {
 		return Fig5Result{}, err
 	}
@@ -137,6 +176,13 @@ func Figure5(n, cycles int, seed uint64) (Fig5Result, error) {
 	return res, nil
 }
 
+// Figure5 is the package-level form of Engine.Figure5.
+//
+// Deprecated: use DefaultEngine().Figure5 with a context.
+func Figure5(n, cycles int, seed uint64) (Fig5Result, error) {
+	return DefaultEngine().Figure5(context.Background(), ExperimentRequest{Width: n, Cycles: cycles, Seed: seed})
+}
+
 // ---------------------------------------------------------------------------
 // E3/E4 — Tables 1 and 2: multiplier architecture and delay-imbalance
 // comparison.
@@ -151,24 +197,50 @@ type MultRow struct {
 }
 
 // Table1 reproduces Table 1: transition activity of array and
-// Wallace-tree multipliers (8×8 and 16×16) over `cycles` random inputs
-// with unit delays. The four rows are measured in parallel on the batch
-// layer.
-func Table1(cycles int, seed uint64) ([]MultRow, error) {
-	return measureMultipliers([]multSpec{
+// Wallace-tree multipliers (8×8 and 16×16) over req.Cycles random inputs
+// (default 500, the paper's run length) with unit delays. The four rows
+// are measured in parallel on the engine's worker pool.
+func (e *Engine) Table1(ctx context.Context, req ExperimentRequest) ([]MultRow, error) {
+	return e.measureMultipliers(ctx, table1Specs(), req, nil)
+}
+
+// table1Specs returns the Table 1 measurement plan, shared by the Engine
+// and Session drivers so both measure the same rows.
+func table1Specs() []multSpec {
+	return []multSpec{
 		{"array", 8, 1, 1}, {"array", 16, 1, 1},
 		{"wallace", 8, 1, 1}, {"wallace", 16, 1, 1},
-	}, cycles, seed)
+	}
+}
+
+// Table1 is the package-level form of Engine.Table1.
+//
+// Deprecated: use DefaultEngine().Table1 with a context.
+func Table1(cycles int, seed uint64) ([]MultRow, error) {
+	return DefaultEngine().Table1(context.Background(), ExperimentRequest{Cycles: cycles, Seed: seed})
 }
 
 // Table2 reproduces Table 2: the 8×8 multipliers with dsum = dcarry
 // versus the more realistic dsum = 2·dcarry, measured in parallel on the
-// batch layer.
-func Table2(cycles int, seed uint64) ([]MultRow, error) {
-	return measureMultipliers([]multSpec{
+// engine's worker pool.
+func (e *Engine) Table2(ctx context.Context, req ExperimentRequest) ([]MultRow, error) {
+	return e.measureMultipliers(ctx, table2Specs(), req, nil)
+}
+
+// table2Specs returns the Table 2 measurement plan, shared by the Engine
+// and Session drivers so both measure the same rows.
+func table2Specs() []multSpec {
+	return []multSpec{
 		{"array", 8, 1, 1}, {"array", 8, 2, 1},
 		{"wallace", 8, 1, 1}, {"wallace", 8, 2, 1},
-	}, cycles, seed)
+	}
+}
+
+// Table2 is the package-level form of Engine.Table2.
+//
+// Deprecated: use DefaultEngine().Table2 with a context.
+func Table2(cycles int, seed uint64) ([]MultRow, error) {
+	return DefaultEngine().Table2(context.Background(), ExperimentRequest{Cycles: cycles, Seed: seed})
 }
 
 // multSpec names one multiplier measurement of Tables 1 and 2.
@@ -191,15 +263,30 @@ func (sp multSpec) build() (*netlist.Netlist, delay.Model) {
 }
 
 // measureMultipliers measures the given multiplier specs concurrently
-// and returns one row per spec, in spec order.
-func measureMultipliers(specs []multSpec, cycles int, seed uint64) ([]MultRow, error) {
+// and returns one row per spec, in spec order. emit, when non-nil,
+// receives each finished row (concurrently, in completion order).
+func (e *Engine) measureMultipliers(ctx context.Context, specs []multSpec, req ExperimentRequest, emit func(int, *MultRow)) ([]MultRow, error) {
 	jobs := make([]MeasureJob, len(specs))
 	for i, sp := range specs {
 		nl, dm := sp.build()
-		jobs[i] = MeasureJob{Netlist: nl, Config: Config{Cycles: cycles, Seed: seed, Delay: dm}}
+		jobs[i] = MeasureJob{Netlist: nl, Config: Config{Cycles: req.Cycles, Seed: req.Seed, Delay: dm}}
 	}
-	res := MeasureMany(jobs, 0)
 	rows := make([]MultRow, len(specs))
+	var rowEmit func(int, *MeasureResult)
+	if emit != nil {
+		rowEmit = func(i int, r *MeasureResult) {
+			if r.Err != nil {
+				return
+			}
+			sp := specs[i]
+			rows[i] = MultRow{Arch: sp.arch, Width: sp.width, DSum: sp.dsum, DCarry: sp.dcarry, Activity: r.Activity}
+			emit(i, &rows[i])
+		}
+	}
+	res, err := e.measureMany(ctx, jobs, 0, rowEmit)
+	if err != nil {
+		return nil, err
+	}
 	for i, sp := range specs {
 		if res[i].Err != nil {
 			return nil, res[i].Err
@@ -221,15 +308,27 @@ type DirDetResult struct {
 }
 
 // DirectionDetector42 reproduces §4.2: the unregistered direction
-// detector simulated with unit delays under `cycles` random inputs
-// (the paper uses 4320).
-func DirectionDetector42(cycles int, seed uint64) (DirDetResult, error) {
+// detector simulated with unit delays under req.Cycles random inputs
+// (default 4320, the paper's run length).
+func (e *Engine) DirectionDetector42(ctx context.Context, req ExperimentRequest) (DirDetResult, error) {
+	cycles := req.Cycles
+	if cycles == 0 {
+		cycles = 4320
+	}
 	nl := circuits.NewDirectionDetector(circuits.DirDetConfig{Width: 8, Style: circuits.Cells})
-	act, err := Measure(nl, Config{Cycles: cycles, Seed: seed})
+	act, err := e.Measure(ctx, MeasureRequest{Netlist: nl, Config: Config{Cycles: cycles, Seed: req.Seed}})
 	if err != nil {
 		return DirDetResult{}, err
 	}
 	return DirDetResult{Activity: act, BalanceLimit: act.BalanceLimitFactor()}, nil
+}
+
+// DirectionDetector42 is the package-level form of
+// Engine.DirectionDetector42.
+//
+// Deprecated: use DefaultEngine().DirectionDetector42 with a context.
+func DirectionDetector42(cycles int, seed uint64) (DirDetResult, error) {
+	return DefaultEngine().DirectionDetector42(context.Background(), ExperimentRequest{Cycles: cycles, Seed: seed})
 }
 
 // ---------------------------------------------------------------------------
@@ -252,38 +351,107 @@ type Table3Row struct {
 	LOverF       float64
 }
 
-// Table3 reproduces Table 3: the input-registered direction detector is
-// retimed for four successively higher clock frequencies (shorter
-// retiming periods), and each variant's power is split into logic,
-// flipflop and clock components. The first variant is the original
-// circuit (registers at the inputs, the paper's 48 flipflops).
-func Table3(cycles int, seed uint64) ([]Table3Row, error) {
+// sweepPlan is a prepared retime-and-measure sweep: the base circuit,
+// its delay model, the retiming period targets and the latency budget.
+type sweepPlan struct {
+	base       *netlist.Netlist
+	dm         delay.Model
+	targets    []int
+	maxLatency int
+}
+
+// table3Targets prepares the Table 3 sweep: the input-registered
+// direction detector retimed for four successively higher clock
+// frequencies (chosen like the paper's four layouts: the optimum lies
+// strictly inside the sweep).
+func (e *Engine) table3Targets(ExperimentRequest) (sweepPlan, error) {
 	base := circuits.NewDirectionDetector(circuits.DirDetConfig{
 		Width: 8, Style: circuits.Cells, RegisterInputs: true,
 	})
 	dm := delay.Unit()
 	cp := retime.FromNetlist(base, dm, 0).ClockPeriod(nil)
-	// Four retiming frequencies: the original period plus three
-	// successively faster targets (chosen like the paper's four layouts:
-	// the optimum lies strictly inside the sweep).
-	targets := []int{cp, cp * 3 / 7, cp / 3, cp * 3 / 14}
-	tech := power.Default08um()
+	return sweepPlan{
+		base: base, dm: dm,
+		targets:    []int{cp, cp * 3 / 7, cp / 3, cp * 3 / 14},
+		maxLatency: 4 * cp,
+	}, nil
+}
 
-	// Each variant retimes and measures independently: one worker per
-	// sweep point on the batch layer's pool.
+// figure10Targets prepares the Figure 10 sweep: Table 3 extended to
+// arbitrary retiming targets (req.Targets; nil selects the default
+// eight-point sweep).
+func (e *Engine) figure10Targets(req ExperimentRequest) (sweepPlan, error) {
+	base := circuits.NewDirectionDetector(circuits.DirDetConfig{
+		Width: 8, Style: circuits.Cells, RegisterInputs: true,
+	})
+	dm := delay.Unit()
+	cp := retime.FromNetlist(base, dm, 0).ClockPeriod(nil)
+	targets := req.Targets
+	if targets == nil {
+		targets = []int{cp, cp / 2, cp / 3, cp / 4, cp / 5, cp / 7, cp / 9, cp / 12}
+	}
+	return sweepPlan{base: base, dm: dm, targets: targets, maxLatency: 8 * cp}, nil
+}
+
+// Table3 reproduces Table 3: the input-registered direction detector is
+// retimed for four successively higher clock frequencies (shorter
+// retiming periods), and each variant's power is split into logic,
+// flipflop and clock components. The first variant is the original
+// circuit (registers at the inputs, the paper's 48 flipflops).
+func (e *Engine) Table3(ctx context.Context, req ExperimentRequest) ([]Table3Row, error) {
+	plan, err := e.table3Targets(req)
+	if err != nil {
+		return nil, err
+	}
+	return e.powerSweep(ctx, plan.base, plan.dm, plan.targets, plan.maxLatency, req, nil)
+}
+
+// Table3 is the package-level form of Engine.Table3.
+//
+// Deprecated: use DefaultEngine().Table3 with a context.
+func Table3(cycles int, seed uint64) ([]Table3Row, error) {
+	return DefaultEngine().Table3(context.Background(), ExperimentRequest{Cycles: cycles, Seed: seed})
+}
+
+// Figure10 returns the Table 3 sweep extended to arbitrary retiming
+// targets (req.Targets; nil selects the default eight-point sweep),
+// producing the power-versus-flipflops curves of Figure 10. Points are
+// ordered by increasing flipflop count.
+func (e *Engine) Figure10(ctx context.Context, req ExperimentRequest) ([]Table3Row, error) {
+	plan, err := e.figure10Targets(req)
+	if err != nil {
+		return nil, err
+	}
+	return e.powerSweep(ctx, plan.base, plan.dm, plan.targets, plan.maxLatency, req, nil)
+}
+
+// Figure10 is the package-level form of Engine.Figure10.
+//
+// Deprecated: use DefaultEngine().Figure10 with a context.
+func Figure10(targets []int, cycles int, seed uint64) ([]Table3Row, error) {
+	return DefaultEngine().Figure10(context.Background(), ExperimentRequest{Targets: targets, Cycles: cycles, Seed: seed})
+}
+
+// powerSweep retimes base for each target period and measures each
+// variant's power breakdown: the shared driver behind Table3 and
+// Figure10. Each variant retimes and measures independently, one worker
+// per sweep point on the engine's pool. emit, when non-nil, receives
+// each finished row (concurrently, in completion order).
+func (e *Engine) powerSweep(ctx context.Context, base *netlist.Netlist, dm delay.Model, targets []int, maxLatency int, req ExperimentRequest, emit func(int, *Table3Row)) ([]Table3Row, error) {
 	rows := make([]Table3Row, len(targets))
-	err := parallelEach(len(targets), 0, func(i int) error {
+	err := parallelEachCtx(ctx, len(targets), e.workerCount(0), func(i int) error {
 		tgt := targets[i]
 		if tgt < 1 {
 			tgt = 1
 		}
-		res, err := retime.ForPeriod(base, dm, tgt, 4*cp)
+		res, err := retime.ForPeriod(base, dm, tgt, maxLatency)
 		if err != nil {
-			return fmt.Errorf("glitchsim: table 3 target %d: %w", tgt, err)
+			return fmt.Errorf("glitchsim: retiming target %d: %w", tgt, err)
 		}
-		bd, act, err := MeasurePower(res.Netlist, Config{
-			Cycles: cycles, Seed: seed, Warmup: res.Latency + 16,
-		}, tech)
+		bd, act, err := e.MeasurePower(ctx, MeasureRequest{
+			Netlist: res.Netlist,
+			Config:  Config{Cycles: req.Cycles, Seed: req.Seed, Warmup: res.Latency + 16},
+		})
 		if err != nil {
 			return err
 		}
@@ -301,50 +469,8 @@ func Table3(cycles int, seed uint64) ([]Table3Row, error) {
 			TotalMW:      bd.TotalW() * 1e3,
 			LOverF:       act.LOverF(),
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return rows, nil
-}
-
-// Figure10 returns the Table 3 sweep extended to arbitrary retiming
-// targets, producing the power-versus-flipflops curves of Figure 10.
-// Points are ordered by increasing flipflop count.
-func Figure10(targets []int, cycles int, seed uint64) ([]Table3Row, error) {
-	base := circuits.NewDirectionDetector(circuits.DirDetConfig{
-		Width: 8, Style: circuits.Cells, RegisterInputs: true,
-	})
-	dm := delay.Unit()
-	cp := retime.FromNetlist(base, dm, 0).ClockPeriod(nil)
-	if targets == nil {
-		targets = []int{cp, cp / 2, cp / 3, cp / 4, cp / 5, cp / 7, cp / 9, cp / 12}
-	}
-	tech := power.Default08um()
-	rows := make([]Table3Row, len(targets))
-	err := parallelEach(len(targets), 0, func(i int) error {
-		tgt := targets[i]
-		if tgt < 1 {
-			tgt = 1
-		}
-		res, err := retime.ForPeriod(base, dm, tgt, 8*cp)
-		if err != nil {
-			return err
-		}
-		bd, act, err := MeasurePower(res.Netlist, Config{
-			Cycles: cycles, Seed: seed, Warmup: res.Latency + 16,
-		}, tech)
-		if err != nil {
-			return err
-		}
-		rows[i] = Table3Row{
-			Circuit: i + 1, TargetPeriod: tgt, Period: res.Period,
-			Latency: res.Latency, FFs: bd.NumFFs,
-			AreaMM2: bd.AreaMM2, ClockCapPF: bd.ClockCapF * 1e12,
-			LogicMW: bd.LogicW * 1e3, FlipflopMW: bd.FlipflopW * 1e3,
-			ClockMW: bd.ClockW * 1e3, TotalMW: bd.TotalW() * 1e3,
-			LOverF: act.LOverF(),
+		if emit != nil {
+			emit(i, &rows[i])
 		}
 		return nil
 	})
@@ -368,32 +494,58 @@ type AblationResult struct {
 // inertial gates swallow pulses narrower than their own delay, so
 // useless activity drops. (Under pure unit delay the two modes coincide:
 // no pulse is ever narrower than a gate delay.)
-func AblationInertial(cycles int, seed uint64) (AblationResult, error) {
+func (e *Engine) AblationInertial(ctx context.Context, req ExperimentRequest) (AblationResult, error) {
 	nl := circuits.NewDirectionDetector(circuits.DirDetConfig{Width: 8, Style: circuits.Cells})
-	a, err := Measure(nl, Config{Cycles: cycles, Seed: seed, Delay: delay.Typical()})
+	a, err := e.Measure(ctx, MeasureRequest{Netlist: nl, Config: Config{Cycles: req.Cycles, Seed: req.Seed, Delay: delay.Typical()}})
 	if err != nil {
 		return AblationResult{}, err
 	}
-	b, err := Measure(nl, Config{Cycles: cycles, Seed: seed, Delay: delay.Typical(), Inertial: true})
+	b, err := e.Measure(ctx, MeasureRequest{Netlist: nl, Config: Config{Cycles: req.Cycles, Seed: req.Seed, Delay: delay.Typical(), Inertial: true}})
 	if err != nil {
 		return AblationResult{}, err
 	}
 	return AblationResult{Name: "transport-vs-inertial", A: a, B: b}, nil
 }
 
+// AblationInertial is the package-level form of Engine.AblationInertial.
+//
+// Deprecated: use DefaultEngine().AblationInertial with a context.
+func AblationInertial(cycles int, seed uint64) (AblationResult, error) {
+	return DefaultEngine().AblationInertial(context.Background(), ExperimentRequest{Cycles: cycles, Seed: seed})
+}
+
 // AblationGranularity compares the compound-FA-cell and gate-level
-// decompositions of the same RCA: finer granularity exposes more
-// internal nodes and therefore more (and different) glitching.
-func AblationGranularity(width, cycles int, seed uint64) (AblationResult, error) {
-	a, err := Measure(circuits.NewRCA(width, circuits.Cells), Config{Cycles: cycles, Seed: seed})
+// decompositions of the same RCA (req.Width bits, default 8): finer granularity
+// exposes more internal nodes and therefore more (and different)
+// glitching.
+func (e *Engine) AblationGranularity(ctx context.Context, req ExperimentRequest) (AblationResult, error) {
+	w := req.Width
+	if w == 0 {
+		w = 8
+	}
+	a, err := e.Measure(ctx, MeasureRequest{
+		Netlist: circuits.NewRCA(w, circuits.Cells),
+		Config:  Config{Cycles: req.Cycles, Seed: req.Seed},
+	})
 	if err != nil {
 		return AblationResult{}, err
 	}
-	b, err := Measure(circuits.NewRCA(width, circuits.Gates), Config{Cycles: cycles, Seed: seed})
+	b, err := e.Measure(ctx, MeasureRequest{
+		Netlist: circuits.NewRCA(w, circuits.Gates),
+		Config:  Config{Cycles: req.Cycles, Seed: req.Seed},
+	})
 	if err != nil {
 		return AblationResult{}, err
 	}
 	return AblationResult{Name: "cells-vs-gates", A: a, B: b}, nil
+}
+
+// AblationGranularity is the package-level form of
+// Engine.AblationGranularity.
+//
+// Deprecated: use DefaultEngine().AblationGranularity with a context.
+func AblationGranularity(width, cycles int, seed uint64) (AblationResult, error) {
+	return DefaultEngine().AblationGranularity(context.Background(), ExperimentRequest{Width: width, Cycles: cycles, Seed: seed})
 }
 
 // ZeroDelayComparison quantifies how much a glitch-blind probabilistic
@@ -419,11 +571,16 @@ func (z ZeroDelayComparison) Underestimate() float64 {
 	return z.MeasuredPerCycle / z.EstimatedPerCycle
 }
 
-// AblationZeroDelay runs the comparison on an N-bit RCA.
-func AblationZeroDelay(width, cycles int, seed uint64) (ZeroDelayComparison, error) {
-	nl := circuits.NewRCA(width, circuits.Cells)
+// AblationZeroDelay runs the comparison on an N-bit RCA (req.Width,
+// default 16).
+func (e *Engine) AblationZeroDelay(ctx context.Context, req ExperimentRequest) (ZeroDelayComparison, error) {
+	w := req.Width
+	if w == 0 {
+		w = 16
+	}
+	nl := circuits.NewRCA(w, circuits.Cells)
 	est := analytic.ZeroDelayActivityTotal(nl)
-	act, err := Measure(nl, Config{Cycles: cycles, Seed: seed})
+	act, err := e.Measure(ctx, MeasureRequest{Netlist: nl, Config: Config{Cycles: req.Cycles, Seed: req.Seed}})
 	if err != nil {
 		return ZeroDelayComparison{}, err
 	}
@@ -435,22 +592,33 @@ func AblationZeroDelay(width, cycles int, seed uint64) (ZeroDelayComparison, err
 	}, nil
 }
 
+// AblationZeroDelay is the package-level form of Engine.AblationZeroDelay.
+//
+// Deprecated: use DefaultEngine().AblationZeroDelay with a context.
+func AblationZeroDelay(width, cycles int, seed uint64) (ZeroDelayComparison, error) {
+	return DefaultEngine().AblationZeroDelay(context.Background(), ExperimentRequest{Width: width, Cycles: cycles, Seed: seed})
+}
+
 // SeedSweep re-runs the Table 1 array-vs-wallace comparison (8×8) for
 // several seeds, returning one pair of activities per seed — the
 // seed-sensitivity ablation: L/F must be stable across streams. All
-// 2·len(seeds) measurements run in parallel on the batch layer, sharing
-// one compiled form per architecture.
-func SeedSweep(cycles int, seeds []uint64) ([]AblationResult, error) {
+// 2·len(seeds) measurements run in parallel on the engine's pool,
+// sharing one compiled form per architecture.
+func (e *Engine) SeedSweep(ctx context.Context, req ExperimentRequest) ([]AblationResult, error) {
+	seeds := req.Seeds
 	array := circuits.NewArrayMultiplier(8, circuits.Cells)
 	wallace := circuits.NewWallaceMultiplier(8, circuits.Cells)
 	jobs := make([]MeasureJob, 0, 2*len(seeds))
 	for _, seed := range seeds {
 		jobs = append(jobs,
-			MeasureJob{Netlist: array, Config: Config{Cycles: cycles, Seed: seed}},
-			MeasureJob{Netlist: wallace, Config: Config{Cycles: cycles, Seed: seed}},
+			MeasureJob{Netlist: array, Config: Config{Cycles: req.Cycles, Seed: seed}},
+			MeasureJob{Netlist: wallace, Config: Config{Cycles: req.Cycles, Seed: seed}},
 		)
 	}
-	res := MeasureMany(jobs, 0)
+	res, err := e.measureMany(ctx, jobs, 0, nil)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]AblationResult, len(seeds))
 	for i, seed := range seeds {
 		a, b := res[2*i], res[2*i+1]
@@ -467,11 +635,18 @@ func SeedSweep(cycles int, seeds []uint64) ([]AblationResult, error) {
 	return out, nil
 }
 
+// SeedSweep is the package-level form of Engine.SeedSweep.
+//
+// Deprecated: use DefaultEngine().SeedSweep with a context.
+func SeedSweep(cycles int, seeds []uint64) ([]AblationResult, error) {
+	return DefaultEngine().SeedSweep(context.Background(), ExperimentRequest{Cycles: cycles, Seeds: seeds})
+}
+
 // GraySweep compares random against Gray-code (single-bit-change) and
 // correlated video-like stimulus on the direction detector, probing the
 // paper's claim that input correlation is destroyed by the abs-diff
 // stage.
-func GraySweep(cycles int) ([]Activity, error) {
+func (e *Engine) GraySweep(ctx context.Context, req ExperimentRequest) ([]Activity, error) {
 	nl := circuits.NewDirectionDetector(circuits.DirDetConfig{Width: 8, Style: circuits.Cells})
 	w := nl.InputWidth()
 	sources := []struct {
@@ -487,9 +662,12 @@ func GraySweep(cycles int) ([]Activity, error) {
 	}
 	jobs := make([]MeasureJob, len(sources))
 	for i, s := range sources {
-		jobs[i] = MeasureJob{Netlist: nl, Config: Config{Cycles: cycles, Source: s.src}}
+		jobs[i] = MeasureJob{Netlist: nl, Config: Config{Cycles: req.Cycles, Source: s.src}}
 	}
-	res := MeasureMany(jobs, 0)
+	res, err := e.measureMany(ctx, jobs, 0, nil)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]Activity, len(sources))
 	for i, s := range sources {
 		if res[i].Err != nil {
@@ -499,4 +677,11 @@ func GraySweep(cycles int) ([]Activity, error) {
 		out[i].Circuit = nl.Name + "/" + s.name
 	}
 	return out, nil
+}
+
+// GraySweep is the package-level form of Engine.GraySweep.
+//
+// Deprecated: use DefaultEngine().GraySweep with a context.
+func GraySweep(cycles int) ([]Activity, error) {
+	return DefaultEngine().GraySweep(context.Background(), ExperimentRequest{Cycles: cycles})
 }

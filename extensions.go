@@ -1,8 +1,10 @@
 package glitchsim
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"math"
 
 	"glitchsim/internal/analytic"
 	"glitchsim/internal/balance"
@@ -20,7 +22,9 @@ import (
 // This file hosts the extension studies beyond the paper's own tables:
 // delay-path balancing (the paper's §6 "balancing delay paths" made
 // concrete), the adder-architecture comparison its reference [2]
-// performs, the §4.2 correlation claim, and Verilog interchange.
+// performs, the §4.2 correlation claim, and Verilog interchange. Like
+// the paper experiments, each study is an Engine method taking a
+// context, with a deprecated package-level wrapper over DefaultEngine.
 
 // BalanceRow compares one circuit before and after delay balancing.
 type BalanceRow struct {
@@ -53,8 +57,7 @@ type BalanceRow struct {
 // then re-measured. Useless activity drops to zero and the original
 // cells' activity falls by exactly 1 + L/F; the buffers' own switching
 // is reported separately as the cost of the technique.
-func BalanceStudy(cycles int, seed uint64) ([]BalanceRow, error) {
-	tech := power.Default08um()
+func (e *Engine) BalanceStudy(ctx context.Context, req ExperimentRequest) ([]BalanceRow, error) {
 	var rows []BalanceRow
 	for _, build := range []func() *netlist.Netlist{
 		func() *netlist.Netlist { return circuits.NewRCA(16, circuits.Cells) },
@@ -68,16 +71,20 @@ func BalanceStudy(cycles int, seed uint64) ([]BalanceRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		bdBefore, before, err := MeasurePower(n, Config{Cycles: cycles, Seed: seed}, tech)
+		bdBefore, before, err := e.MeasurePower(ctx, MeasureRequest{
+			Netlist: n, Config: Config{Cycles: req.Cycles, Seed: req.Seed},
+		})
 		if err != nil {
 			return nil, err
 		}
-		counter, err := MeasureDetailed(res.Netlist, Config{Cycles: cycles, Seed: seed})
+		counter, err := e.MeasureDetailed(ctx, MeasureRequest{
+			Netlist: res.Netlist, Config: Config{Cycles: req.Cycles, Seed: req.Seed},
+		})
 		if err != nil {
 			return nil, err
 		}
 		after := summarize(res.Netlist.Name, counter)
-		bdAfter := power.FromActivity(counter, tech)
+		bdAfter := power.FromActivity(counter, e.tech)
 
 		var coreT, bufT uint64
 		for _, id := range res.Netlist.InternalNets() {
@@ -110,6 +117,13 @@ func BalanceStudy(cycles int, seed uint64) ([]BalanceRow, error) {
 	return rows, nil
 }
 
+// BalanceStudy is the package-level form of Engine.BalanceStudy.
+//
+// Deprecated: use DefaultEngine().BalanceStudy with a context.
+func BalanceStudy(cycles int, seed uint64) ([]BalanceRow, error) {
+	return DefaultEngine().BalanceStudy(context.Background(), ExperimentRequest{Cycles: cycles, Seed: seed})
+}
+
 // AdderRow is one architecture in the adder comparison.
 type AdderRow struct {
 	Arch  string
@@ -119,59 +133,79 @@ type AdderRow struct {
 }
 
 // AdderStudy compares ripple-carry, carry-select and carry-lookahead
-// adders of one width for transition activity — the comparison the
-// paper's reference [2] (Callaway & Swartzlander) makes: shallower,
-// better-balanced carry structures glitch less.
+// adders of one width (req.Width, default 16) for transition activity —
+// the comparison the paper's reference [2] (Callaway & Swartzlander)
+// makes: shallower, better-balanced carry structures glitch less.
+func (e *Engine) AdderStudy(ctx context.Context, req ExperimentRequest) ([]AdderRow, error) {
+	w := req.Width
+	if w == 0 {
+		w = 16
+	}
+	return e.archStudy(ctx, req, []archBuild{
+		{"ripple-carry", circuits.NewRCA(w, circuits.Gates)},
+		{"carry-select", circuits.NewCarrySelect(w, 4, circuits.Gates)},
+		{"carry-lookahead", circuits.NewCLA(w)},
+	})
+}
+
+// AdderStudy is the package-level form of Engine.AdderStudy.
+//
+// Deprecated: use DefaultEngine().AdderStudy with a context.
 func AdderStudy(width, cycles int, seed uint64) ([]AdderRow, error) {
-	builds := []struct {
-		arch string
-		n    *netlist.Netlist
-	}{
-		{"ripple-carry", circuits.NewRCA(width, circuits.Gates)},
-		{"carry-select", circuits.NewCarrySelect(width, 4, circuits.Gates)},
-		{"carry-lookahead", circuits.NewCLA(width)},
-	}
-	var rows []AdderRow
-	for _, bld := range builds {
-		act, err := Measure(bld.n, Config{Cycles: cycles, Seed: seed})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, AdderRow{
-			Arch:     bld.arch,
-			Depth:    bld.n.LogicDepth(),
-			Cells:    bld.n.NumCells(),
-			Activity: act,
-		})
-	}
-	return rows, nil
+	return DefaultEngine().AdderStudy(context.Background(), ExperimentRequest{Width: width, Cycles: cycles, Seed: seed})
 }
 
 // MultiplierStudy extends Table 1 with the radix-4 Booth multiplier: a
 // third architecture whose recoding halves the partial products but adds
 // its own reconvergent select logic. Returns rows for array, wallace and
-// booth at the given width (width must be even for Booth).
-func MultiplierStudy(width, cycles int, seed uint64) ([]AdderRow, error) {
-	builds := []struct {
-		arch string
-		n    *netlist.Netlist
-	}{
-		{"array", circuits.NewArrayMultiplier(width, circuits.Cells)},
-		{"wallace", circuits.NewWallaceMultiplier(width, circuits.Cells)},
-		{"booth", circuits.NewBoothMultiplier(width, circuits.Cells)},
+// booth at req.Width (default 8; must be even for Booth).
+func (e *Engine) MultiplierStudy(ctx context.Context, req ExperimentRequest) ([]AdderRow, error) {
+	w := req.Width
+	if w == 0 {
+		w = 8
 	}
-	var rows []AdderRow
-	for _, bld := range builds {
-		act, err := Measure(bld.n, Config{Cycles: cycles, Seed: seed})
-		if err != nil {
-			return nil, err
+	return e.archStudy(ctx, req, []archBuild{
+		{"array", circuits.NewArrayMultiplier(w, circuits.Cells)},
+		{"wallace", circuits.NewWallaceMultiplier(w, circuits.Cells)},
+		{"booth", circuits.NewBoothMultiplier(w, circuits.Cells)},
+	})
+}
+
+// MultiplierStudy is the package-level form of Engine.MultiplierStudy.
+//
+// Deprecated: use DefaultEngine().MultiplierStudy with a context.
+func MultiplierStudy(width, cycles int, seed uint64) ([]AdderRow, error) {
+	return DefaultEngine().MultiplierStudy(context.Background(), ExperimentRequest{Width: width, Cycles: cycles, Seed: seed})
+}
+
+// archBuild names one architecture of an activity comparison study.
+type archBuild struct {
+	arch string
+	n    *netlist.Netlist
+}
+
+// archStudy measures the architectures on the engine's pool and reports
+// one row per build, in build order.
+func (e *Engine) archStudy(ctx context.Context, req ExperimentRequest, builds []archBuild) ([]AdderRow, error) {
+	jobs := make([]MeasureJob, len(builds))
+	for i, bld := range builds {
+		jobs[i] = MeasureJob{Netlist: bld.n, Config: Config{Cycles: req.Cycles, Seed: req.Seed}}
+	}
+	res, err := e.measureMany(ctx, jobs, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]AdderRow, len(builds))
+	for i, bld := range builds {
+		if res[i].Err != nil {
+			return nil, res[i].Err
 		}
-		rows = append(rows, AdderRow{
+		rows[i] = AdderRow{
 			Arch:     bld.arch,
 			Depth:    bld.n.LogicDepth(),
 			Cells:    bld.n.NumCells(),
-			Activity: act,
-		})
+			Activity: res[i].Activity,
+		}
 	}
 	return rows, nil
 }
@@ -185,12 +219,17 @@ type EstimatorComparison struct {
 	ZeroDelay, Density, Measured, MeasuredUseful float64
 }
 
-// CompareEstimators runs the three activity estimates on an N-bit RCA:
-// zero-delay tracks the useful activity, density propagation lands in
-// between, and only event-driven simulation captures the full glitching.
-func CompareEstimators(width, cycles int, seed uint64) (EstimatorComparison, error) {
-	nl := circuits.NewRCA(width, circuits.Cells)
-	act, err := Measure(nl, Config{Cycles: cycles, Seed: seed})
+// CompareEstimators runs the three activity estimates on an N-bit RCA
+// (req.Width, default 16): zero-delay tracks the useful activity,
+// density propagation lands in between, and only event-driven simulation
+// captures the full glitching.
+func (e *Engine) CompareEstimators(ctx context.Context, req ExperimentRequest) (EstimatorComparison, error) {
+	w := req.Width
+	if w == 0 {
+		w = 16
+	}
+	nl := circuits.NewRCA(w, circuits.Cells)
+	act, err := e.Measure(ctx, MeasureRequest{Netlist: nl, Config: Config{Cycles: req.Cycles, Seed: req.Seed}})
 	if err != nil {
 		return EstimatorComparison{}, err
 	}
@@ -201,6 +240,13 @@ func CompareEstimators(width, cycles int, seed uint64) (EstimatorComparison, err
 		Measured:       float64(act.Transitions) / float64(act.Cycles),
 		MeasuredUseful: float64(act.Useful) / float64(act.Cycles),
 	}, nil
+}
+
+// CompareEstimators is the package-level form of Engine.CompareEstimators.
+//
+// Deprecated: use DefaultEngine().CompareEstimators with a context.
+func CompareEstimators(width, cycles int, seed uint64) (EstimatorComparison, error) {
+	return DefaultEngine().CompareEstimators(context.Background(), ExperimentRequest{Width: width, Cycles: cycles, Seed: seed})
 }
 
 // CorrelationRow reports the per-stage signal statistics of the
@@ -218,16 +264,28 @@ type CorrelationRow struct {
 // direction detector's stages under video-like stimulus, quantifying the
 // paper's §4.2 claim that "signal statistics and correlations are almost
 // completely lost immediately after the absolute differences are taken".
-func CorrelationStudy(cycles int, seed uint64) ([]CorrelationRow, error) {
+func (e *Engine) CorrelationStudy(ctx context.Context, req ExperimentRequest) ([]CorrelationRow, error) {
 	n := circuits.NewDirectionDetector(circuits.DirDetConfig{Width: 8, Style: circuits.Cells})
 	collector := stats.NewCollector(n, nil)
-	s := sim.New(n, sim.Options{Delay: delay.Unit()})
+	opts := sim.Options{Delay: delay.Unit()}
+	if ctx.Done() != nil {
+		opts.Cancel = ctx.Err
+	}
+	c := e.compiled(n)
+	if err := e.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer e.release()
+	s := sim.NewFromCompiled(c, opts)
 	s.AttachMonitor(collector)
 	src := stimulus.NewConcat(
-		stimulus.NewCorrelated(6, 8, 2, seed),
+		stimulus.NewCorrelated(6, 8, 2, req.Seed),
 		stimulus.NewConstant(logic.VectorFromUint(8, 8)),
 	)
-	for i := 0; i < cycles; i++ {
+	for i := 0; i < req.Cycles; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := s.Step(src.Next()); err != nil {
 			return nil, err
 		}
@@ -240,7 +298,7 @@ func CorrelationStudy(cycles int, seed uint64) ([]CorrelationRow, error) {
 				continue
 			}
 			for _, id := range ids[:2] {
-				corr += abs(collector.Autocorr(id))
+				corr += math.Abs(collector.Autocorr(id))
 				tog += collector.ToggleRate(id)
 				count++
 			}
@@ -267,11 +325,11 @@ func CorrelationStudy(cycles int, seed uint64) ([]CorrelationRow, error) {
 	return rows, nil
 }
 
-func abs(x float64) float64 {
-	if x < 0 {
-		return -x
-	}
-	return x
+// CorrelationStudy is the package-level form of Engine.CorrelationStudy.
+//
+// Deprecated: use DefaultEngine().CorrelationStudy with a context.
+func CorrelationStudy(cycles int, seed uint64) ([]CorrelationRow, error) {
+	return DefaultEngine().CorrelationStudy(context.Background(), ExperimentRequest{Cycles: cycles, Seed: seed})
 }
 
 // BalanceNetlist pads a netlist's delay paths with buffers until every

@@ -13,6 +13,7 @@
 package glitchsim
 
 import (
+	"context"
 	"fmt"
 
 	"glitchsim/internal/circuits"
@@ -108,14 +109,20 @@ func (c Config) withDefaults(n *netlist.Netlist) Config {
 
 // MeasureDetailed simulates the netlist under the configuration and
 // returns the attached activity counter with per-net statistics.
+//
+// Deprecated: use DefaultEngine().MeasureDetailed (or your own Engine)
+// to get compiled-netlist caching and context cancellation. This wrapper
+// remains bit-identical to the historical behaviour.
 func MeasureDetailed(n *netlist.Netlist, cfg Config) (*core.Counter, error) {
-	return measureCompiled(sim.Compile(n), cfg)
+	return DefaultEngine().MeasureDetailed(context.Background(), MeasureRequest{Netlist: n, Config: cfg})
 }
 
-// measureCompiled is the measurement core shared by MeasureDetailed and
-// the parallel batch layer: the compiled netlist may be shared across
-// goroutines, everything else is per-call state.
-func measureCompiled(c *sim.Compiled, cfg Config) (*core.Counter, error) {
+// measureCompiled is the measurement core shared by the Engine's entry
+// points: the compiled netlist may be shared across goroutines,
+// everything else is per-call state. ctx is checked between cycles and,
+// through the kernel's Cancel hook, periodically inside the event loop,
+// so cancellation lands promptly even mid-cycle on large circuits.
+func measureCompiled(ctx context.Context, c *sim.Compiled, cfg Config) (*core.Counter, error) {
 	n := c.Netlist()
 	cfg = cfg.withDefaults(n)
 	if cfg.Source.Width() != n.InputWidth() {
@@ -126,16 +133,26 @@ func measureCompiled(c *sim.Compiled, cfg Config) (*core.Counter, error) {
 	if cfg.Inertial {
 		mode = sim.Inertial
 	}
-	s := sim.NewFromCompiled(c, sim.Options{Delay: cfg.Delay, Mode: mode})
+	opts := sim.Options{Delay: cfg.Delay, Mode: mode}
+	if ctx.Done() != nil {
+		opts.Cancel = ctx.Err
+	}
+	s := sim.NewFromCompiled(c, opts)
 	counter := core.NewCounter(n)
 	s.AttachMonitor(counter)
 	for i := 0; i < cfg.Warmup; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := s.Step(cfg.Source.Next()); err != nil {
 			return nil, err
 		}
 	}
 	counter.Reset()
 	for i := 0; i < cfg.Cycles; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := s.Step(cfg.Source.Next()); err != nil {
 			return nil, err
 		}
@@ -144,12 +161,20 @@ func measureCompiled(c *sim.Compiled, cfg Config) (*core.Counter, error) {
 }
 
 // Measure runs MeasureDetailed and summarizes the totals.
+//
+// Deprecated: use DefaultEngine().Measure (or your own Engine) to get
+// compiled-netlist caching and context cancellation. This wrapper
+// remains bit-identical to the historical behaviour.
 func Measure(n *netlist.Netlist, cfg Config) (Activity, error) {
-	counter, err := MeasureDetailed(n, cfg)
-	if err != nil {
-		return Activity{}, err
-	}
-	return summarize(n.Name, counter), nil
+	return DefaultEngine().Measure(context.Background(), MeasureRequest{Netlist: n, Config: cfg})
+}
+
+// ActivityFromCounter summarizes a counter's classified totals into an
+// Activity named after circuit — the same reduction every measurement
+// entry point applies. Useful for counters obtained from MeasureDetailed
+// or the merged aggregate of MeasureSeeds.
+func ActivityFromCounter(circuit string, counter *core.Counter) Activity {
+	return summarize(circuit, counter)
 }
 
 func summarize(name string, counter *core.Counter) Activity {
@@ -167,12 +192,12 @@ func summarize(name string, counter *core.Counter) Activity {
 
 // MeasurePower measures activity and evaluates the paper's
 // three-component power model on it.
+//
+// Deprecated: use DefaultEngine().MeasurePower (or your own Engine) to
+// get compiled-netlist caching and context cancellation. This wrapper
+// remains bit-identical to the historical behaviour.
 func MeasurePower(n *netlist.Netlist, cfg Config, tech power.Tech) (power.Breakdown, Activity, error) {
-	counter, err := MeasureDetailed(n, cfg)
-	if err != nil {
-		return power.Breakdown{}, Activity{}, err
-	}
-	return power.FromActivity(counter, tech), summarize(n.Name, counter), nil
+	return DefaultEngine().MeasurePower(context.Background(), MeasureRequest{Netlist: n, Config: cfg, Tech: &tech})
 }
 
 // DefaultTech returns the calibrated 0.8 µm / 5 V / 5 MHz technology

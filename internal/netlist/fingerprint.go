@@ -1,0 +1,80 @@
+package netlist
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+)
+
+// Fingerprint returns a stable identity for the netlist's full structure:
+// name, cells (type, name, pin connections), nets (name, driver), primary
+// inputs/outputs and buses. Two netlists have equal fingerprints exactly
+// when they are structurally identical, so separately built copies of the
+// same generated circuit (e.g. two NewRCA(16) calls) share one
+// fingerprint. The Engine's compiled-netlist cache uses this as its key,
+// letting a service that rebuilds circuits per request still reuse the
+// compiled form.
+//
+// The fingerprint is a hex-encoded SHA-256, cheap relative to Compile
+// (one linear pass, no validation or topological evaluation).
+func (n *Netlist) Fingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	writeStr := func(s string) {
+		writeInt(len(s))
+		h.Write([]byte(s))
+	}
+
+	writeStr(n.Name)
+	writeInt(len(n.Cells))
+	for i := range n.Cells {
+		c := &n.Cells[i]
+		writeInt(int(c.Type))
+		writeStr(c.Name)
+		writeInt(len(c.In))
+		for _, id := range c.In {
+			writeInt(int(id))
+		}
+		writeInt(len(c.Out))
+		for _, id := range c.Out {
+			writeInt(int(id))
+		}
+	}
+	writeInt(len(n.Nets))
+	for i := range n.Nets {
+		net := &n.Nets[i]
+		writeStr(net.Name)
+		writeInt(int(net.Driver))
+		writeInt(net.DriverPin)
+	}
+	writeInt(len(n.PIs))
+	for _, id := range n.PIs {
+		writeInt(int(id))
+	}
+	writeInt(len(n.POs))
+	for _, id := range n.POs {
+		writeInt(int(id))
+	}
+	// Buses in sorted name order: map iteration order must not leak into
+	// the fingerprint.
+	names := make([]string, 0, len(n.Buses))
+	for name := range n.Buses {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	writeInt(len(names))
+	for _, name := range names {
+		writeStr(name)
+		ids := n.Buses[name]
+		writeInt(len(ids))
+		for _, id := range ids {
+			writeInt(int(id))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

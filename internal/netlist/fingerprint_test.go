@@ -1,0 +1,44 @@
+package netlist
+
+import "testing"
+
+func fingerprintTestCircuit(name string, invert bool) *Netlist {
+	b := NewBuilder(name)
+	a := b.Input("a")
+	c := b.Input("b")
+	var out NetID
+	if invert {
+		out = b.Nand(a, c)
+	} else {
+		out = b.And(a, c)
+	}
+	b.Output("out", out)
+	return b.MustBuild()
+}
+
+func TestFingerprintStable(t *testing.T) {
+	a := fingerprintTestCircuit("fp", false)
+	b := fingerprintTestCircuit("fp", false)
+	if a == b {
+		t.Fatal("test needs two distinct netlist values")
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("structurally identical netlists have different fingerprints")
+	}
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Error("fingerprint not deterministic")
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	base := fingerprintTestCircuit("fp", false)
+	cases := map[string]*Netlist{
+		"different cell type": fingerprintTestCircuit("fp", true),
+		"different name":      fingerprintTestCircuit("fp2", false),
+	}
+	for what, other := range cases {
+		if base.Fingerprint() == other.Fingerprint() {
+			t.Errorf("%s: fingerprints collide", what)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+
+	"glitchsim"
+	"glitchsim/internal/power"
+)
+
+// The service's wire types: stable snake_case JSON shapes for the domain
+// results. The cmd/glitchsim -format json mode reuses these encodings,
+// so scripted pipelines see one schema whether they shell out to the CLI
+// or call the HTTP service.
+
+// ActivityDTO is the wire form of glitchsim.Activity.
+type ActivityDTO struct {
+	Circuit      string  `json:"circuit"`
+	Cycles       int     `json:"cycles"`
+	Transitions  uint64  `json:"transitions"`
+	Useful       uint64  `json:"useful"`
+	Useless      uint64  `json:"useless"`
+	Glitches     uint64  `json:"glitches"`
+	Rising       uint64  `json:"rising"`
+	LOverF       float64 `json:"l_over_f"`
+	BalanceLimit float64 `json:"balance_limit"`
+}
+
+// ActivityFrom converts a domain activity to its wire form.
+func ActivityFrom(a glitchsim.Activity) ActivityDTO {
+	return ActivityDTO{
+		Circuit:      a.Circuit,
+		Cycles:       a.Cycles,
+		Transitions:  a.Transitions,
+		Useful:       a.Useful,
+		Useless:      a.Useless,
+		Glitches:     a.Glitches,
+		Rising:       a.Rising,
+		LOverF:       a.LOverF(),
+		BalanceLimit: a.BalanceLimitFactor(),
+	}
+}
+
+// PowerDTO is the wire form of power.Breakdown, in the milliwatt/
+// picofarad units of the paper's Table 3.
+type PowerDTO struct {
+	FFs        int     `json:"ffs"`
+	AreaMM2    float64 `json:"area_mm2"`
+	ClockCapPF float64 `json:"clock_cap_pf"`
+	LogicMW    float64 `json:"logic_mw"`
+	FlipflopMW float64 `json:"flipflop_mw"`
+	ClockMW    float64 `json:"clock_mw"`
+	TotalMW    float64 `json:"total_mw"`
+}
+
+// PowerFrom converts a power breakdown to its wire form.
+func PowerFrom(b power.Breakdown) PowerDTO {
+	return PowerDTO{
+		FFs:        b.NumFFs,
+		AreaMM2:    b.AreaMM2,
+		ClockCapPF: b.ClockCapF * 1e12,
+		LogicMW:    b.LogicW * 1e3,
+		FlipflopMW: b.FlipflopW * 1e3,
+		ClockMW:    b.ClockW * 1e3,
+		TotalMW:    b.TotalW() * 1e3,
+	}
+}
+
+// MultRowDTO is the wire form of one Table 1/2 row.
+type MultRowDTO struct {
+	Arch     string      `json:"arch"`
+	Width    int         `json:"width"`
+	DSum     int         `json:"dsum"`
+	DCarry   int         `json:"dcarry"`
+	Activity ActivityDTO `json:"activity"`
+}
+
+// MultRowsFrom converts Table 1/2 rows to their wire form.
+func MultRowsFrom(rows []glitchsim.MultRow) []MultRowDTO {
+	out := make([]MultRowDTO, len(rows))
+	for i, r := range rows {
+		out[i] = MultRowDTO{Arch: r.Arch, Width: r.Width, DSum: r.DSum, DCarry: r.DCarry, Activity: ActivityFrom(r.Activity)}
+	}
+	return out
+}
+
+// Table3RowDTO is the wire form of one Table 3 / Figure 10 row.
+type Table3RowDTO struct {
+	Circuit      int     `json:"circuit"`
+	TargetPeriod int     `json:"target_period"`
+	Period       int     `json:"period"`
+	Latency      int     `json:"latency"`
+	FFs          int     `json:"ffs"`
+	AreaMM2      float64 `json:"area_mm2"`
+	ClockCapPF   float64 `json:"clock_cap_pf"`
+	LogicMW      float64 `json:"logic_mw"`
+	FlipflopMW   float64 `json:"flipflop_mw"`
+	ClockMW      float64 `json:"clock_mw"`
+	TotalMW      float64 `json:"total_mw"`
+	LOverF       float64 `json:"l_over_f"`
+}
+
+// Table3RowsFrom converts Table 3 / Figure 10 rows to their wire form.
+func Table3RowsFrom(rows []glitchsim.Table3Row) []Table3RowDTO {
+	out := make([]Table3RowDTO, len(rows))
+	for i, r := range rows {
+		out[i] = Table3RowDTO{
+			Circuit:      r.Circuit,
+			TargetPeriod: r.TargetPeriod,
+			Period:       r.Period,
+			Latency:      r.Latency,
+			FFs:          r.FFs,
+			AreaMM2:      r.AreaMM2,
+			ClockCapPF:   r.ClockCapPF,
+			LogicMW:      r.LogicMW,
+			FlipflopMW:   r.FlipflopMW,
+			ClockMW:      r.ClockMW,
+			TotalMW:      r.TotalMW,
+			LOverF:       r.LOverF,
+		}
+	}
+	return out
+}
+
+// EventDTO is the wire form of one streamed progress event (one NDJSON
+// line). Kind "done" terminates a stream and carries the final payload.
+type EventDTO struct {
+	Kind     string        `json:"kind"`
+	Index    int           `json:"index"`
+	Total    int           `json:"total"`
+	Activity *ActivityDTO  `json:"activity,omitempty"`
+	Mult     *MultRowDTO   `json:"mult,omitempty"`
+	Row      *Table3RowDTO `json:"row,omitempty"`
+	Error    string        `json:"error,omitempty"`
+}
+
+// EventFrom converts a session progress event to its wire form.
+func EventFrom(ev glitchsim.Event) EventDTO {
+	dto := EventDTO{Kind: string(ev.Kind), Index: ev.Index, Total: ev.Total}
+	if ev.Activity != nil {
+		a := ActivityFrom(*ev.Activity)
+		dto.Activity = &a
+	}
+	if ev.Mult != nil {
+		m := MultRowsFrom([]glitchsim.MultRow{*ev.Mult})[0]
+		dto.Mult = &m
+	}
+	if ev.Row != nil {
+		r := Table3RowsFrom([]glitchsim.Table3Row{*ev.Row})[0]
+		dto.Row = &r
+	}
+	if ev.Err != nil {
+		dto.Error = ev.Err.Error()
+	}
+	return dto
+}
+
+// MeasureResponse is the /v1/measure reply.
+type MeasureResponse struct {
+	Activity ActivityDTO `json:"activity"`
+	Power    *PowerDTO   `json:"power,omitempty"`
+	// Seeds is the number of merged stimulus streams (0 for a plain
+	// single-seed measurement).
+	Seeds int `json:"seeds,omitempty"`
+}
+
+// RowsResponse is the reply of the Table 1/2 experiment endpoints.
+type RowsResponse struct {
+	Rows []MultRowDTO `json:"rows"`
+}
+
+// Table3Response is the reply of the Table 3 / Figure 10 endpoints.
+type Table3Response struct {
+	Rows []Table3RowDTO `json:"rows"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// WriteJSON encodes v to w with the service's canonical settings
+// (two-space indentation, no HTML escaping) — the encoder the CLI's
+// -format json mode shares.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

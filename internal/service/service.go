@@ -1,0 +1,516 @@
+// Package service exposes a glitchsim.Engine over HTTP/JSON: the
+// measurement and experiment drivers as request/response endpoints with
+// optional NDJSON progress streaming, sharing one Engine (one compiled-
+// netlist cache, one worker-pool configuration) across all concurrent
+// requests. Request contexts are plumbed into the Engine, so a client
+// disconnect cancels its simulation work promptly.
+//
+// Endpoints:
+//
+//	GET  /healthz                     liveness + engine cache statistics
+//	POST /v1/measure                  measure one circuit (multi-seed optional)
+//	POST /v1/experiments/table1       Table 1: array vs wallace multipliers
+//	POST /v1/experiments/table2       Table 2: sum/carry delay imbalance
+//	POST /v1/experiments/table3       Table 3: retimed variant power breakdown
+//	POST /v1/experiments/figure10     Figure 10: power vs flipflop sweep
+//
+// Every /v1 endpoint also accepts GET with the same parameters as query
+// strings, and `"stream": true` (or ?stream=1) switches the reply to
+// newline-delimited JSON progress events terminated by a "done" event.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"glitchsim"
+	"glitchsim/internal/core"
+	"glitchsim/internal/netlist"
+	"glitchsim/internal/power"
+	"glitchsim/internal/registry"
+)
+
+// Server serves the glitchsim HTTP API from one shared Engine. It
+// implements http.Handler.
+type Server struct {
+	engine *glitchsim.Engine
+	mux    *http.ServeMux
+	start  time.Time
+}
+
+// New returns a Server sharing the given Engine across all requests.
+func New(e *glitchsim.Engine) *Server {
+	s := &Server{engine: e, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/measure", s.handleMeasure)
+	s.mux.HandleFunc("/v1/experiments/table1", s.experimentHandler("table1"))
+	s.mux.HandleFunc("/v1/experiments/table2", s.experimentHandler("table2"))
+	s.mux.HandleFunc("/v1/experiments/table3", s.experimentHandler("table3"))
+	s.mux.HandleFunc("/v1/experiments/figure10", s.experimentHandler("figure10"))
+	return s
+}
+
+// ServeHTTP dispatches to the registered endpoints.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// healthzResponse is the /healthz body.
+type healthzResponse struct {
+	Status        string `json:"status"`
+	UptimeSeconds int64  `json:"uptime_seconds"`
+	Goroutines    int    `json:"goroutines"`
+	Workers       int    `json:"workers"`
+	Cache         struct {
+		Size      int    `json:"size"`
+		Capacity  int    `json:"capacity"`
+		Hits      uint64 `json:"hits"`
+		Misses    uint64 `json:"misses"`
+		Evictions uint64 `json:"evictions"`
+	} `json:"cache"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	var resp healthzResponse
+	resp.Status = "ok"
+	resp.UptimeSeconds = int64(time.Since(s.start).Seconds())
+	resp.Goroutines = runtime.NumGoroutine()
+	resp.Workers = s.engine.Workers()
+	cs := s.engine.CacheStats()
+	resp.Cache.Size = cs.Size
+	resp.Cache.Capacity = cs.Capacity
+	resp.Cache.Hits = cs.Hits
+	resp.Cache.Misses = cs.Misses
+	resp.Cache.Evictions = cs.Evictions
+	s.writeOK(w, resp)
+}
+
+// MeasureParams is the /v1/measure request body (or query string).
+type MeasureParams struct {
+	// Circuit names a registry circuit (see registry.Names).
+	Circuit string `json:"circuit"`
+	// Cycles: omitted = 500, explicit 0 = measure nothing.
+	Cycles *int `json:"cycles,omitempty"`
+	// Warmup: omitted = 8, explicit 0 = measure from reset.
+	Warmup *int `json:"warmup,omitempty"`
+	// Seed selects the stimulus stream (omitted = 1). Ignored when
+	// Seeds is set.
+	Seed uint64 `json:"seed,omitempty"`
+	// Seeds, when non-empty, runs one measurement per seed in parallel
+	// and merges the counters (the reply reads like one long run).
+	Seeds []uint64 `json:"seeds,omitempty"`
+	// DSum/DCarry/Typical select the delay model, as the CLI flags do.
+	DSum    int  `json:"dsum,omitempty"`
+	DCarry  int  `json:"dcarry,omitempty"`
+	Typical bool `json:"typical,omitempty"`
+	// Inertial selects inertial instead of transport delay handling.
+	Inertial bool `json:"inertial,omitempty"`
+	// Power adds the three-component power breakdown to the reply.
+	Power bool `json:"power,omitempty"`
+	// Stream switches the reply to NDJSON progress events.
+	Stream bool `json:"stream,omitempty"`
+}
+
+func (p *MeasureParams) config() glitchsim.Config {
+	cfg := glitchsim.Config{Seed: p.Seed, Inertial: p.Inertial}
+	if p.DSum != 0 || p.DCarry != 0 || p.Typical {
+		dsum, dcarry := p.DSum, p.DCarry
+		if dsum == 0 {
+			dsum = 1
+		}
+		if dcarry == 0 {
+			dcarry = 1
+		}
+		cfg.Delay = registry.DelayModel(dsum, dcarry, p.Typical)
+	}
+	cfg.Cycles = explicitZero(p.Cycles)
+	cfg.Warmup = explicitZero(p.Warmup)
+	return cfg
+}
+
+// explicitZero maps the wire's pointer convention onto the Config
+// sentinel: absent = default, explicit 0 = really zero.
+func explicitZero(v *int) int {
+	switch {
+	case v == nil:
+		return 0
+	case *v == 0:
+		return glitchsim.ExplicitZero
+	default:
+		return *v
+	}
+}
+
+func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
+	var p MeasureParams
+	if !s.decodeParams(w, r, &p) {
+		return
+	}
+	if p.Circuit == "" {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("missing circuit (available: %s)", registry.NameList()))
+		return
+	}
+	nl, err := registry.Build(p.Circuit)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx := r.Context()
+	cfg := p.config()
+
+	if p.Stream {
+		s.streamResponse(w, r, func(sess *glitchsim.Session) (any, error) {
+			return s.measure(sess.Context(), sess, nl, cfg, &p)
+		})
+		return
+	}
+	resp, err := s.measure(ctx, nil, nl, cfg, &p)
+	if err != nil {
+		s.writeEngineError(w, r, err)
+		return
+	}
+	s.writeOK(w, resp)
+}
+
+// measure runs the measurement described by p, through the session when
+// streaming (sess non-nil, emitting per-seed progress) or directly on
+// the engine.
+func (s *Server) measure(ctx context.Context, sess *glitchsim.Session, nl *netlist.Netlist, cfg glitchsim.Config, p *MeasureParams) (*MeasureResponse, error) {
+	if len(p.Seeds) > 0 {
+		req := glitchsim.SeedSweepRequest{Netlist: nl, Config: cfg, Seeds: p.Seeds}
+		var counter *core.Counter
+		var err error
+		if sess != nil {
+			counter, err = sess.MeasureSeeds(req)
+		} else {
+			counter, err = s.engine.MeasureSeeds(ctx, req)
+		}
+		if err != nil {
+			return nil, err
+		}
+		resp := &MeasureResponse{
+			Activity: ActivityFrom(glitchsim.ActivityFromCounter(nl.Name, counter)),
+			Seeds:    len(p.Seeds),
+		}
+		if p.Power {
+			bd := power.FromActivity(counter, s.engine.Tech())
+			pw := PowerFrom(bd)
+			resp.Power = &pw
+		}
+		return resp, nil
+	}
+
+	req := glitchsim.MeasureRequest{Netlist: nl, Config: cfg}
+	if p.Power {
+		var bd power.Breakdown
+		var act glitchsim.Activity
+		var err error
+		if sess != nil {
+			bd, act, err = sess.MeasurePower(req)
+		} else {
+			bd, act, err = s.engine.MeasurePower(ctx, req)
+		}
+		if err != nil {
+			return nil, err
+		}
+		pw := PowerFrom(bd)
+		return &MeasureResponse{Activity: ActivityFrom(act), Power: &pw}, nil
+	}
+	var act glitchsim.Activity
+	var err error
+	if sess != nil {
+		act, err = sess.Measure(req)
+	} else {
+		act, err = s.engine.Measure(ctx, req)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &MeasureResponse{Activity: ActivityFrom(act)}, nil
+}
+
+// ExperimentParams is the request body (or query string) of the
+// /v1/experiments endpoints.
+type ExperimentParams struct {
+	// Cycles per measured point (omitted = the experiment's default).
+	Cycles int `json:"cycles,omitempty"`
+	// Seed selects the stimulus stream (omitted = 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// Targets overrides the Figure 10 retiming sweep.
+	Targets []int `json:"targets,omitempty"`
+	// Stream switches the reply to NDJSON progress events.
+	Stream bool `json:"stream,omitempty"`
+}
+
+// experimentHandler builds the handler for one experiment endpoint.
+func (s *Server) experimentHandler(name string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var p ExperimentParams
+		if !s.decodeParams(w, r, &p) {
+			return
+		}
+		req := glitchsim.ExperimentRequest{Cycles: p.Cycles, Seed: p.Seed, Targets: p.Targets}
+
+		if p.Stream {
+			s.streamResponse(w, r, func(sess *glitchsim.Session) (any, error) {
+				return s.experiment(nil, sess, name, req)
+			})
+			return
+		}
+		resp, err := s.experiment(r.Context(), nil, name, req)
+		if err != nil {
+			s.writeEngineError(w, r, err)
+			return
+		}
+		s.writeOK(w, resp)
+	}
+}
+
+// experiment dispatches one experiment by name, through the session when
+// streaming (sess non-nil, emitting per-row progress).
+func (s *Server) experiment(ctx context.Context, sess *glitchsim.Session, name string, req glitchsim.ExperimentRequest) (any, error) {
+	if sess != nil {
+		ctx = sess.Context()
+	}
+	switch name {
+	case "table1":
+		rows, err := s.runMult(ctx, sess, req, (*glitchsim.Engine).Table1, (*glitchsim.Session).Table1)
+		if err != nil {
+			return nil, err
+		}
+		return RowsResponse{Rows: MultRowsFrom(rows)}, nil
+	case "table2":
+		rows, err := s.runMult(ctx, sess, req, (*glitchsim.Engine).Table2, (*glitchsim.Session).Table2)
+		if err != nil {
+			return nil, err
+		}
+		return RowsResponse{Rows: MultRowsFrom(rows)}, nil
+	case "table3":
+		rows, err := s.runTable3(ctx, sess, req, (*glitchsim.Engine).Table3, (*glitchsim.Session).Table3)
+		if err != nil {
+			return nil, err
+		}
+		return Table3Response{Rows: Table3RowsFrom(rows)}, nil
+	case "figure10":
+		rows, err := s.runTable3(ctx, sess, req, (*glitchsim.Engine).Figure10, (*glitchsim.Session).Figure10)
+		if err != nil {
+			return nil, err
+		}
+		return Table3Response{Rows: Table3RowsFrom(rows)}, nil
+	}
+	return nil, fmt.Errorf("unknown experiment %q", name)
+}
+
+func (s *Server) runMult(ctx context.Context, sess *glitchsim.Session, req glitchsim.ExperimentRequest,
+	engineFn func(*glitchsim.Engine, context.Context, glitchsim.ExperimentRequest) ([]glitchsim.MultRow, error),
+	sessFn func(*glitchsim.Session, glitchsim.ExperimentRequest) ([]glitchsim.MultRow, error)) ([]glitchsim.MultRow, error) {
+	if sess != nil {
+		return sessFn(sess, req)
+	}
+	return engineFn(s.engine, ctx, req)
+}
+
+func (s *Server) runTable3(ctx context.Context, sess *glitchsim.Session, req glitchsim.ExperimentRequest,
+	engineFn func(*glitchsim.Engine, context.Context, glitchsim.ExperimentRequest) ([]glitchsim.Table3Row, error),
+	sessFn func(*glitchsim.Session, glitchsim.ExperimentRequest) ([]glitchsim.Table3Row, error)) ([]glitchsim.Table3Row, error) {
+	if sess != nil {
+		return sessFn(sess, req)
+	}
+	return engineFn(s.engine, ctx, req)
+}
+
+// streamResponse runs fn in a Session bound to the request context and
+// streams its progress events as NDJSON lines, terminated by a "done"
+// event carrying the final payload (or an "error" event).
+func (s *Server) streamResponse(w http.ResponseWriter, r *http.Request, fn func(*glitchsim.Session) (any, error)) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	sess := s.engine.NewSession(r.Context())
+	type outcome struct {
+		payload any
+		err     error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		payload, err := fn(sess)
+		done <- outcome{payload, err}
+		sess.Close()
+	}()
+	for ev := range sess.Events() {
+		if err := enc.Encode(EventFrom(ev)); err != nil {
+			return // client gone; session context is cancelled with it
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	out := <-done
+	if out.err != nil {
+		if errors.Is(out.err, context.Canceled) && r.Context().Err() != nil {
+			return
+		}
+		_ = enc.Encode(EventDTO{Kind: "error", Error: out.err.Error()})
+		return
+	}
+	final := struct {
+		Kind   string `json:"kind"`
+		Result any    `json:"result"`
+	}{Kind: "done", Result: out.payload}
+	_ = enc.Encode(final)
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+func (s *Server) decodeParams(w http.ResponseWriter, r *http.Request, v any) bool {
+	switch r.Method {
+	case http.MethodGet:
+		if err := paramsFromQuery(r.URL.Query(), v); err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return false
+		}
+		return true
+	case http.MethodPost:
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(v); err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err))
+			return false
+		}
+		return true
+	default:
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or POST"))
+		return false
+	}
+}
+
+func (s *Server) writeOK(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = WriteJSON(w, v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = WriteJSON(w, ErrorResponse{Error: err.Error()})
+}
+
+// writeEngineError maps engine failures onto status codes. A cancelled
+// request context means the client went away: there is no one to answer,
+// so nothing is written.
+func (s *Server) writeEngineError(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, context.Canceled) && r.Context().Err() != nil {
+		return
+	}
+	s.writeError(w, http.StatusInternalServerError, err)
+}
+
+// paramsFromQuery fills the params struct from URL query values using
+// the same names as the JSON body.
+func paramsFromQuery(q url.Values, v any) error {
+	switch p := v.(type) {
+	case *MeasureParams:
+		p.Circuit = q.Get("circuit")
+		var err error
+		if p.Cycles, err = optInt(q, "cycles"); err != nil {
+			return err
+		}
+		if p.Warmup, err = optInt(q, "warmup"); err != nil {
+			return err
+		}
+		if p.Seed, err = parseUint(q, "seed"); err != nil {
+			return err
+		}
+		if raw := q.Get("seeds"); raw != "" {
+			for _, part := range strings.Split(raw, ",") {
+				n, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+				if err != nil {
+					return fmt.Errorf("invalid seeds entry %q", part)
+				}
+				p.Seeds = append(p.Seeds, n)
+			}
+		}
+		if n, err := optInt(q, "dsum"); err != nil {
+			return err
+		} else if n != nil {
+			p.DSum = *n
+		}
+		if n, err := optInt(q, "dcarry"); err != nil {
+			return err
+		} else if n != nil {
+			p.DCarry = *n
+		}
+		p.Typical = boolParam(q, "typical")
+		p.Inertial = boolParam(q, "inertial")
+		p.Power = boolParam(q, "power")
+		p.Stream = boolParam(q, "stream")
+		return nil
+	case *ExperimentParams:
+		var err error
+		if n, err := optInt(q, "cycles"); err != nil {
+			return err
+		} else if n != nil {
+			p.Cycles = *n
+		}
+		if p.Seed, err = parseUint(q, "seed"); err != nil {
+			return err
+		}
+		if raw := q.Get("targets"); raw != "" {
+			for _, part := range strings.Split(raw, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(part))
+				if err != nil {
+					return fmt.Errorf("invalid targets entry %q", part)
+				}
+				p.Targets = append(p.Targets, n)
+			}
+		}
+		p.Stream = boolParam(q, "stream")
+		return nil
+	}
+	return fmt.Errorf("unsupported params type %T", v)
+}
+
+func optInt(q url.Values, key string) (*int, error) {
+	raw := q.Get(key)
+	if raw == "" {
+		return nil, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil {
+		return nil, fmt.Errorf("invalid %s %q", key, raw)
+	}
+	return &n, nil
+}
+
+func parseUint(q url.Values, key string) (uint64, error) {
+	raw := q.Get(key)
+	if raw == "" {
+		return 0, nil
+	}
+	n, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid %s %q", key, raw)
+	}
+	return n, nil
+}
+
+func boolParam(q url.Values, key string) bool {
+	switch strings.ToLower(q.Get(key)) {
+	case "1", "true", "yes", "on":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"glitchsim/internal/circuits"
+	"glitchsim/internal/stimulus"
+)
+
+// TestCancelAbortsStep: once the Cancel hook reports an error, Step must
+// return it (after enough events have accrued to trigger a poll) and
+// leave the simulator consistent enough for further Steps.
+func TestCancelAbortsStep(t *testing.T) {
+	nl := circuits.NewArrayMultiplier(16, circuits.Cells)
+	cancelErr := errors.New("cancelled")
+	var cancelled bool
+	s := New(nl, Options{Cancel: func() error {
+		if cancelled {
+			return cancelErr
+		}
+		return nil
+	}})
+	src := stimulus.NewRandom(nl.InputWidth(), 1)
+
+	// Run until the kernel has polled Cancel at least once, proving the
+	// hook is on the event path.
+	for s.Events() < 2*cancelCheckInterval {
+		if err := s.Step(src.Next()); err != nil {
+			t.Fatalf("unexpected error before cancellation: %v", err)
+		}
+	}
+
+	cancelled = true
+	var err error
+	for i := 0; i < 1000; i++ {
+		if err = s.Step(src.Next()); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, cancelErr) {
+		t.Fatalf("cancelled simulation returned %v, want %v", err, cancelErr)
+	}
+
+	// After the abort the queue must be empty and the simulator reusable.
+	cancelled = false
+	if err := s.Step(src.Next()); err != nil {
+		t.Fatalf("Step after cancellation failed: %v", err)
+	}
+}
+
+// TestCancelHookDoesNotPerturbResults: attaching a never-firing Cancel
+// hook must leave the simulation bit-identical.
+func TestCancelHookDoesNotPerturbResults(t *testing.T) {
+	nl := circuits.NewWallaceMultiplier(8, circuits.Cells)
+	run := func(opts Options) []uint64 {
+		s := New(nl, opts)
+		src := stimulus.NewRandom(nl.InputWidth(), 3)
+		var settles []uint64
+		for i := 0; i < 50; i++ {
+			if err := s.Step(src.Next()); err != nil {
+				t.Fatal(err)
+			}
+			settles = append(settles, uint64(s.SettleTime()))
+		}
+		settles = append(settles, s.Events())
+		return settles
+	}
+	plain := run(Options{})
+	hooked := run(Options{Cancel: func() error { return nil }})
+	if len(plain) != len(hooked) {
+		t.Fatal("length mismatch")
+	}
+	for i := range plain {
+		if plain[i] != hooked[i] {
+			t.Fatalf("trace diverges at %d: %d vs %d", i, plain[i], hooked[i])
+		}
+	}
+}

@@ -129,7 +129,21 @@ type Options struct {
 	// Scheduler selects the event-queue kernel (default SchedulerAuto).
 	// All schedulers produce bit-identical simulation results.
 	Scheduler Scheduler
+	// Cancel, when non-nil, is polled from the event loop roughly every
+	// cancelCheckInterval events (the poll counter persists across Steps,
+	// so even circuits with few events per cycle are checked regularly).
+	// A non-nil return aborts the current Step with that error after
+	// discarding all in-flight events — this is how context cancellation
+	// reaches a running simulation. It must be cheap and side-effect
+	// free; the measurement layer passes ctx.Err.
+	Cancel func() error
 }
+
+// cancelCheckInterval is the number of processed events between two
+// Cancel polls: frequent enough that cancellation lands within
+// microseconds of simulated work, rare enough to stay invisible on the
+// hot path.
+const cancelCheckInterval = 4096
 
 // Monitor observes net value changes. Implementations include the
 // activity counter (package core) and the VCD writer (package vcd).
@@ -194,6 +208,9 @@ type Simulator struct {
 	settle    int    // settle time of the most recent cycle
 	events    uint64 // total events processed
 
+	cancel      func() error // polled periodically; nil = never cancelled
+	cancelCheck uint64       // events at which to poll cancel next
+
 	evalIn  []logic.V
 	evalOut [outputsPerCell]logic.V
 }
@@ -233,7 +250,9 @@ func NewFromCompiled(c *Compiled, opts Options) *Simulator {
 		flushEpoch: 1,
 		touchEpoch: make([]int32, nc),
 		evalIn:     make([]logic.V, c.maxIn),
+		cancel:     opts.Cancel,
 	}
+	s.cancelCheck = cancelCheckInterval
 	copy(s.values, c.initVals)
 	for i := range s.ffQ {
 		s.ffQ[i] = logic.L0
@@ -419,6 +438,13 @@ func (s *Simulator) run() error {
 		flushAt = t
 		s.applyBatch(t)
 		s.evalTouched(t)
+		if s.cancel != nil && s.events >= s.cancelCheck {
+			s.cancelCheck = s.events + cancelCheckInterval
+			if err := s.cancel(); err != nil {
+				s.discardInFlight()
+				return err
+			}
+		}
 	}
 	if flushAt >= 0 {
 		s.flush(flushAt)

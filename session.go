@@ -1,0 +1,214 @@
+package glitchsim
+
+import (
+	"context"
+	"sync"
+
+	"glitchsim/internal/core"
+	"glitchsim/internal/power"
+)
+
+// EventKind classifies a Session progress event.
+type EventKind string
+
+const (
+	// EventSeed reports one finished per-seed measurement of a seed
+	// sweep; Index is the position in the request's seed list.
+	EventSeed EventKind = "seed"
+	// EventRow reports one finished row of an experiment (a multiplier
+	// spec of Table 1/2, a retimed variant of Table 3 / Figure 10, a
+	// batch job of MeasureMany).
+	EventRow EventKind = "row"
+	// EventResult carries the final summarized activity of a completed
+	// measurement.
+	EventResult EventKind = "result"
+)
+
+// Event is one progress update streamed from a Session: per-seed and
+// per-row completions as a sweep runs, then a final result. Exactly one
+// of the payload pointers is set, matching Kind. Events arrive in
+// completion order, which under a parallel sweep is not index order —
+// Index/Total position the event within its request.
+type Event struct {
+	Kind  EventKind
+	Index int
+	Total int
+	// Activity is set on EventSeed and EventResult and on EventRow for
+	// batch jobs.
+	Activity *Activity
+	// Mult is set on EventRow for Table 1/2 rows.
+	Mult *MultRow
+	// Row is set on EventRow for Table 3 / Figure 10 rows.
+	Row *Table3Row
+	// Err reports a failed row/seed; the stream continues with the
+	// remaining items.
+	Err error
+}
+
+// Session is one logical measurement conversation with an Engine: it
+// binds a context to a stream of progress events. Session methods block
+// like their Engine counterparts and return the same typed results, but
+// additionally publish an Event per completed seed/row to Events() — the
+// feed a service streams to its client as NDJSON, or a TUI renders as a
+// progress bar.
+//
+// A Session is single-conversation state: its methods may be called from
+// one goroutine at a time (the Events channel is meant to be consumed
+// from another). Close releases the session's context resources and
+// closes the event channel; call it once no method is running, typically
+// via defer.
+type Session struct {
+	e      *Engine
+	ctx    context.Context
+	cancel context.CancelFunc
+	events chan Event
+	once   sync.Once
+}
+
+// NewSession starts a measurement session whose lifetime is bounded by
+// ctx. Cancelling ctx (or calling Close) aborts any in-flight session
+// method promptly.
+func (e *Engine) NewSession(ctx context.Context) *Session {
+	ctx, cancel := context.WithCancel(ctx)
+	return &Session{
+		e:      e,
+		ctx:    ctx,
+		cancel: cancel,
+		events: make(chan Event, 64),
+	}
+}
+
+// Events returns the session's progress stream. The channel is closed by
+// Close. Consumers that fall behind exert backpressure on the producing
+// sweep (the channel is buffered but bounded); a consumer that stops
+// reading entirely must cancel the session's context to release it.
+func (s *Session) Events() <-chan Event { return s.events }
+
+// Context returns the session's context, the one every session method
+// measures under.
+func (s *Session) Context() context.Context { return s.ctx }
+
+// Close cancels the session's context and closes the event stream. It
+// must not be called while a session method is still running (wait for
+// the method to return first; cancel the context to force that).
+func (s *Session) Close() {
+	s.cancel()
+	s.once.Do(func() { close(s.events) })
+}
+
+// emit publishes an event, dropping it only when the session is
+// cancelled (so a vanished consumer cannot wedge the measurement pool).
+func (s *Session) emit(ev Event) {
+	select {
+	case s.events <- ev:
+	case <-s.ctx.Done():
+	}
+}
+
+// Measure measures one request and emits the summarized activity as an
+// EventResult.
+func (s *Session) Measure(req MeasureRequest) (Activity, error) {
+	act, err := s.e.Measure(s.ctx, req)
+	if err != nil {
+		return act, err
+	}
+	s.emit(Event{Kind: EventResult, Total: 1, Activity: &act})
+	return act, nil
+}
+
+// MeasurePower measures one request with the power model and emits the
+// summarized activity as an EventResult, so a streaming power request
+// carries the same event shape as a plain one.
+func (s *Session) MeasurePower(req MeasureRequest) (power.Breakdown, Activity, error) {
+	bd, act, err := s.e.MeasurePower(s.ctx, req)
+	if err != nil {
+		return bd, act, err
+	}
+	s.emit(Event{Kind: EventResult, Total: 1, Activity: &act})
+	return bd, act, nil
+}
+
+// MeasureMany measures the batch, emitting an EventRow per finished job
+// in completion order.
+func (s *Session) MeasureMany(req BatchRequest) ([]MeasureResult, error) {
+	total := len(req.Jobs)
+	return s.e.measureMany(s.ctx, req.Jobs, req.Workers, func(i int, r *MeasureResult) {
+		ev := Event{Kind: EventRow, Index: i, Total: total, Err: r.Err}
+		if r.Err == nil {
+			act := r.Activity
+			ev.Activity = &act
+		}
+		s.emit(ev)
+	})
+}
+
+// MeasureSeeds runs the seed sweep, emitting an EventSeed per finished
+// seed in completion order and an EventResult with the merged aggregate.
+func (s *Session) MeasureSeeds(req SeedSweepRequest) (*core.Counter, error) {
+	total := len(req.Seeds)
+	agg, err := s.e.measureSeeds(s.ctx, req, func(i int, r *MeasureResult) {
+		ev := Event{Kind: EventSeed, Index: i, Total: total, Err: r.Err}
+		if r.Err == nil {
+			act := r.Activity
+			ev.Activity = &act
+		}
+		s.emit(ev)
+	})
+	if err != nil {
+		return nil, err
+	}
+	name := ""
+	if req.Netlist != nil {
+		name = req.Netlist.Name
+	}
+	act := summarize(name, agg)
+	s.emit(Event{Kind: EventResult, Total: 1, Activity: &act})
+	return agg, nil
+}
+
+// Table1 runs the Table 1 experiment, emitting an EventRow per finished
+// multiplier measurement.
+func (s *Session) Table1(req ExperimentRequest) ([]MultRow, error) {
+	specs := table1Specs()
+	return s.e.measureMultipliers(s.ctx, specs, req, s.emitMultRow(len(specs)))
+}
+
+// Table2 runs the Table 2 experiment, emitting an EventRow per finished
+// multiplier measurement.
+func (s *Session) Table2(req ExperimentRequest) ([]MultRow, error) {
+	specs := table2Specs()
+	return s.e.measureMultipliers(s.ctx, specs, req, s.emitMultRow(len(specs)))
+}
+
+func (s *Session) emitMultRow(total int) func(int, *MultRow) {
+	return func(i int, row *MultRow) {
+		r := *row
+		s.emit(Event{Kind: EventRow, Index: i, Total: total, Mult: &r})
+	}
+}
+
+// Table3 runs the Table 3 experiment, emitting an EventRow per finished
+// retimed variant.
+func (s *Session) Table3(req ExperimentRequest) ([]Table3Row, error) {
+	return s.powerSweepSession(req, (*Engine).table3Targets)
+}
+
+// Figure10 runs the Figure 10 sweep, emitting an EventRow per finished
+// sweep point.
+func (s *Session) Figure10(req ExperimentRequest) ([]Table3Row, error) {
+	return s.powerSweepSession(req, (*Engine).figure10Targets)
+}
+
+// powerSweepSession shares the retime-and-measure sweep between the
+// Table3 and Figure10 session methods.
+func (s *Session) powerSweepSession(req ExperimentRequest, targets func(*Engine, ExperimentRequest) (sweepPlan, error)) ([]Table3Row, error) {
+	plan, err := targets(s.e, req)
+	if err != nil {
+		return nil, err
+	}
+	total := len(plan.targets)
+	return s.e.powerSweep(s.ctx, plan.base, plan.dm, plan.targets, plan.maxLatency, req, func(i int, row *Table3Row) {
+		r := *row
+		s.emit(Event{Kind: EventRow, Index: i, Total: total, Row: &r})
+	})
+}
