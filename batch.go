@@ -72,7 +72,10 @@ type MeasureResult struct {
 //
 // Deprecated: use DefaultEngine().MeasureMany (or your own Engine) to
 // get compiled-netlist caching and context cancellation. This wrapper
-// remains bit-identical to the historical behaviour.
+// remains bit-identical to the equivalent Engine call; like every
+// measurement it uses the process-default lane decomposition (see
+// Config.Lanes — SetDefaultLanes(1) restores the pre-lanes
+// single-stream numbers).
 func MeasureMany(jobs []MeasureJob, workers int) []MeasureResult {
 	results, _ := DefaultEngine().MeasureMany(context.Background(), BatchRequest{Jobs: jobs, Workers: workers})
 	return results
@@ -86,7 +89,10 @@ func MeasureMany(jobs []MeasureJob, workers int) []MeasureResult {
 //
 // Deprecated: use DefaultEngine().MeasureSeeds (or your own Engine) to
 // get compiled-netlist caching and context cancellation. This wrapper
-// remains bit-identical to the historical behaviour.
+// remains bit-identical to the equivalent Engine call; like every
+// measurement it uses the process-default lane decomposition (see
+// Config.Lanes — SetDefaultLanes(1) restores the pre-lanes
+// single-stream numbers).
 func MeasureSeeds(n *netlist.Netlist, cfg Config, seeds []uint64, workers int) (*core.Counter, error) {
 	return DefaultEngine().MeasureSeeds(context.Background(), SeedSweepRequest{
 		Netlist: n, Config: cfg, Seeds: seeds, Workers: workers,

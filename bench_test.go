@@ -206,28 +206,62 @@ func BenchmarkAblationGranularity(b *testing.B) {
 	b.ReportMetric(last.B.LOverF(), "gates_L/F")
 }
 
-// BenchmarkSimulatorThroughput measures raw event-driven simulation
-// speed on the 16x16 array multiplier (the heaviest Table 1 workload).
-// events/s counts classified net transitions per wall-clock second, the
-// BENCH_kernel.json trajectory metric; see internal/sim's BenchmarkKernel
-// for a per-scheduler breakdown.
+// BenchmarkSimulatorThroughput measures raw measurement throughput on
+// the 16x16 array multiplier (the heaviest Table 1 workload), once per
+// kernel: "scalar" pins Lanes=1 (the BENCH_kernel.json trajectory
+// workload of PRs 0–2), "lanes64" is the word-parallel default. events/s
+// counts classified net transitions per wall-clock second in both cases,
+// so the two sub-benchmarks are directly comparable; see internal/sim's
+// BenchmarkKernel and BenchmarkWideKernel for kernel-only numbers.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	nl := circuits.NewArrayMultiplier(16, circuits.Cells)
-	b.ResetTimer()
-	var cycles int
-	var events uint64
-	for i := 0; i < b.N; i++ {
-		act, err := glitchsim.Measure(nl, glitchsim.Config{Cycles: 100, Warmup: 1})
-		if err != nil {
-			b.Fatal(err)
-		}
-		cycles += act.Cycles
-		events += act.Transitions
+	for _, tc := range []struct {
+		name  string
+		lanes int
+	}{
+		{"scalar", 1},
+		{"lanes64", 64},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			var cycles int
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				act, err := glitchsim.Measure(nl, glitchsim.Config{Cycles: 100, Warmup: 1, Lanes: tc.lanes})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += act.Cycles
+				events += act.Transitions
+			}
+			secs := b.Elapsed().Seconds()
+			b.ReportMetric(float64(cycles)/secs, "cycles/s")
+			b.ReportMetric(float64(events)/secs, "events/s")
+			b.ReportMetric(secs*1e9/float64(cycles), "ns/cycle")
+		})
 	}
-	secs := b.Elapsed().Seconds()
-	b.ReportMetric(float64(cycles)/secs, "cycles/s")
-	b.ReportMetric(float64(events)/secs, "events/s")
-	b.ReportMetric(secs*1e9/float64(cycles), "ns/cycle")
+}
+
+// BenchmarkMeasureLanes is the scalar-versus-word-parallel A/B on the
+// full Table 1 row workload (500 vectors, unit delay, 16x16 array
+// multiplier): the same measurement semantics — 64 lane streams — run
+// once on the scalar kernel (Lanes=1 keeps the historical single
+// stream for reference) and once on the 64-lane kernel. The interleaved
+// BENCH_kernel.json lanes numbers come from this benchmark.
+func BenchmarkMeasureLanes(b *testing.B) {
+	nl := circuits.NewArrayMultiplier(16, circuits.Cells)
+	for _, lanes := range []int{1, 64} {
+		b.Run(fmt.Sprintf("lanes%d", lanes), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := glitchsim.Measure(nl, glitchsim.Config{Cycles: 500, Lanes: lanes}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkMeasureMany measures the parallel batch layer: a 16-seed

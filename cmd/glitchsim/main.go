@@ -60,6 +60,11 @@ var commands = map[string]func(args []string) error{
 // settable as either -workers or -parallel ahead of the subcommand.
 var workers int
 
+// lanes is the word-parallel stimulus lane count per measurement:
+// 1 forces the historical single-stream simulation, 0 keeps the default
+// of 64 lanes (one pattern per bit of a machine word).
+var lanes int
+
 // format selects the experiment output encoding: "text" renders the
 // report tables, "json" emits the service layer's JSON shapes, so
 // scripted pipelines see the same schema from the CLI and glitchsimd.
@@ -68,6 +73,7 @@ var format string
 func init() {
 	flag.IntVar(&workers, "workers", 0, "measurement worker goroutines (0 = all CPUs)")
 	flag.IntVar(&workers, "parallel", 0, "alias for -workers")
+	flag.IntVar(&lanes, "lanes", 0, "word-parallel stimulus lanes per measurement (1 = scalar kernel, 0 = 64)")
 	flag.StringVar(&format, "format", "text", "experiment output format: text or json")
 }
 
@@ -78,6 +84,7 @@ func main() {
 	flag.Usage = usage
 	flag.Parse()
 	glitchsim.SetDefaultWorkers(workers)
+	glitchsim.SetDefaultLanes(lanes)
 	if format != "text" && format != "json" {
 		fmt.Fprintf(os.Stderr, "glitchsim: unknown -format %q (text or json)\n", format)
 		os.Exit(2)

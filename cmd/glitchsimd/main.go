@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	glitchsimd [-addr :8347] [-workers N] [-cache N]
+//	glitchsimd [-addr :8347] [-workers N] [-cache N] [-lanes N] [-pprof]
 //
 // Examples:
 //
@@ -13,6 +13,7 @@
 //	curl -d '{"circuit":"wallace8","cycles":500}' localhost:8347/v1/measure
 //	curl 'localhost:8347/v1/measure?circuit=rca16&seeds=1,2,3,4&stream=1'
 //	curl -d '{"cycles":500}' localhost:8347/v1/experiments/table1
+//	go tool pprof localhost:8347/debug/pprof/profile   # with -pprof
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -35,21 +37,41 @@ func main() {
 	addr := flag.String("addr", ":8347", "listen address")
 	workers := flag.Int("workers", 0, "measurement worker goroutines per request (0 = all CPUs)")
 	cache := flag.Int("cache", glitchsim.DefaultCacheSize, "compiled-netlist cache entries (0 disables caching)")
+	lanes := flag.Int("lanes", 0, "word-parallel stimulus lanes per measurement (1 = scalar kernel, 0 = 64)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/")
 	flag.Parse()
 
 	engine := glitchsim.NewEngine(
 		glitchsim.WithWorkers(*workers),
 		glitchsim.WithCacheSize(*cache),
+		glitchsim.WithLanes(*lanes),
 	)
+	var handler http.Handler = service.New(engine)
+	if *pprofOn {
+		// Profiling is opt-in: the endpoints expose internals (heap and
+		// goroutine dumps, CPU profiles) no public deployment should
+		// serve. The handlers are mounted explicitly on our own mux, so
+		// importing net/http/pprof does not leak them onto the service
+		// routes when the flag is off.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Printf("glitchsimd: pprof endpoints enabled at /debug/pprof/")
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           service.New(engine),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("glitchsimd listening on %s (workers=%d, cache=%d)", *addr, engine.Workers(), *cache)
+		log.Printf("glitchsimd listening on %s (workers=%d, lanes=%d, cache=%d)", *addr, engine.Workers(), engine.Lanes(), *cache)
 		errc <- srv.ListenAndServe()
 	}()
 

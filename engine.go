@@ -30,6 +30,7 @@ import (
 // behaviour.
 type Engine struct {
 	workers   int
+	lanes     int // word-parallel stimulus lanes per measurement; 0 tracks DefaultLanes
 	delay     delay.Model
 	tech      power.Tech
 	cacheSize int
@@ -335,7 +336,8 @@ func (e *Engine) MeasureDetailed(ctx context.Context, req MeasureRequest) (*core
 		return nil, err
 	}
 	defer e.release()
-	return measureCompiled(ctx, c, e.fillDefaults(req.Config))
+	cfg := e.fillDefaults(req.Config)
+	return measureCompiled(ctx, c, cfg, e.laneCount(cfg))
 }
 
 // Measure runs MeasureDetailed and summarizes the totals.
@@ -399,7 +401,8 @@ func (e *Engine) measureMany(ctx context.Context, jobs []MeasureJob, workers int
 		} else if err := e.acquire(ctx); err != nil {
 			results[i].Err = err
 		} else {
-			counter, err := measureCompiled(ctx, compiled[job.Netlist], e.fillDefaults(job.Config))
+			cfg := e.fillDefaults(job.Config)
+			counter, err := measureCompiled(ctx, compiled[job.Netlist], cfg, e.laneCount(cfg))
 			e.release()
 			if err != nil {
 				results[i].Err = err

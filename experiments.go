@@ -17,12 +17,16 @@ import (
 
 // The paper's experiment drivers, as Engine methods. Every driver takes
 // a context and routes all measurement through the engine's compiled-
-// netlist cache and worker pool. The package-level functions of the same
-// names are deprecated wrappers over DefaultEngine and remain
-// bit-identical to their historical behaviour for the arguments they
-// documented; zero-valued cycle/width arguments now select each
-// experiment's paper defaults instead of falling through to Config's
-// generic run length.
+// netlist cache, worker pool and lane decomposition: with the default
+// 64 lanes, a Table 1–3 row's ~500 random vectors run as ⌈500/64⌉
+// word-parallel passes on the bit-parallel kernel (unit-delay rows) or
+// as 64 scalar streams with identical semantics (the delay-imbalance
+// rows), so delay-model comparisons like Table 2's useful-count
+// invariance stay exact. The package-level functions of the same names
+// are deprecated wrappers over DefaultEngine and remain bit-identical
+// to the Engine methods for the arguments they documented; zero-valued
+// cycle/width arguments select each experiment's paper defaults instead
+// of falling through to Config's generic run length.
 
 // ---------------------------------------------------------------------------
 // E1 — §3.1 / Figure 3: worst-case transition count of a ripple-carry adder.

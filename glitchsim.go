@@ -80,6 +80,26 @@ type Config struct {
 	Inertial bool
 	// Source overrides the default uniform random stimulus.
 	Source stimulus.Source
+	// Lanes selects how many independent seeded stimulus streams the
+	// measured Cycles are distributed over (see wide.go): under a
+	// uniform delay model all lanes advance in one word-parallel
+	// simulation, evaluating every gate for up to 64 patterns at once.
+	// 0 selects the engine default (DefaultLanes, normally MaxLanes);
+	// 1 is the historical single-stream measurement; values are capped
+	// at MaxLanes. Ignored when an explicit Source is set (external
+	// sources are inherently single-stream) or when at most one cycle
+	// is measured.
+	//
+	// Under a NON-uniform delay model the same L streams run on the
+	// scalar kernel instead — bit-identical results, but each stream
+	// pays its own Warmup, so the default decomposition roughly doubles
+	// the simulated work of an imbalanced-delay measurement (e.g. 64×8
+	// warm-up + 500 measured cycles versus 8 + 500). That price buys
+	// exact cross-delay-model comparability: Table 2's unit and
+	// dsum=2·dcarry rows see identical vector streams, keeping their
+	// useful counts equal. Set Lanes=1 when that invariance does not
+	// matter and the delay model rules out the word-parallel kernel.
+	Lanes int
 }
 
 func (c Config) withDefaults(n *netlist.Netlist) Config {
@@ -112,7 +132,10 @@ func (c Config) withDefaults(n *netlist.Netlist) Config {
 //
 // Deprecated: use DefaultEngine().MeasureDetailed (or your own Engine)
 // to get compiled-netlist caching and context cancellation. This wrapper
-// remains bit-identical to the historical behaviour.
+// remains bit-identical to the equivalent Engine call; like every
+// measurement it uses the process-default lane decomposition (see
+// Config.Lanes — SetDefaultLanes(1) restores the pre-lanes
+// single-stream numbers).
 func MeasureDetailed(n *netlist.Netlist, cfg Config) (*core.Counter, error) {
 	return DefaultEngine().MeasureDetailed(context.Background(), MeasureRequest{Netlist: n, Config: cfg})
 }
@@ -122,13 +145,30 @@ func MeasureDetailed(n *netlist.Netlist, cfg Config) (*core.Counter, error) {
 // everything else is per-call state. ctx is checked between cycles and,
 // through the kernel's Cancel hook, periodically inside the event loop,
 // so cancellation lands promptly even mid-cycle on large circuits.
-func measureCompiled(ctx context.Context, c *sim.Compiled, cfg Config) (*core.Counter, error) {
+// lanes is the resolved lane count (see Engine.laneCount): seed-driven
+// measurements of more than one cycle decompose into that many parallel
+// stimulus streams, riding the word-parallel kernel when the delay model
+// allows (wide.go); everything else takes the single-stream path.
+func measureCompiled(ctx context.Context, c *sim.Compiled, cfg Config, lanes int) (*core.Counter, error) {
 	n := c.Netlist()
+	split := lanes > 1 && cfg.Source == nil
 	cfg = cfg.withDefaults(n)
 	if cfg.Source.Width() != n.InputWidth() {
 		return nil, fmt.Errorf("glitchsim: stimulus width %d, circuit %q has %d inputs",
 			cfg.Source.Width(), n.Name, n.InputWidth())
 	}
+	if split && cfg.Cycles > 1 {
+		return measureLanes(ctx, c, cfg, lanes)
+	}
+	return measureStream(ctx, c, cfg)
+}
+
+// measureStream measures one stimulus stream on the scalar kernel: the
+// historical single-stream measurement, and the per-lane building block
+// of the scalar fallback in measureLanes. cfg must have its defaults
+// resolved.
+func measureStream(ctx context.Context, c *sim.Compiled, cfg Config) (*core.Counter, error) {
+	n := c.Netlist()
 	mode := sim.Transport
 	if cfg.Inertial {
 		mode = sim.Inertial
@@ -138,8 +178,10 @@ func measureCompiled(ctx context.Context, c *sim.Compiled, cfg Config) (*core.Co
 		opts.Cancel = ctx.Err
 	}
 	s := sim.NewFromCompiled(c, opts)
-	counter := core.NewCounter(n)
-	s.AttachMonitor(counter)
+	// Warm-up runs unmonitored: the kernel then takes its no-monitor fast
+	// path, and attaching the counter afterwards is indistinguishable
+	// from attach-then-Reset (the counter carries no cross-cycle state
+	// beyond the statistics a reset would clear).
 	for i := 0; i < cfg.Warmup; i++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -148,7 +190,8 @@ func measureCompiled(ctx context.Context, c *sim.Compiled, cfg Config) (*core.Co
 			return nil, err
 		}
 	}
-	counter.Reset()
+	counter := core.NewCounter(n)
+	s.AttachMonitor(counter)
 	for i := 0; i < cfg.Cycles; i++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -164,7 +207,10 @@ func measureCompiled(ctx context.Context, c *sim.Compiled, cfg Config) (*core.Co
 //
 // Deprecated: use DefaultEngine().Measure (or your own Engine) to get
 // compiled-netlist caching and context cancellation. This wrapper
-// remains bit-identical to the historical behaviour.
+// remains bit-identical to the equivalent Engine call; like every
+// measurement it uses the process-default lane decomposition (see
+// Config.Lanes — SetDefaultLanes(1) restores the pre-lanes
+// single-stream numbers).
 func Measure(n *netlist.Netlist, cfg Config) (Activity, error) {
 	return DefaultEngine().Measure(context.Background(), MeasureRequest{Netlist: n, Config: cfg})
 }
@@ -195,7 +241,10 @@ func summarize(name string, counter *core.Counter) Activity {
 //
 // Deprecated: use DefaultEngine().MeasurePower (or your own Engine) to
 // get compiled-netlist caching and context cancellation. This wrapper
-// remains bit-identical to the historical behaviour.
+// remains bit-identical to the equivalent Engine call; like every
+// measurement it uses the process-default lane decomposition (see
+// Config.Lanes — SetDefaultLanes(1) restores the pre-lanes
+// single-stream numbers).
 func MeasurePower(n *netlist.Netlist, cfg Config, tech power.Tech) (power.Breakdown, Activity, error) {
 	return DefaultEngine().MeasurePower(context.Background(), MeasureRequest{Netlist: n, Config: cfg, Tech: &tech})
 }

@@ -1,0 +1,214 @@
+package core
+
+// WideCounter: transition counting with parity evaluation for the
+// word-parallel kernel. Where Counter tallies one lane, WideCounter
+// classifies all 64 lanes of a sim.WideSimulator at once and produces
+// statistics bit-identical to 64 scalar Counters merged in lane order.
+//
+// Per wavefront, the lanes that made a counted (known→known) transition
+// on a net form one 64-bit mask: XOR of the packed old/new values ANDed
+// with both known masks. Totals come from math/bits.OnesCount64 on that
+// mask; per-lane per-cycle transition counts — the input to the paper's
+// parity rule — are maintained as a small binary counter per net whose
+// digits are 64-bit planes (plane p holds bit p of every lane's count),
+// incremented by one ripple-carry step per mask. At cycle end the parity
+// rule reads off the planes directly:
+//
+//   - lanes with an odd count = the set bits of plane 0, so the cycle's
+//     useful total is one popcount;
+//   - useless = transitions − useful, and glitches = useless/2, both
+//     exact lane sums because Σ⌊n_l/2⌋ = (Σn_l − Σ(n_l mod 2))/2;
+//   - the per-lane maximum (MaxPerCycle) falls out of a high-to-low
+//     plane scan.
+//
+// A lane mask restricts counting to active lanes, letting a measurement
+// retire lanes that have completed their cycle quota while the remaining
+// lanes keep running.
+
+import (
+	"math/bits"
+
+	"glitchsim/internal/netlist"
+	"glitchsim/internal/sim"
+)
+
+// initialPlanes is the number of count bit-planes allocated up front:
+// enough for 2^4−1 transitions per net per lane per cycle; busier nets
+// grow the plane stack on demand.
+const initialPlanes = 4
+
+// WideCounter is a sim.WideMonitor performing transition counting and
+// parity evaluation over a chosen set of nets, for all lanes at once.
+type WideCounter struct {
+	n        *netlist.Netlist
+	include  []bool
+	stats    []NetStats
+	laneMask uint64
+
+	// Per-net activity within the current cycle: total and rising
+	// transition counts summed over active lanes, plus the per-lane
+	// binary counter in bit-plane form (planes[p][net] holds bit p of
+	// every lane's count).
+	curT    []uint32
+	curRise []uint32
+	planes  [][]uint64
+	dirty   []netlist.NetID
+
+	cycles int // classified lane-cycles (lanes × cycles, like merged Counters)
+}
+
+// NewWideCounter returns a WideCounter monitoring every internal net of
+// the netlist, with all lanes active — the wide image of NewCounter.
+func NewWideCounter(n *netlist.Netlist) *WideCounter {
+	return NewWideCounterFor(n, n.InternalNets())
+}
+
+// NewWideCounterFor returns a WideCounter monitoring exactly the given
+// nets.
+func NewWideCounterFor(n *netlist.Netlist, nets []netlist.NetID) *WideCounter {
+	c := &WideCounter{
+		n:        n,
+		include:  make([]bool, n.NumNets()),
+		stats:    make([]NetStats, n.NumNets()),
+		laneMask: ^uint64(0),
+		curT:     make([]uint32, n.NumNets()),
+		curRise:  make([]uint32, n.NumNets()),
+		planes:   make([][]uint64, initialPlanes),
+	}
+	for p := range c.planes {
+		c.planes[p] = make([]uint64, n.NumNets())
+	}
+	for _, id := range nets {
+		c.include[id] = true
+	}
+	return c
+}
+
+// SetLaneMask restricts counting to the lanes whose bit is set. It may
+// only change between cycles (after OnCycleEnd, before the next
+// wavefront); transitions in masked-out lanes are ignored entirely.
+func (c *WideCounter) SetLaneMask(mask uint64) { c.laneMask = mask }
+
+// LaneMask returns the active-lane mask.
+func (c *WideCounter) LaneMask() uint64 { return c.laneMask }
+
+// OnWideChanges implements sim.WideMonitor: one call per wavefront, one
+// ripple-carry increment per changed net. Transitions from or to X are
+// not counted, matching the scalar Counter.
+func (c *WideCounter) OnWideChanges(_, _ int, changes []sim.WideChange) {
+	for i := range changes {
+		ch := &changes[i]
+		if !c.include[ch.Net] {
+			continue
+		}
+		m := (ch.Old.Zero | ch.Old.One) & (ch.New.Zero | ch.New.One) &
+			(ch.Old.One ^ ch.New.One) & c.laneMask
+		if m == 0 {
+			continue
+		}
+		net := ch.Net
+		if c.curT[net] == 0 {
+			c.dirty = append(c.dirty, net)
+		}
+		c.curT[net] += uint32(bits.OnesCount64(m))
+		c.curRise[net] += uint32(bits.OnesCount64(m & ch.New.One))
+		carry := m
+		for p := 0; p < len(c.planes); p++ {
+			row := c.planes[p]
+			old := row[net]
+			row[net] = old ^ carry
+			carry &= old
+			if carry == 0 {
+				break
+			}
+		}
+		if carry != 0 {
+			// Some lane's count outgrew the plane stack: add a plane.
+			c.planes = append(c.planes, make([]uint64, len(c.curT)))
+			c.planes[len(c.planes)-1][net] = carry
+		}
+	}
+}
+
+// OnCycleEnd implements sim.WideMonitor: it classifies every dirty net's
+// per-lane transition counts by the parity rule and clears the per-cycle
+// state. The cycle tally advances by the number of active lanes, so
+// Cycles reads like the sum of the per-lane runs.
+func (c *WideCounter) OnCycleEnd(int) {
+	for _, net := range c.dirty {
+		t := uint64(c.curT[net])
+		useful := uint64(bits.OnesCount64(c.planes[0][net]))
+		st := &c.stats[net]
+		st.Transitions += t
+		st.Rising += uint64(c.curRise[net])
+		st.Useful += useful
+		st.Useless += t - useful
+		st.Glitches += (t - useful) / 2
+		if max := c.laneMaxCount(net); max > st.MaxPerCycle {
+			st.MaxPerCycle = max
+		}
+		c.curT[net], c.curRise[net] = 0, 0
+		for p := range c.planes {
+			c.planes[p][net] = 0
+		}
+	}
+	c.dirty = c.dirty[:0]
+	c.cycles += bits.OnesCount64(c.laneMask)
+}
+
+// laneMaxCount returns the largest per-lane transition count of the
+// current cycle for one net, read off the bit planes high to low: at
+// each plane the candidate set narrows to the lanes that have that bit
+// set, if any do.
+func (c *WideCounter) laneMaxCount(net netlist.NetID) uint32 {
+	cand := ^uint64(0)
+	var max uint32
+	for p := len(c.planes) - 1; p >= 0; p-- {
+		if t := cand & c.planes[p][net]; t != 0 {
+			cand = t
+			max |= 1 << uint(p)
+		}
+	}
+	return max
+}
+
+// Reset clears all accumulated statistics and any partial-cycle state
+// (typically called after warm-up cycles).
+func (c *WideCounter) Reset() {
+	for i := range c.stats {
+		c.stats[i] = NetStats{}
+	}
+	for _, net := range c.dirty {
+		c.curT[net], c.curRise[net] = 0, 0
+		for p := range c.planes {
+			c.planes[p][net] = 0
+		}
+	}
+	c.dirty = c.dirty[:0]
+	c.cycles = 0
+}
+
+// Cycles returns the number of classified lane-cycles.
+func (c *WideCounter) Cycles() int { return c.cycles }
+
+// Netlist returns the netlist the counter was built for.
+func (c *WideCounter) Netlist() *netlist.Netlist { return c.n }
+
+// Stats returns the accumulated lane-summed statistics of one net.
+func (c *WideCounter) Stats(net netlist.NetID) NetStats { return c.stats[net] }
+
+// Counter converts the accumulated wide statistics into an ordinary
+// Counter, indistinguishable from the merge of the per-lane scalar
+// counters: per-net stats are the lane sums (MaxPerCycle the lane max)
+// and Cycles is the lane-cycle total. The WideCounter remains usable;
+// the returned Counter owns copies of the statistics.
+func (c *WideCounter) Counter() *Counter {
+	out := &Counter{
+		n:       c.n,
+		include: append([]bool(nil), c.include...),
+		stats:   append([]NetStats(nil), c.stats...),
+		cur:     make([]cycleCount, len(c.stats)),
+		cycles:  c.cycles,
+	}
+	return out
+}

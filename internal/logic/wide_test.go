@@ -1,0 +1,110 @@
+package logic
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestWideOpsMatchScalarExhaustive re-runs the init-time cross-check as
+// a visible test, and additionally exercises lane packing: every 3^3
+// input combination is evaluated in a randomly chosen lane with the
+// other lanes holding unrelated values, so lane isolation is verified
+// too (a lane leaking into a neighbour would corrupt the off-lane
+// values).
+func TestWideOpsMatchScalarExhaustive(t *testing.T) {
+	vals := [3]V{X, L0, L1}
+	ops := []struct {
+		name   string
+		arity  int
+		scalar func(a, b, c V) V
+		wide   func(a, b, c W) W
+	}{
+		{"not", 1, func(a, _, _ V) V { return Not(a) }, func(a, _, _ W) W { return NotW(a) }},
+		{"and", 2, func(a, b, _ V) V { return And(a, b) }, func(a, b, _ W) W { return AndW(a, b) }},
+		{"nand", 2, func(a, b, _ V) V { return Not(And(a, b)) }, func(a, b, _ W) W { return NandW(a, b) }},
+		{"or", 2, func(a, b, _ V) V { return Or(a, b) }, func(a, b, _ W) W { return OrW(a, b) }},
+		{"nor", 2, func(a, b, _ V) V { return Not(Or(a, b)) }, func(a, b, _ W) W { return NorW(a, b) }},
+		{"xor", 2, func(a, b, _ V) V { return Xor(a, b) }, func(a, b, _ W) W { return XorW(a, b) }},
+		{"xnor", 2, func(a, b, _ V) V { return Not(Xor(a, b)) }, func(a, b, _ W) W { return XnorW(a, b) }},
+		{"mux", 3, func(a, b, c V) V { return Mux(c, a, b) }, func(a, b, c W) W { return MuxW(c, a, b) }},
+		{"maj3", 3, Maj3, Maj3W},
+		{"fa-sum", 3, func(a, b, c V) V { s, _ := FullAdd(a, b, c); return s },
+			func(a, b, c W) W { s, _ := FullAddW(a, b, c); return s }},
+		{"fa-carry", 3, func(a, b, c V) V { _, co := FullAdd(a, b, c); return co },
+			func(a, b, c W) W { _, co := FullAddW(a, b, c); return co }},
+		{"ha-sum", 2, func(a, b, _ V) V { s, _ := HalfAdd(a, b); return s },
+			func(a, b, _ W) W { s, _ := HalfAddW(a, b); return s }},
+		{"ha-carry", 2, func(a, b, _ V) V { _, co := HalfAdd(a, b); return co },
+			func(a, b, _ W) W { _, co := HalfAddW(a, b); return co }},
+	}
+	for _, op := range ops {
+		lane := 0
+		for _, a := range vals {
+			for _, b := range vals {
+				for _, c := range vals {
+					// Background pattern differing per lane.
+					wa, wb, wc := SplatW(L1), SplatW(L0), SplatW(X)
+					l := (lane*29 + 7) % Lanes
+					lane++
+					wa.SetLane(l, a)
+					wb.SetLane(l, b)
+					wc.SetLane(l, c)
+					got := op.wide(wa, wb, wc)
+					if got.Zero&got.One != 0 {
+						t.Fatalf("%s(%v,%v,%v): both rails set: %v", op.name, a, b, c, got)
+					}
+					if g, w := got.Lane(l), op.scalar(a, b, c); g != w {
+						t.Errorf("%s(%v,%v,%v) lane %d = %v, scalar %v", op.name, a, b, c, l, g, w)
+					}
+					// The background lanes must see the background inputs.
+					bg := op.scalar(L1, L0, X)
+					for k := 0; k < Lanes; k++ {
+						if k == l {
+							continue
+						}
+						if g := got.Lane(k); g != bg {
+							t.Fatalf("%s lane %d polluted by lane %d: %v, want %v", op.name, k, l, g, bg)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestWideLaneRoundTrip(t *testing.T) {
+	var w W
+	vals := [3]V{X, L0, L1}
+	for l := 0; l < Lanes; l++ {
+		w.SetLane(l, vals[l%3])
+	}
+	for l := 0; l < Lanes; l++ {
+		if got := w.Lane(l); got != vals[l%3] {
+			t.Fatalf("lane %d = %v, want %v", l, got, vals[l%3])
+		}
+	}
+	// Overwrites must clear the previous rails.
+	w.SetLane(5, L1)
+	w.SetLane(5, L0)
+	if w.Lane(5) != L0 || w.Zero&w.One != 0 {
+		t.Fatal("SetLane overwrite left stale rails")
+	}
+}
+
+func TestWideSplatAndKnownMask(t *testing.T) {
+	if SplatW(L0).KnownMask() != ^uint64(0) || SplatW(L1).KnownMask() != ^uint64(0) {
+		t.Error("splat of strong levels must be fully known")
+	}
+	if SplatW(X).KnownMask() != 0 || AllX.KnownMask() != 0 {
+		t.Error("splat of X must be fully unknown")
+	}
+	var w W
+	w.SetLane(0, L0)
+	w.SetLane(63, L1)
+	if w.KnownMask() != 1|1<<63 {
+		t.Errorf("known mask = %b", w.KnownMask())
+	}
+	if s := w.String(); len(s) != Lanes || s[0] != '1' || s[Lanes-1] != '0' {
+		t.Errorf("String = %q", fmt.Sprintf("%.8s…", s))
+	}
+}

@@ -115,6 +115,10 @@ type MeasureParams struct {
 	Typical bool `json:"typical,omitempty"`
 	// Inertial selects inertial instead of transport delay handling.
 	Inertial bool `json:"inertial,omitempty"`
+	// Lanes bounds the word-parallel stimulus lanes per measurement:
+	// 1 forces the historical single-stream simulation, 0 keeps the
+	// server's default (normally 64). Capped at glitchsim.MaxLanes.
+	Lanes int `json:"lanes,omitempty"`
 	// Power adds the three-component power breakdown to the reply.
 	Power bool `json:"power,omitempty"`
 	// Stream switches the reply to NDJSON progress events.
@@ -122,7 +126,7 @@ type MeasureParams struct {
 }
 
 func (p *MeasureParams) config() glitchsim.Config {
-	cfg := glitchsim.Config{Seed: p.Seed, Inertial: p.Inertial}
+	cfg := glitchsim.Config{Seed: p.Seed, Inertial: p.Inertial, Lanes: p.Lanes}
 	if p.DSum != 0 || p.DCarry != 0 || p.Typical {
 		dsum, dcarry := p.DSum, p.DCarry
 		if dsum == 0 {
@@ -452,6 +456,11 @@ func paramsFromQuery(q url.Values, v any) error {
 			return err
 		} else if n != nil {
 			p.DCarry = *n
+		}
+		if n, err := optInt(q, "lanes"); err != nil {
+			return err
+		} else if n != nil {
+			p.Lanes = *n
 		}
 		p.Typical = boolParam(q, "typical")
 		p.Inertial = boolParam(q, "inertial")

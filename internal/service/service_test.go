@@ -268,3 +268,38 @@ func TestServiceExplicitZeroCycles(t *testing.T) {
 		t.Errorf("explicit zero cycles measured activity: %+v", got.Activity)
 	}
 }
+
+// TestServiceLanesParam: the lanes knob reaches the measurement config —
+// lanes=1 selects the historical single-stream numbers, the default (and
+// any explicit wide lane count) the lane-decomposed ones, both matching
+// the library API exactly.
+func TestServiceLanesParam(t *testing.T) {
+	ts := newTestServer(t)
+	measure := func(body string) MeasureResponse {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/measure", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		return decodeBody[MeasureResponse](t, resp)
+	}
+	scalar := measure(`{"circuit":"rca8","cycles":100,"seed":7,"lanes":1}`)
+	wide := measure(`{"circuit":"rca8","cycles":100,"seed":7}`)
+
+	want, err := glitchsim.Measure(glitchsim.NewRCA(8), glitchsim.Config{Cycles: 100, Seed: 7, Lanes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scalar.Activity.Transitions != want.Transitions || scalar.Activity.Useful != want.Useful {
+		t.Errorf("lanes=1 activity %+v, library %+v", scalar.Activity, want)
+	}
+	if wide.Activity.Cycles != 100 || scalar.Activity.Cycles != 100 {
+		t.Errorf("cycles: wide %d scalar %d, want 100", wide.Activity.Cycles, scalar.Activity.Cycles)
+	}
+	if wide.Activity.Transitions == scalar.Activity.Transitions {
+		t.Error("lane-decomposed and single-stream measurements coincide (lanes knob ignored?)")
+	}
+}

@@ -2,7 +2,9 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
+	"glitchsim/internal/delay"
 	"glitchsim/internal/logic"
 	"glitchsim/internal/netlist"
 )
@@ -148,3 +150,31 @@ func Compile(n *netlist.Netlist) *Compiled {
 
 // Netlist returns the netlist this compilation was built from.
 func (c *Compiled) Netlist() *netlist.Netlist { return c.n }
+
+// visitDelays resolves the delay model on every connected output pin of
+// every combinational cell, in cell/pin order, calling f with the
+// cell-output key (outputsPerCell*cell + pin) and the validated delay.
+// It panics on delays outside [0, MaxInt32]. Both kernels resolve delay
+// models exclusively through this walk — the scalar constructor to
+// precompute its per-output delay array, UniformDelay to decide
+// word-parallel eligibility — so the two can never disagree about which
+// pins a model is asked about or which delays are legal.
+func (c *Compiled) visitDelays(dm delay.Model, f func(key, d int)) {
+	n := c.n
+	for cid := 0; cid < n.NumCells(); cid++ {
+		if c.cellType[cid] == netlist.DFF {
+			continue
+		}
+		for pin := 0; pin < int(c.outLen[cid]); pin++ {
+			key := outputsPerCell*cid + pin
+			if c.outNets[key] == netlist.NoNet {
+				continue
+			}
+			d := dm.Delay(&n.Cells[cid], pin)
+			if d < 0 || d > math.MaxInt32 {
+				panic(fmt.Sprintf("sim: delay %d for cell %s pin %d outside [0, MaxInt32]", d, n.Cells[cid].Name, pin))
+			}
+			f(key, d)
+		}
+	}
+}

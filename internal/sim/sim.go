@@ -58,7 +58,6 @@ package sim
 
 import (
 	"fmt"
-	"math"
 
 	"glitchsim/internal/delay"
 	"glitchsim/internal/logic"
@@ -259,29 +258,18 @@ func NewFromCompiled(c *Compiled, opts Options) *Simulator {
 	}
 
 	// Delay models are deterministic, so per-output delays are resolved
-	// once here and the event loop never makes an interface call.
+	// once here (through the shared visitDelays walk) and the event loop
+	// never makes an interface call.
 	maxDelay, minDelay := 0, -1
-	for cid := 0; cid < nc; cid++ {
-		if c.cellType[cid] == netlist.DFF {
-			continue
+	c.visitDelays(dm, func(key, d int) {
+		s.delays[key] = int32(d)
+		if d > maxDelay {
+			maxDelay = d
 		}
-		for pin := 0; pin < int(c.outLen[cid]); pin++ {
-			if c.outNets[outputsPerCell*cid+pin] == netlist.NoNet {
-				continue
-			}
-			d := dm.Delay(&n.Cells[cid], pin)
-			if d < 0 || d > math.MaxInt32 {
-				panic(fmt.Sprintf("sim: delay %d for cell %s pin %d outside [0, MaxInt32]", d, n.Cells[cid].Name, pin))
-			}
-			s.delays[outputsPerCell*cid+pin] = int32(d)
-			if d > maxDelay {
-				maxDelay = d
-			}
-			if minDelay < 0 || d < minDelay {
-				minDelay = d
-			}
+		if minDelay < 0 || d < minDelay {
+			minDelay = d
 		}
-	}
+	})
 
 	// With every delay >= 1, an instant consists of exactly one event
 	// batch and each net (single driver pin, fixed per-pin delay) changes

@@ -1,0 +1,401 @@
+package sim
+
+// The word-parallel (parallel-pattern) kernel: one simulation advancing
+// logic.Lanes (64) independent stimulus lanes at once. Every net holds a
+// packed logic.W — one three-valued level per lane — and cell evaluation
+// is the branch-free bitwise form from internal/logic, cross-checked at
+// init against the scalar truth tables.
+//
+// The kernel requires a uniform delay model (every combinational output
+// has one common delay d >= 1, e.g. the paper's unit delay): then every
+// lane's event at a given net occurs at the same instant, all in-flight
+// events share one absolute time, and the whole simulation advances in
+// lockstep wavefronts t, t+d, t+2d, … exactly like the scalar wave
+// scheduler. Because d >= 1 each instant consists of a single wave and
+// each net changes at most once per instant, so no per-instant
+// coalescing is needed: a popped event is always a real change in at
+// least one lane.
+//
+// Lane l of a wide simulation is bit-identical to a scalar simulation
+// driven with lane l's stimulus: per-lane evaluation is identical by the
+// init-time cross-check, and the wavefront order is the scalar wave
+// scheduler's order. TestWideKernelEquivalence enforces this against 64
+// merged scalar runs for every built-in circuit.
+
+import (
+	"errors"
+	"fmt"
+
+	"glitchsim/internal/delay"
+	"glitchsim/internal/logic"
+	"glitchsim/internal/netlist"
+)
+
+// MaxLanes is the number of stimulus lanes one WideSimulator advances
+// per step: the machine word width.
+const MaxLanes = logic.Lanes
+
+// ErrNonUniformDelay reports that a delay model is not word-parallel
+// simulatable: the wide kernel needs one common per-output delay >= 1.
+var ErrNonUniformDelay = errors.New("sim: wide kernel requires a uniform delay model with delay >= 1")
+
+// UniformDelay reports whether the delay model assigns one common delay
+// to every connected output pin of every combinational cell of the
+// compiled netlist, and returns that delay. A netlist with no
+// combinational outputs is trivially uniform with delay 1. This is the
+// eligibility check for the word-parallel kernel (which additionally
+// requires the delay to be >= 1, so that instants never merge). Like
+// scalar simulator construction it panics on out-of-range delays — both
+// walk the model through the same visitDelays helper, so they can never
+// disagree on which pins a delay model is asked about.
+func UniformDelay(c *Compiled, dm delay.Model) (int, bool) {
+	if dm == nil {
+		dm = delay.Unit()
+	}
+	d, uniform := -1, true
+	c.visitDelays(dm, func(_, pd int) {
+		if d < 0 {
+			d = pd
+		} else if pd != d {
+			uniform = false
+		}
+	})
+	if !uniform {
+		return 0, false
+	}
+	if d < 0 {
+		return 1, true
+	}
+	return d, true
+}
+
+// WideChange is one net transition of one wavefront, carrying the packed
+// before/after values of all lanes.
+type WideChange struct {
+	Net      netlist.NetID
+	Old, New logic.W
+}
+
+// WideMonitor observes wide net changes. The canonical implementation is
+// core.WideCounter, which classifies per-lane transitions with popcount
+// arithmetic. The changes slice passed to OnWideChanges is reused across
+// wavefronts and must not be retained.
+type WideMonitor interface {
+	OnWideChanges(cycle, t int, changes []WideChange)
+	OnCycleEnd(cycle int)
+}
+
+// wideEvent is one scheduled net update: all lanes of net take val at
+// the wavefront the event was scheduled for.
+type wideEvent struct {
+	net netlist.NetID
+	val logic.W
+}
+
+// WideSimulator drives one netlist for MaxLanes independent stimulus
+// lanes at once. Like Simulator it is not safe for concurrent use, but
+// any number may share one Compiled netlist.
+type WideSimulator struct {
+	c     *Compiled
+	d     int // the uniform per-output delay, >= 1
+	guard int
+
+	values []logic.W
+	ffQ    []logic.W // sampled Q, indexed like Compiled.dffCells
+
+	wave, next []wideEvent
+	changes    []WideChange
+
+	touchEpoch []int32
+	epoch      int32
+	touched    []netlist.CellID
+
+	monitors []WideMonitor
+	cycle    int
+	settle   int
+	events   uint64 // word events processed (each spans all lanes)
+
+	cancel      func() error
+	cancelCheck uint64
+
+	evalIn  logic.Vector // per-lane scratch for the reference fallback
+	evalOut [outputsPerCell]logic.V
+}
+
+// NewWide returns a word-parallel simulator for a compiled netlist. It
+// fails with ErrNonUniformDelay when the options' delay model is not
+// uniform with delay >= 1 — callers fall back to the scalar kernel.
+// Transport and inertial modes coincide under a uniform delay (no pulse
+// is ever narrower than a cell delay), so Options.Mode is accepted but
+// has no effect; Options.Scheduler is ignored (the wavefront is the
+// schedule).
+func NewWide(c *Compiled, opts Options) (*WideSimulator, error) {
+	dm := opts.Delay
+	if dm == nil {
+		dm = delay.Unit()
+	}
+	d, ok := UniformDelay(c, dm)
+	if !ok || d < 1 {
+		return nil, fmt.Errorf("%w (model %s)", ErrNonUniformDelay, dm.Name())
+	}
+	guard := opts.MaxTimePerCycle
+	if guard == 0 {
+		guard = 1 << 16
+	}
+	nc, nn := c.n.NumCells(), c.n.NumNets()
+	s := &WideSimulator{
+		c:          c,
+		d:          d,
+		guard:      guard,
+		values:     make([]logic.W, nn),
+		ffQ:        make([]logic.W, len(c.dffCells)),
+		touchEpoch: make([]int32, nc),
+		evalIn:     make(logic.Vector, c.maxIn),
+		cancel:     opts.Cancel,
+	}
+	s.cancelCheck = cancelCheckInterval
+	for i, v := range c.initVals {
+		s.values[i] = logic.SplatW(v)
+	}
+	for i := range s.ffQ {
+		s.ffQ[i] = logic.SplatW(logic.L0)
+	}
+	return s, nil
+}
+
+// AttachWideMonitor registers a monitor for subsequent cycles.
+func (s *WideSimulator) AttachWideMonitor(m WideMonitor) { s.monitors = append(s.monitors, m) }
+
+// DetachWideMonitors removes all monitors.
+func (s *WideSimulator) DetachWideMonitors() { s.monitors = nil }
+
+// Netlist returns the simulated netlist.
+func (s *WideSimulator) Netlist() *netlist.Netlist { return s.c.n }
+
+// Cycle returns the number of completed cycles.
+func (s *WideSimulator) Cycle() int { return s.cycle }
+
+// SettleTime returns the time of the last wavefront of the most recent
+// cycle.
+func (s *WideSimulator) SettleTime() int { return s.settle }
+
+// Events returns the total number of word events processed; each word
+// event updates all lanes of one net at one instant.
+func (s *WideSimulator) Events() uint64 { return s.events }
+
+// Delay returns the uniform per-output delay the kernel advances by.
+func (s *WideSimulator) Delay() int { return s.d }
+
+// Value returns the packed settled value of a net.
+func (s *WideSimulator) Value(id netlist.NetID) logic.W { return s.values[id] }
+
+// Step simulates one clock cycle for all lanes: pi holds, per primary
+// input, the packed per-lane stimulus bits (aligned with the netlist's
+// PIs). It returns an error if the network fails to settle within the
+// guard time in any lane; all in-flight events are discarded first.
+func (s *WideSimulator) Step(pi []logic.W) error {
+	if len(pi) != len(s.c.n.PIs) {
+		panic(fmt.Sprintf("sim: stimulus width %d, netlist has %d inputs", len(pi), len(s.c.n.PIs)))
+	}
+
+	// 1. Sample DFF D inputs lane-wise: lanes with a known D take it,
+	// lanes still at X hold the flipflop's current state — the per-lane
+	// image of the scalar rule.
+	for i, d := range s.c.dffD {
+		v := s.values[d]
+		k := v.Zero | v.One
+		q := &s.ffQ[i]
+		q.Zero = (v.Zero & k) | (q.Zero &^ k)
+		q.One = (v.One & k) | (q.One &^ k)
+	}
+
+	// 2. Inject PI changes and DFF Q updates at t=0.
+	for i, id := range s.c.n.PIs {
+		s.push(id, pi[i])
+	}
+	for i, q := range s.c.dffQ {
+		s.push(q, s.ffQ[i])
+	}
+
+	// 3. Advance wavefronts t = 0, d, 2d, … until no lane changes.
+	t, settle := 0, 0
+	for len(s.next) > 0 {
+		if t > s.guard {
+			s.discardInFlight()
+			return fmt.Errorf("sim: cycle %d did not settle by time %d (oscillation or guard too low)", s.cycle, s.guard)
+		}
+		s.wave, s.next = s.next, s.wave[:0]
+		s.applyWave(t)
+		s.evalTouched()
+		settle = t
+		t += s.d
+		if s.cancel != nil && s.events >= s.cancelCheck {
+			s.cancelCheck = s.events + cancelCheckInterval
+			if err := s.cancel(); err != nil {
+				s.discardInFlight()
+				return err
+			}
+		}
+	}
+	s.settle = settle
+	for _, m := range s.monitors {
+		m.OnCycleEnd(s.cycle)
+	}
+	s.cycle++
+	return nil
+}
+
+// push schedules a net update for the next wavefront unless no lane
+// would change. A net's value cannot change between push and pop (its
+// single driver evaluates at most once per wave), so every queued event
+// is a real change when it applies.
+func (s *WideSimulator) push(net netlist.NetID, v logic.W) {
+	if v == s.values[net] {
+		return
+	}
+	s.next = append(s.next, wideEvent{net: net, val: v})
+}
+
+// applyWave commits every event of the current wavefront, reports the
+// changes, and marks the fanout cells for re-evaluation.
+func (s *WideSimulator) applyWave(t int) {
+	if s.epoch == 1<<31-1 {
+		clear(s.touchEpoch)
+		s.epoch = 0
+	}
+	s.epoch++
+	epoch := s.epoch
+	s.events += uint64(len(s.wave))
+	monitored := len(s.monitors) > 0
+	fanStart, fanCells := s.c.fanStart, s.c.fanCells
+	values, touchEpoch := s.values, s.touchEpoch
+	for i := range s.wave {
+		e := &s.wave[i]
+		if monitored {
+			s.changes = append(s.changes, WideChange{Net: e.net, Old: values[e.net], New: e.val})
+		}
+		values[e.net] = e.val
+		for _, cid := range fanCells[fanStart[e.net]:fanStart[e.net+1]] {
+			if touchEpoch[cid] != epoch {
+				touchEpoch[cid] = epoch
+				s.touched = append(s.touched, cid)
+			}
+		}
+	}
+	if len(s.changes) > 0 {
+		for _, m := range s.monitors {
+			m.OnWideChanges(s.cycle, t, s.changes)
+		}
+		s.changes = s.changes[:0]
+	}
+}
+
+// evalTouched re-evaluates every cell with a changed input and schedules
+// the outputs that differ in at least one lane.
+func (s *WideSimulator) evalTouched() {
+	c := s.c
+	for _, cid := range s.touched {
+		o0, o1, twoOut := s.evalCellWide(cid)
+		base := outputsPerCell * int(cid)
+		if o := c.outNets[base]; o != netlist.NoNet {
+			s.push(o, o0)
+		}
+		if twoOut {
+			if o := c.outNets[base+1]; o != netlist.NoNet {
+				s.push(o, o1)
+			}
+		}
+	}
+	s.touched = s.touched[:0]
+}
+
+// discardInFlight clears all pending events and per-cycle bookkeeping so
+// a Step after a guard or cancellation error starts from a consistent
+// (if functionally stale) state.
+func (s *WideSimulator) discardInFlight() {
+	s.wave = s.wave[:0]
+	s.next = s.next[:0]
+	s.changes = s.changes[:0]
+	s.touched = s.touched[:0]
+}
+
+// evalCellWide computes a cell's packed outputs from the current net
+// values: the word-parallel image of the scalar evalCell, built from the
+// init-cross-checked wide ops in internal/logic.
+func (s *WideSimulator) evalCellWide(cid netlist.CellID) (o0, o1 logic.W, twoOut bool) {
+	c := s.c
+	v := s.values
+	in := c.inNets[c.inStart[cid]:c.inStart[cid+1]]
+	switch c.cellType[cid] {
+	case netlist.FA:
+		sum, cout := logic.FullAddW(v[in[0]], v[in[1]], v[in[2]])
+		return sum, cout, true
+	case netlist.HA:
+		sum, cout := logic.HalfAddW(v[in[0]], v[in[1]])
+		return sum, cout, true
+	case netlist.And:
+		r := v[in[0]]
+		for _, id := range in[1:] {
+			r = logic.AndW(r, v[id])
+		}
+		return r, logic.W{}, false
+	case netlist.Nand:
+		r := v[in[0]]
+		for _, id := range in[1:] {
+			r = logic.AndW(r, v[id])
+		}
+		return logic.NotW(r), logic.W{}, false
+	case netlist.Or:
+		r := v[in[0]]
+		for _, id := range in[1:] {
+			r = logic.OrW(r, v[id])
+		}
+		return r, logic.W{}, false
+	case netlist.Nor:
+		r := v[in[0]]
+		for _, id := range in[1:] {
+			r = logic.OrW(r, v[id])
+		}
+		return logic.NotW(r), logic.W{}, false
+	case netlist.Xor:
+		r := v[in[0]]
+		for _, id := range in[1:] {
+			r = logic.XorW(r, v[id])
+		}
+		return r, logic.W{}, false
+	case netlist.Xnor:
+		r := v[in[0]]
+		for _, id := range in[1:] {
+			r = logic.XorW(r, v[id])
+		}
+		return logic.NotW(r), logic.W{}, false
+	case netlist.Not:
+		return logic.NotW(v[in[0]]), logic.W{}, false
+	case netlist.Buf:
+		return v[in[0]], logic.W{}, false
+	case netlist.Mux2:
+		return logic.MuxW(v[in[2]], v[in[0]], v[in[1]]), logic.W{}, false
+	case netlist.Maj3:
+		return logic.Maj3W(v[in[0]], v[in[1]], v[in[2]]), logic.W{}, false
+	case netlist.Const0:
+		return logic.SplatW(logic.L0), logic.W{}, false
+	case netlist.Const1:
+		return logic.SplatW(logic.L1), logic.W{}, false
+	default:
+		// Reference fallback for any future cell type: evaluate each lane
+		// with the scalar reference implementation.
+		outs := s.evalOut[:c.outLen[cid]]
+		for l := 0; l < MaxLanes; l++ {
+			ins := s.evalIn[:0]
+			for _, id := range in {
+				ins = append(ins, v[id].Lane(l))
+			}
+			netlist.Eval(c.cellType[cid], ins, outs)
+			o0.SetLane(l, outs[0])
+			if c.outLen[cid] == 2 {
+				o1.SetLane(l, outs[1])
+			}
+		}
+		return o0, o1, c.outLen[cid] == 2
+	}
+}

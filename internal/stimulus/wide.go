@@ -1,0 +1,93 @@
+package stimulus
+
+// Word-parallel stimulus for the bit-parallel simulation kernel: one
+// independent random vector stream per lane, packed so that lane l of
+// word j is bit j of the vector Random(width, seeds[l]) would produce on
+// the same cycle. The per-lane bit assignment replays Random.Next
+// exactly (same splitmix64 word consumption), which is what makes a
+// wide-kernel lane bit-identical to a scalar run with that seed.
+
+import (
+	"fmt"
+
+	"glitchsim/internal/logic"
+)
+
+// WideRandom generates logic.Lanes-wide packed random stimulus, one
+// seeded stream per lane. Lanes beyond the seed list hold constant 0, so
+// unused lanes settle after the first cycle and add no simulation work.
+type WideRandom struct {
+	rngs  []PRNG
+	width int
+}
+
+// NewWideRandom returns a WideRandom of the given vector width with one
+// stream per seed. It panics when more than logic.Lanes seeds are given.
+func NewWideRandom(width int, seeds []uint64) *WideRandom {
+	if len(seeds) > logic.Lanes {
+		panic(fmt.Sprintf("stimulus: %d seeds exceed the %d-lane word", len(seeds), logic.Lanes))
+	}
+	r := &WideRandom{rngs: make([]PRNG, len(seeds)), width: width}
+	for l, seed := range seeds {
+		r.rngs[l] = PRNG{state: seed}
+	}
+	return r
+}
+
+// Width returns the per-lane vector width.
+func (r *WideRandom) Width() int { return r.width }
+
+// Lanes returns the number of seeded lanes.
+func (r *WideRandom) Lanes() int { return len(r.rngs) }
+
+// NextWide fills dst (length Width) with the next cycle's packed
+// vectors and returns it. Bit j of lane l equals Random(width,
+// seeds[l]).Next()[j] for the same cycle; unseeded lanes read 0.
+//
+// The lanes-to-words reshuffle is a bit-matrix transpose: each 64-bit
+// chunk of the per-lane vectors forms a 64×64 bit matrix (row = lane)
+// that transposes in 6·64 word operations instead of a branchy
+// bit-by-bit loop. Every lane is a strong level, so the zero rail is
+// just the complement of the one rail.
+func (r *WideRandom) NextWide(dst []logic.W) []logic.W {
+	if len(dst) != r.width {
+		panic(fmt.Sprintf("stimulus: destination width %d, want %d", len(dst), r.width))
+	}
+	var m [64]uint64
+	for i := 0; i < r.width; i += 64 {
+		chunk := r.width - i
+		if chunk > 64 {
+			chunk = 64
+		}
+		// Row l of the matrix is lane l's next 64 stimulus bits; unseeded
+		// rows stay zero. transpose64 works MSB-first, so rows and
+		// columns load and read out reversed.
+		for l := range m {
+			m[l] = 0
+		}
+		for l := range r.rngs {
+			m[63-l] = r.rngs[l].Uint64()
+		}
+		transpose64(&m)
+		for j := 0; j < chunk; j++ {
+			one := m[63-j]
+			dst[i+j] = logic.W{Zero: ^one, One: one}
+		}
+	}
+	return dst
+}
+
+// transpose64 transposes a 64×64 bit matrix in place (word k = row k,
+// bit b = column 63-b): the classic recursive block-swap (Hacker's
+// Delight transpose32, widened to 64 bits).
+func transpose64(a *[64]uint64) {
+	for j, m := 32, uint64(0x00000000FFFFFFFF); j != 0; {
+		for k := 0; k < 64; k = (k + j + 1) &^ j {
+			t := (a[k] ^ (a[k+j] >> uint(j))) & m
+			a[k] ^= t
+			a[k+j] ^= t << uint(j)
+		}
+		j >>= 1
+		m ^= m << uint(j)
+	}
+}

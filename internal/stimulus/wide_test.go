@@ -1,0 +1,60 @@
+package stimulus
+
+import (
+	"testing"
+
+	"glitchsim/internal/logic"
+)
+
+// TestWideRandomMatchesRandomLanes: lane l of the packed stream must
+// replay Random(width, seeds[l]) bit-exactly, cycle after cycle — the
+// property that makes a wide-kernel lane identical to a scalar run.
+// Widths straddle the 64-bit transpose chunk boundary on purpose.
+func TestWideRandomMatchesRandomLanes(t *testing.T) {
+	for _, tc := range []struct {
+		width, lanes int
+	}{
+		{1, 64}, {16, 64}, {63, 7}, {64, 64}, {65, 3}, {130, 64}, {32, 1},
+	} {
+		seeds := make([]uint64, tc.lanes)
+		scalars := make([]*Random, tc.lanes)
+		for l := range seeds {
+			seeds[l] = uint64(l)*0x9E3779B9 + 12345
+			scalars[l] = NewRandom(tc.width, seeds[l])
+		}
+		wide := NewWideRandom(tc.width, seeds)
+		if wide.Width() != tc.width || wide.Lanes() != tc.lanes {
+			t.Fatalf("width/lanes = %d/%d", wide.Width(), wide.Lanes())
+		}
+		buf := make([]logic.W, tc.width)
+		for cycle := 0; cycle < 20; cycle++ {
+			wide.NextWide(buf)
+			for l, s := range scalars {
+				want := s.Next()
+				for j := 0; j < tc.width; j++ {
+					if got := buf[j].Lane(l); got != want[j] {
+						t.Fatalf("width=%d lanes=%d cycle=%d lane=%d bit=%d: wide %v, scalar %v",
+							tc.width, tc.lanes, cycle, l, j, got, want[j])
+					}
+				}
+			}
+			// Unseeded lanes hold constant 0.
+			for l := tc.lanes; l < logic.Lanes; l++ {
+				for j := 0; j < tc.width; j++ {
+					if buf[j].Lane(l) != logic.L0 {
+						t.Fatalf("unseeded lane %d bit %d = %v, want 0", l, j, buf[j].Lane(l))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestWideRandomPanicsOnTooManySeeds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("65 seeds accepted")
+		}
+	}()
+	NewWideRandom(4, make([]uint64, logic.Lanes+1))
+}

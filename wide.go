@@ -1,0 +1,237 @@
+package glitchsim
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"glitchsim/internal/core"
+	"glitchsim/internal/logic"
+	"glitchsim/internal/sim"
+	"glitchsim/internal/stimulus"
+)
+
+// Lane decomposition: the measurement-layer face of the word-parallel
+// kernel. A measurement with L lanes distributes its Cycles random
+// vectors over L independent seeded stimulus streams (each with its own
+// warm-up) instead of one long stream. Under a uniform delay model —
+// the paper's unit-delay experiments — all L streams then advance in one
+// word-parallel simulation, evaluating every gate for 64 patterns per
+// visit; otherwise the same L streams run on the scalar kernel one after
+// another. Both executions are bit-identical by construction (the wide
+// kernel's per-lane behaviour equals a scalar run with that lane's
+// stream; TestWideKernelEquivalence and TestMeasureLanesScalarWideAgree
+// enforce it), so the delay model changes the speed of a measurement,
+// never the meaning of its lane decomposition.
+//
+// Classification semantics are unchanged: every measured cycle is one
+// random vector applied to a warmed-up circuit, and the counter sees
+// exactly Cycles classified cycles. Only the pairing of consecutive
+// vectors differs from a single-stream run, so lane-decomposed activity
+// numbers are deterministic per (seed, lanes) but differ from the
+// historical Lanes=1 stream. Set Lanes=1 (or SetDefaultLanes(1)) to
+// reproduce pre-lanes measurements exactly.
+
+// MaxLanes is the largest lane count a measurement can request: the
+// 64-lane machine word of the bit-parallel kernel.
+const MaxLanes = sim.MaxLanes
+
+// defaultLanes holds the process-wide lane default; 0 means MaxLanes.
+var defaultLanes atomic.Int32
+
+// SetDefaultLanes sets the lane count used by measurements whose Config
+// and Engine do not specify one: n = 1 restores the historical
+// single-stream behaviour, n <= 0 restores the default of MaxLanes, and
+// n is capped at MaxLanes. The cmd/glitchsim -lanes flag calls this.
+func SetDefaultLanes(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n > MaxLanes {
+		n = MaxLanes
+	}
+	defaultLanes.Store(int32(n))
+}
+
+// DefaultLanes returns the current process-wide lane default.
+func DefaultLanes() int {
+	if n := defaultLanes.Load(); n > 0 {
+		return int(n)
+	}
+	return MaxLanes
+}
+
+// WithLanes fixes the engine's lane count for measurements whose Config
+// does not specify one. n <= 0 (the default) tracks the process-wide
+// DefaultLanes value, which the -lanes CLI flag sets; n is capped at
+// MaxLanes.
+func WithLanes(n int) EngineOption {
+	return func(e *Engine) {
+		if n < 0 {
+			n = 0
+		}
+		if n > MaxLanes {
+			n = MaxLanes
+		}
+		e.lanes = n
+	}
+}
+
+// Lanes returns the engine's effective lane count for a zero-valued
+// Config.Lanes.
+func (e *Engine) Lanes() int { return e.laneCount(Config{}) }
+
+// laneCount resolves the effective lane count of a measurement: an
+// explicit Config.Lanes wins, then the engine option, then the process
+// default.
+func (e *Engine) laneCount(cfg Config) int {
+	n := cfg.Lanes
+	if n == 0 {
+		n = e.lanes
+	}
+	if n == 0 {
+		n = DefaultLanes()
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > MaxLanes {
+		n = MaxLanes
+	}
+	return n
+}
+
+// laneSeeds derives the per-lane stimulus seeds of a decomposed
+// measurement from its base seed: one splitmix64 draw per lane, so lane
+// streams are mutually independent and stable across lane counts.
+func laneSeeds(base uint64, lanes int) []uint64 {
+	seeds := make([]uint64, lanes)
+	sm := stimulus.NewPRNG(base)
+	for l := range seeds {
+		seeds[l] = sm.Uint64()
+	}
+	return seeds
+}
+
+// laneQuotas splits cycles across lanes as evenly as possible,
+// non-increasing: the first cycles%lanes lanes measure one extra cycle.
+// The quota sum is exactly cycles, so a decomposed measurement reports
+// the same cycle count as a single-stream one.
+func laneQuotas(cycles, lanes int) []int {
+	quotas := make([]int, lanes)
+	base, rem := cycles/lanes, cycles%lanes
+	for l := range quotas {
+		quotas[l] = base
+		if l < rem {
+			quotas[l]++
+		}
+	}
+	return quotas
+}
+
+// measureLanes measures a lane-decomposed configuration (cfg has its
+// defaults resolved; cfg.Source is the unused default stream): on the
+// word-parallel kernel when the delay model is uniform, lane by lane on
+// the scalar kernel otherwise. Both paths produce bit-identical
+// counters.
+func measureLanes(ctx context.Context, c *sim.Compiled, cfg Config, lanes int) (*core.Counter, error) {
+	if cfg.Cycles < lanes {
+		lanes = cfg.Cycles // never run a lane with nothing to measure
+	}
+	seeds := laneSeeds(cfg.Seed, lanes)
+	quotas := laneQuotas(cfg.Cycles, lanes)
+	counter, err := measureWide(ctx, c, cfg, seeds, quotas)
+	if !errors.Is(err, sim.ErrNonUniformDelay) {
+		return counter, err
+	}
+	// Scalar fallback: the same lane streams and quotas, simulated one
+	// after another and merged in lane order. Each stream warms up
+	// independently (required for bit-identity with the wide path and
+	// for cross-delay-model stream invariance), so this path simulates
+	// roughly lanes×Warmup extra cycles compared to a Lanes=1 run — see
+	// the Config.Lanes docs for the tradeoff.
+	n := c.Netlist()
+	var agg *core.Counter
+	for l, seed := range seeds {
+		lcfg := cfg
+		lcfg.Seed = seed
+		lcfg.Cycles = quotas[l]
+		lcfg.Source = stimulus.NewRandom(n.InputWidth(), seed)
+		counter, err := measureStream(ctx, c, lcfg)
+		if err != nil {
+			return nil, err
+		}
+		if agg == nil {
+			agg = counter
+		} else if err := agg.Merge(counter); err != nil {
+			return nil, err
+		}
+	}
+	return agg, nil
+}
+
+// laneMaskOf returns the mask of the first n lanes.
+func laneMaskOf(n int) uint64 {
+	if n >= MaxLanes {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(n) - 1
+}
+
+// measureWide runs one word-parallel pass: lane l simulates the stream
+// of seeds[l] for quotas[l] measured cycles (quotas must be
+// non-increasing; all lanes share the warm-up length). The folded
+// counter is bit-identical to the per-lane scalar measurements merged in
+// lane order.
+func measureWide(ctx context.Context, c *sim.Compiled, cfg Config, seeds []uint64, quotas []int) (*core.Counter, error) {
+	n := c.Netlist()
+	mode := sim.Transport
+	if cfg.Inertial {
+		mode = sim.Inertial
+	}
+	opts := sim.Options{Delay: cfg.Delay, Mode: mode}
+	if ctx.Done() != nil {
+		opts.Cancel = ctx.Err
+	}
+	ws, err := sim.NewWide(c, opts)
+	if err != nil {
+		return nil, err
+	}
+	src := stimulus.NewWideRandom(n.InputWidth(), seeds)
+	buf := make([]logic.W, n.InputWidth())
+	// Warm-up runs unmonitored: the kernel skips change capture entirely,
+	// and attaching the counter afterwards is indistinguishable from
+	// attach-then-Reset (the counter carries no cross-cycle state beyond
+	// the statistics a reset would clear).
+	for i := 0; i < cfg.Warmup; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := ws.Step(src.NextWide(buf)); err != nil {
+			return nil, err
+		}
+	}
+	counter := core.NewWideCounter(n)
+	counter.SetLaneMask(laneMaskOf(len(seeds)))
+	ws.AttachWideMonitor(counter)
+	active := len(seeds)
+	maxQ := 0
+	if len(quotas) > 0 {
+		maxQ = quotas[0]
+	}
+	for k := 0; k < maxQ; k++ {
+		// Retire lanes whose quota is exhausted (quotas non-increasing:
+		// the active set is always a prefix).
+		for active > 0 && quotas[active-1] <= k {
+			active--
+		}
+		counter.SetLaneMask(laneMaskOf(active))
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := ws.Step(src.NextWide(buf)); err != nil {
+			return nil, err
+		}
+	}
+	return counter.Counter(), nil
+}
