@@ -7,7 +7,7 @@ import (
 	"sync/atomic"
 
 	"glitchsim/internal/core"
-	"glitchsim/internal/netlist"
+	"glitchsim/netlist"
 )
 
 // The parallel batch measurement layer: independent measurement configs
@@ -45,10 +45,17 @@ func DefaultWorkers() int {
 
 // MeasureJob is one independent measurement: a circuit and the
 // configuration to measure it under. Jobs sharing a *netlist.Netlist
-// share one compiled form. A job with an explicit Config.Source must not
-// share that source with another job (sources are stateful); Seed-based
-// jobs need no such care.
+// (or a Circuit resolving to the same structure) share one compiled
+// form. A job with an explicit Config.Source must not share that source
+// with another job (sources are stateful); Seed-based jobs need no such
+// care.
 type MeasureJob struct {
+	// Circuit references the circuit to measure (see CircuitNamed and
+	// friends). Resolution failures land in the job's MeasureResult.
+	Circuit Circuit
+	// Netlist is the circuit as a raw netlist.
+	//
+	// Deprecated: set Circuit. When both are set, Netlist wins.
 	Netlist *netlist.Netlist
 	Config  Config
 }

@@ -8,8 +8,8 @@ import (
 	"glitchsim/internal/balance"
 	"glitchsim/internal/circuits"
 	"glitchsim/internal/delay"
-	"glitchsim/internal/netlist"
 	"glitchsim/internal/retime"
+	"glitchsim/netlist"
 )
 
 // retimeGraph builds the retiming graph of a netlist with one pipeline

@@ -77,13 +77,13 @@ func cmdCorr(args []string) error {
 
 func cmdVerilog(args []string) error {
 	fs := flag.NewFlagSet("verilog", flag.ExitOnError)
-	circuit := fs.String("circuit", "rca16", "circuit name ("+circuitNames()+")")
+	sel := addCircuitFlags(fs, "rca16")
 	out := fs.String("out", "", "output file (default stdout)")
 	check := fs.Bool("check", true, "re-parse the output and verify the round trip")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	n, err := buildCircuit(*circuit)
+	n, err := sel.build()
 	if err != nil {
 		return err
 	}

@@ -127,7 +127,8 @@ paper experiments:
   fig10       power vs flipflop count sweep (Figure 10)
   all         run all of the above
 
-tools:
+tools (every -circuit flag below also accepts -verilog file.v or
+-netlist file.json to bring your own circuit):
   sim         measure activity of a circuit (-circuit, -cycles, -seed, ...)
   retime      retime/pipeline a circuit (-circuit, -period | -stages)
   vcd         dump a waveform (-circuit, -cycles, -out)

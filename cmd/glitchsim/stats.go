@@ -16,13 +16,13 @@ import (
 
 func cmdStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
-	circuit := fs.String("circuit", "dirdet8", "circuit name ("+circuitNames()+")")
+	sel := addCircuitFlags(fs, "dirdet8")
 	cycles := fs.Int("cycles", 2000, "simulated cycles")
 	seed := fs.Uint64("seed", 1, "stimulus seed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	n, err := buildCircuit(*circuit)
+	n, err := sel.build()
 	if err != nil {
 		return err
 	}
@@ -52,14 +52,14 @@ func cmdStats(args []string) error {
 
 func cmdPower(args []string) error {
 	fs := flag.NewFlagSet("power", flag.ExitOnError)
-	circuit := fs.String("circuit", "dirdet8r", "circuit name ("+circuitNames()+")")
+	sel := addCircuitFlags(fs, "dirdet8r")
 	cycles := fs.Int("cycles", 500, "measured cycles")
 	seed := fs.Uint64("seed", 1, "stimulus seed")
 	top := fs.Int("top", 12, "list the N hottest nets")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	n, err := buildCircuit(*circuit)
+	n, err := sel.build()
 	if err != nil {
 		return err
 	}
@@ -84,12 +84,12 @@ func cmdPower(args []string) error {
 
 func cmdJSON(args []string) error {
 	fs := flag.NewFlagSet("json", flag.ExitOnError)
-	circuit := fs.String("circuit", "rca8", "circuit name ("+circuitNames()+")")
+	sel := addCircuitFlags(fs, "rca8")
 	out := fs.String("out", "", "output file (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	n, err := buildCircuit(*circuit)
+	n, err := sel.build()
 	if err != nil {
 		return err
 	}

@@ -21,7 +21,7 @@ func delayFlag(dsum, dcarry int, typical bool) delay.Model {
 
 func cmdSim(args []string) error {
 	fs := flag.NewFlagSet("sim", flag.ExitOnError)
-	circuit := fs.String("circuit", "rca16", "circuit name ("+circuitNames()+")")
+	sel := addCircuitFlags(fs, "rca16")
 	cycles := fs.Int("cycles", 500, "measured cycles")
 	seed := fs.Uint64("seed", 1, "stimulus seed")
 	dsum := fs.Int("dsum", 1, "full-adder sum delay")
@@ -32,7 +32,7 @@ func cmdSim(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	n, err := buildCircuit(*circuit)
+	n, err := sel.build()
 	if err != nil {
 		return err
 	}
@@ -62,7 +62,7 @@ func cmdSim(args []string) error {
 
 func cmdRetime(args []string) error {
 	fs := flag.NewFlagSet("retime", flag.ExitOnError)
-	circuit := fs.String("circuit", "dirdet8r", "circuit name ("+circuitNames()+")")
+	sel := addCircuitFlags(fs, "dirdet8r")
 	period := fs.Int("period", 0, "target clock period (0 = minimize)")
 	stages := fs.Int("stages", 0, "extra pipeline stages to add")
 	cycles := fs.Int("cycles", 200, "cycles for before/after activity measurement")
@@ -70,7 +70,7 @@ func cmdRetime(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	n, err := buildCircuit(*circuit)
+	n, err := sel.build()
 	if err != nil {
 		return err
 	}
@@ -114,14 +114,14 @@ func cmdRetime(args []string) error {
 
 func cmdVCD(args []string) error {
 	fs := flag.NewFlagSet("vcd", flag.ExitOnError)
-	circuit := fs.String("circuit", "hazard", "circuit name ("+circuitNames()+")")
+	sel := addCircuitFlags(fs, "hazard")
 	cycles := fs.Int("cycles", 16, "cycles to dump")
 	seed := fs.Uint64("seed", 1, "stimulus seed")
 	out := fs.String("out", "wave.vcd", "output file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	n, err := buildCircuit(*circuit)
+	n, err := sel.build()
 	if err != nil {
 		return err
 	}
@@ -153,12 +153,12 @@ func cmdVCD(args []string) error {
 
 func cmdDOT(args []string) error {
 	fs := flag.NewFlagSet("dot", flag.ExitOnError)
-	circuit := fs.String("circuit", "rca4", "circuit name ("+circuitNames()+")")
+	sel := addCircuitFlags(fs, "rca4")
 	out := fs.String("out", "", "output file (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	n, err := buildCircuit(*circuit)
+	n, err := sel.build()
 	if err != nil {
 		return err
 	}

@@ -1,11 +1,12 @@
 // Command glitchsimd serves the glitchsim measurement engine over
 // HTTP/JSON: one shared Engine (compiled-netlist cache + worker pool)
-// behind /v1/measure, the /v1/experiments endpoints and /healthz. See
-// internal/service for the endpoint and parameter reference.
+// behind /v1/measure, the /v1/experiments endpoints, the /v1/circuits
+// catalogue/upload endpoint and /healthz. See internal/service for the
+// endpoint and parameter reference.
 //
 // Usage:
 //
-//	glitchsimd [-addr :8347] [-workers N] [-cache N] [-lanes N] [-pprof]
+//	glitchsimd [-addr :8347] [-workers N] [-cache N] [-lanes N] [-uploads N] [-pprof]
 //
 // Examples:
 //
@@ -13,6 +14,8 @@
 //	curl -d '{"circuit":"wallace8","cycles":500}' localhost:8347/v1/measure
 //	curl 'localhost:8347/v1/measure?circuit=rca16&seeds=1,2,3,4&stream=1'
 //	curl -d '{"cycles":500}' localhost:8347/v1/experiments/table1
+//	curl --data-binary @design.v 'localhost:8347/v1/circuits?format=verilog'
+//	curl -d '{"circuit":"<fingerprint>","cycles":500}' localhost:8347/v1/measure
 //	go tool pprof localhost:8347/debug/pprof/profile   # with -pprof
 package main
 
@@ -38,6 +41,7 @@ func main() {
 	workers := flag.Int("workers", 0, "measurement worker goroutines per request (0 = all CPUs)")
 	cache := flag.Int("cache", glitchsim.DefaultCacheSize, "compiled-netlist cache entries (0 disables caching)")
 	lanes := flag.Int("lanes", 0, "word-parallel stimulus lanes per measurement (1 = scalar kernel, 0 = 64)")
+	uploads := flag.Int("uploads", service.DefaultUploadCapacity, "uploaded circuits retained (LRU; 0 disables /v1/circuits uploads)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/")
 	flag.Parse()
 
@@ -46,7 +50,7 @@ func main() {
 		glitchsim.WithCacheSize(*cache),
 		glitchsim.WithLanes(*lanes),
 	)
-	var handler http.Handler = service.New(engine)
+	var handler http.Handler = service.New(engine, service.WithUploadCapacity(*uploads))
 	if *pprofOn {
 		// Profiling is opt-in: the endpoints expose internals (heap and
 		// goroutine dumps, CPU profiles) no public deployment should

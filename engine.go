@@ -9,9 +9,9 @@ import (
 
 	"glitchsim/internal/core"
 	"glitchsim/internal/delay"
-	"glitchsim/internal/netlist"
 	"glitchsim/internal/power"
 	"glitchsim/internal/sim"
+	"glitchsim/netlist"
 )
 
 // Engine is the execution core of the package: it owns a worker pool
@@ -35,7 +35,8 @@ type Engine struct {
 	tech      power.Tech
 	cacheSize int
 	maxConc   int
-	sem       chan struct{} // engine-wide simulation slots, cap = maxConc
+	sem       chan struct{}   // engine-wide simulation slots, cap = maxConc
+	sources   []CircuitSource // name-resolution chain ahead of the registry
 
 	mu        sync.Mutex
 	lru       *list.List // of *cacheEntry; front = most recently used
@@ -274,7 +275,15 @@ func (e *Engine) dropEntry(key string) {
 
 // MeasureRequest asks for one measurement of one circuit.
 type MeasureRequest struct {
-	// Netlist is the circuit to measure. Required.
+	// Circuit references the circuit to measure: a registry name, a
+	// Builder-built netlist, Verilog source or the JSON wire format
+	// (see CircuitNamed and friends).
+	Circuit Circuit
+	// Netlist is the circuit to measure as a raw netlist.
+	//
+	// Deprecated: set Circuit (CircuitFromNetlist wraps an existing
+	// netlist). When both are set, Netlist wins, keeping pre-Circuit
+	// callers bit-identical.
 	Netlist *netlist.Netlist
 	// Config controls the run; zero-value fields select the documented
 	// defaults (and the engine's delay model, if one was configured).
@@ -295,6 +304,11 @@ type BatchRequest struct {
 // SeedSweepRequest asks for the same circuit measured under several
 // stimulus seeds, merged into one aggregate counter.
 type SeedSweepRequest struct {
+	// Circuit references the circuit to sweep (see MeasureRequest).
+	Circuit Circuit
+	// Netlist is the circuit as a raw netlist.
+	//
+	// Deprecated: set Circuit. When both are set, Netlist wins.
 	Netlist *netlist.Netlist
 	Config  Config
 	Seeds   []uint64
@@ -319,41 +333,62 @@ type ExperimentRequest struct {
 	Targets []int
 	// Seeds parameterizes multi-seed studies (SeedSweep).
 	Seeds []uint64
+	// Circuit overrides the subject circuit of the retiming power
+	// sweeps (Table3, Figure10): the sweep retimes and measures this
+	// circuit instead of the paper's input-registered direction
+	// detector. Experiments with a fixed circuit set (Table1, Table2,
+	// …) reject a non-zero Circuit.
+	Circuit Circuit
 }
 
 // ---------------------------------------------------------------------------
 // Core measurement entry points.
 
-// MeasureDetailed simulates the request and returns the attached
-// activity counter with per-net statistics. Cancellation of ctx aborts
-// the simulation promptly, returning ctx's error.
-func (e *Engine) MeasureDetailed(ctx context.Context, req MeasureRequest) (*core.Counter, error) {
-	if req.Netlist == nil {
-		return nil, fmt.Errorf("glitchsim: MeasureRequest without a netlist")
-	}
-	c := e.compiled(req.Netlist)
+// measureNetlist is the single-measurement core: compile (cached),
+// claim an engine slot, simulate.
+func (e *Engine) measureNetlist(ctx context.Context, nl *netlist.Netlist, cfg Config) (*core.Counter, error) {
+	c := e.compiled(nl)
 	if err := e.acquire(ctx); err != nil {
 		return nil, err
 	}
 	defer e.release()
-	cfg := e.fillDefaults(req.Config)
+	cfg = e.fillDefaults(cfg)
 	return measureCompiled(ctx, c, cfg, e.laneCount(cfg))
+}
+
+// MeasureDetailed simulates the request and returns the attached
+// activity counter with per-net statistics. Cancellation of ctx aborts
+// the simulation promptly, returning ctx's error.
+func (e *Engine) MeasureDetailed(ctx context.Context, req MeasureRequest) (*core.Counter, error) {
+	nl, err := e.requestNetlist(req.Netlist, req.Circuit)
+	if err != nil {
+		return nil, err
+	}
+	return e.measureNetlist(ctx, nl, req.Config)
 }
 
 // Measure runs MeasureDetailed and summarizes the totals.
 func (e *Engine) Measure(ctx context.Context, req MeasureRequest) (Activity, error) {
-	counter, err := e.MeasureDetailed(ctx, req)
+	nl, err := e.requestNetlist(req.Netlist, req.Circuit)
 	if err != nil {
 		return Activity{}, err
 	}
-	return summarize(req.Netlist.Name, counter), nil
+	counter, err := e.measureNetlist(ctx, nl, req.Config)
+	if err != nil {
+		return Activity{}, err
+	}
+	return summarize(nl.Name, counter), nil
 }
 
 // MeasurePower measures activity and evaluates the paper's
 // three-component power model on it, using the request's technology
 // constants or the engine default.
 func (e *Engine) MeasurePower(ctx context.Context, req MeasureRequest) (power.Breakdown, Activity, error) {
-	counter, err := e.MeasureDetailed(ctx, req)
+	nl, err := e.requestNetlist(req.Netlist, req.Circuit)
+	if err != nil {
+		return power.Breakdown{}, Activity{}, err
+	}
+	counter, err := e.measureNetlist(ctx, nl, req.Config)
 	if err != nil {
 		return power.Breakdown{}, Activity{}, err
 	}
@@ -361,7 +396,7 @@ func (e *Engine) MeasurePower(ctx context.Context, req MeasureRequest) (power.Br
 	if req.Tech != nil {
 		tech = *req.Tech
 	}
-	return power.FromActivity(counter, tech), summarize(req.Netlist.Name, counter), nil
+	return power.FromActivity(counter, tech), summarize(nl.Name, counter), nil
 }
 
 // MeasureMany measures every job of the batch on the engine's worker
@@ -383,6 +418,23 @@ func (e *Engine) measureMany(ctx context.Context, jobs []MeasureJob, workers int
 		return results, ctx.Err()
 	}
 
+	// Materialize Circuit references (on a copy: the caller's slice is
+	// theirs) so the fan-out below only ever sees raw netlists. A job
+	// that fails to resolve carries the error in its result, like any
+	// other per-job failure.
+	jobs = append([]MeasureJob(nil), jobs...)
+	for i := range jobs {
+		if jobs[i].Netlist != nil || jobs[i].Circuit.IsZero() {
+			continue
+		}
+		nl, err := e.Resolve(jobs[i].Circuit)
+		if err != nil {
+			results[i].Err = fmt.Errorf("glitchsim: job %d: %w", i, err)
+			continue
+		}
+		jobs[i].Netlist = nl
+	}
+
 	// Resolve each distinct netlist once, up front and serially: Compile
 	// panics on invalid netlists (as Measure does) and the panic should
 	// surface on the caller's goroutine. The cache makes this a lookup
@@ -396,8 +448,10 @@ func (e *Engine) measureMany(ctx context.Context, jobs []MeasureJob, workers int
 
 	err := parallelEachCtx(ctx, len(jobs), e.workerCount(workers), func(i int) error {
 		job := &jobs[i]
-		if job.Netlist == nil {
-			results[i].Err = fmt.Errorf("glitchsim: job %d has no netlist", i)
+		if results[i].Err != nil {
+			// Circuit resolution already failed above.
+		} else if job.Netlist == nil {
+			results[i].Err = fmt.Errorf("glitchsim: job %d names no circuit", i)
 		} else if err := e.acquire(ctx); err != nil {
 			results[i].Err = err
 		} else {
@@ -435,35 +489,43 @@ func (e *Engine) measureMany(ctx context.Context, jobs []MeasureJob, workers int
 // Source in the config is ignored (each seed gets its own stream). The
 // merge order is fixed (seed order), so the aggregate is deterministic.
 func (e *Engine) MeasureSeeds(ctx context.Context, req SeedSweepRequest) (*core.Counter, error) {
-	return e.measureSeeds(ctx, req, nil)
+	counter, _, err := e.measureSeeds(ctx, req, nil)
+	return counter, err
 }
 
-func (e *Engine) measureSeeds(ctx context.Context, req SeedSweepRequest, emit func(int, *MeasureResult)) (*core.Counter, error) {
+// measureSeeds also returns the resolved circuit name, so the Session
+// layer can label its final event without resolving the reference a
+// second time.
+func (e *Engine) measureSeeds(ctx context.Context, req SeedSweepRequest, emit func(int, *MeasureResult)) (*core.Counter, string, error) {
 	if len(req.Seeds) == 0 {
-		return nil, fmt.Errorf("glitchsim: MeasureSeeds needs at least one seed")
+		return nil, "", fmt.Errorf("glitchsim: MeasureSeeds needs at least one seed")
+	}
+	nl, err := e.requestNetlist(req.Netlist, req.Circuit)
+	if err != nil {
+		return nil, "", err
 	}
 	jobs := make([]MeasureJob, len(req.Seeds))
 	for i, seed := range req.Seeds {
 		c := req.Config
 		c.Seed = seed
 		c.Source = nil
-		jobs[i] = MeasureJob{Netlist: req.Netlist, Config: c}
+		jobs[i] = MeasureJob{Netlist: nl, Config: c}
 	}
 	res, err := e.measureMany(ctx, jobs, req.Workers, emit)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	agg := res[0].Counter
 	for i, r := range res {
 		if r.Err != nil {
-			return nil, fmt.Errorf("glitchsim: seed %d: %w", req.Seeds[i], r.Err)
+			return nil, "", fmt.Errorf("glitchsim: seed %d: %w", req.Seeds[i], r.Err)
 		}
 		if i == 0 {
 			continue
 		}
 		if err := agg.Merge(r.Counter); err != nil {
-			return nil, err
+			return nil, "", err
 		}
 	}
-	return agg, nil
+	return agg, nl.Name, nil
 }

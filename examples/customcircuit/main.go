@@ -1,0 +1,81 @@
+// Command customcircuit demonstrates the first-class circuit API: the
+// same user-defined circuit is described three ways — built with the
+// public netlist.Builder, as structural Verilog source, and as the JSON
+// wire format — and all three resolve to bit-identical measurements
+// through one Engine, sharing a single compiled-netlist cache entry
+// (their structural fingerprints are equal).
+//
+// Run with:
+//
+//	go run ./examples/customcircuit
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	"glitchsim"
+	"glitchsim/netlist"
+	"glitchsim/verilog"
+)
+
+// buildParity constructs a 4-bit parity tree with a registered output:
+// small, but deep enough to glitch.
+func buildParity() *netlist.Netlist {
+	b := netlist.NewBuilder("parity4")
+	in := b.InputBus("d", 4)
+	p01 := b.Xor(in[0], in[1])
+	p23 := b.Xor(in[2], in[3])
+	p := b.Xor(p01, p23)
+	q := b.DFF(p)
+	b.Output("parity", p)
+	b.Output("parity_q", q)
+	return b.MustBuild()
+}
+
+func main() {
+	ctx := context.Background()
+	engine := glitchsim.NewEngine()
+	cfg := glitchsim.Config{Cycles: 500, Seed: 42}
+
+	// One circuit, three descriptions.
+	built := buildParity()
+	var vsrc, jsrc strings.Builder
+	if err := verilog.Write(&vsrc, built); err != nil {
+		log.Fatal(err)
+	}
+	if err := built.WriteJSON(&jsrc); err != nil {
+		log.Fatal(err)
+	}
+	refs := []struct {
+		how string
+		ref glitchsim.Circuit
+	}{
+		{"netlist.Builder", glitchsim.CircuitFromNetlist(built)},
+		{"Verilog source", glitchsim.CircuitFromVerilog([]byte(vsrc.String()))},
+		{"JSON netlist", glitchsim.CircuitFromJSON([]byte(jsrc.String()))},
+	}
+
+	fmt.Printf("measuring %q three ways (%d cycles, seed %d):\n\n", built.Name, cfg.Cycles, cfg.Seed)
+	for _, r := range refs {
+		act, err := engine.MeasureCircuit(ctx, r.ref, cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", r.how, err)
+		}
+		fmt.Printf("  %-16s %v\n", r.how+":", act)
+	}
+
+	cs := engine.CacheStats()
+	fmt.Printf("\ncompiled-netlist cache: %d miss, %d hits — all three descriptions\n", cs.Misses, cs.Hits)
+	fmt.Printf("share the fingerprint %.16s…\n\n", built.Fingerprint())
+
+	// Built-in circuits resolve through the same reference type.
+	act, err := engine.MeasureCircuit(ctx, glitchsim.CircuitNamed("rca8"), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built-ins use the same API: %v\n", act)
+	fmt.Printf("available names: %s\n", strings.Join(engine.CircuitNames(), ", "))
+}

@@ -11,8 +11,8 @@ import (
 	"glitchsim"
 	"glitchsim/internal/circuits"
 	"glitchsim/internal/delay"
-	"glitchsim/internal/netlist"
 	"glitchsim/internal/report"
+	"glitchsim/netlist"
 )
 
 func main() {

@@ -12,10 +12,10 @@ import (
 	"glitchsim"
 	"glitchsim/internal/circuits"
 	"glitchsim/internal/logic"
-	"glitchsim/internal/netlist"
 	"glitchsim/internal/sim"
 	"glitchsim/internal/stimulus"
 	"glitchsim/internal/vcd"
+	"glitchsim/netlist"
 )
 
 func main() {

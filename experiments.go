@@ -9,10 +9,10 @@ import (
 	"glitchsim/internal/core"
 	"glitchsim/internal/delay"
 	"glitchsim/internal/logic"
-	"glitchsim/internal/netlist"
 	"glitchsim/internal/retime"
 	"glitchsim/internal/sim"
 	"glitchsim/internal/stimulus"
+	"glitchsim/netlist"
 )
 
 // The paper's experiment drivers, as Engine methods. Every driver takes
@@ -52,6 +52,9 @@ type WorstCaseResult struct {
 // both analytically and with the event-driven simulator. req.Width
 // selects the adder width (default 4).
 func (e *Engine) WorstCase(ctx context.Context, req ExperimentRequest) (WorstCaseResult, error) {
+	if err := fixedCircuit("WorstCase", req); err != nil {
+		return WorstCaseResult{}, err
+	}
 	n := req.Width
 	if n == 0 {
 		n = 4
@@ -139,6 +142,9 @@ type Fig5Result struct {
 // driven with req.Cycles random vectors (default 4000), classified per
 // sum and carry bit, next to the closed-form prediction.
 func (e *Engine) Figure5(ctx context.Context, req ExperimentRequest) (Fig5Result, error) {
+	if err := fixedCircuit("Figure5", req); err != nil {
+		return Fig5Result{}, err
+	}
 	n := req.Width
 	if n == 0 {
 		n = 16
@@ -191,6 +197,17 @@ func Figure5(n, cycles int, seed uint64) (Fig5Result, error) {
 // E3/E4 — Tables 1 and 2: multiplier architecture and delay-imbalance
 // comparison.
 
+// fixedCircuit rejects a Circuit override on experiment drivers whose
+// circuit set is fixed by the paper, so a caller's reference is never
+// silently ignored. Only the retiming power sweeps (Table3, Figure10)
+// take a subject override.
+func fixedCircuit(name string, req ExperimentRequest) error {
+	if !req.Circuit.IsZero() {
+		return fmt.Errorf("glitchsim: %s measures a fixed circuit set and takes no Circuit", name)
+	}
+	return nil
+}
+
 // MultRow is one column of the paper's Tables 1 and 2.
 type MultRow struct {
 	Arch  string // "array" or "wallace"
@@ -205,6 +222,9 @@ type MultRow struct {
 // (default 500, the paper's run length) with unit delays. The four rows
 // are measured in parallel on the engine's worker pool.
 func (e *Engine) Table1(ctx context.Context, req ExperimentRequest) ([]MultRow, error) {
+	if err := fixedCircuit("Table1", req); err != nil {
+		return nil, err
+	}
 	return e.measureMultipliers(ctx, table1Specs(), req, nil)
 }
 
@@ -228,6 +248,9 @@ func Table1(cycles int, seed uint64) ([]MultRow, error) {
 // versus the more realistic dsum = 2·dcarry, measured in parallel on the
 // engine's worker pool.
 func (e *Engine) Table2(ctx context.Context, req ExperimentRequest) ([]MultRow, error) {
+	if err := fixedCircuit("Table2", req); err != nil {
+		return nil, err
+	}
 	return e.measureMultipliers(ctx, table2Specs(), req, nil)
 }
 
@@ -315,6 +338,9 @@ type DirDetResult struct {
 // detector simulated with unit delays under req.Cycles random inputs
 // (default 4320, the paper's run length).
 func (e *Engine) DirectionDetector42(ctx context.Context, req ExperimentRequest) (DirDetResult, error) {
+	if err := fixedCircuit("DirectionDetector42", req); err != nil {
+		return DirDetResult{}, err
+	}
 	cycles := req.Cycles
 	if cycles == 0 {
 		cycles = 4320
@@ -368,10 +394,11 @@ type sweepPlan struct {
 // direction detector retimed for four successively higher clock
 // frequencies (chosen like the paper's four layouts: the optimum lies
 // strictly inside the sweep).
-func (e *Engine) table3Targets(ExperimentRequest) (sweepPlan, error) {
-	base := circuits.NewDirectionDetector(circuits.DirDetConfig{
-		Width: 8, Style: circuits.Cells, RegisterInputs: true,
-	})
+func (e *Engine) table3Targets(req ExperimentRequest) (sweepPlan, error) {
+	base, err := e.sweepSubject(req)
+	if err != nil {
+		return sweepPlan{}, err
+	}
 	dm := delay.Unit()
 	cp := retime.FromNetlist(base, dm, 0).ClockPeriod(nil)
 	return sweepPlan{
@@ -381,13 +408,26 @@ func (e *Engine) table3Targets(ExperimentRequest) (sweepPlan, error) {
 	}, nil
 }
 
+// sweepSubject resolves the circuit a retiming power sweep operates on:
+// the request's Circuit reference, defaulting to the paper's
+// input-registered direction detector.
+func (e *Engine) sweepSubject(req ExperimentRequest) (*netlist.Netlist, error) {
+	if !req.Circuit.IsZero() {
+		return e.Resolve(req.Circuit)
+	}
+	return circuits.NewDirectionDetector(circuits.DirDetConfig{
+		Width: 8, Style: circuits.Cells, RegisterInputs: true,
+	}), nil
+}
+
 // figure10Targets prepares the Figure 10 sweep: Table 3 extended to
 // arbitrary retiming targets (req.Targets; nil selects the default
 // eight-point sweep).
 func (e *Engine) figure10Targets(req ExperimentRequest) (sweepPlan, error) {
-	base := circuits.NewDirectionDetector(circuits.DirDetConfig{
-		Width: 8, Style: circuits.Cells, RegisterInputs: true,
-	})
+	base, err := e.sweepSubject(req)
+	if err != nil {
+		return sweepPlan{}, err
+	}
 	dm := delay.Unit()
 	cp := retime.FromNetlist(base, dm, 0).ClockPeriod(nil)
 	targets := req.Targets
@@ -499,6 +539,9 @@ type AblationResult struct {
 // useless activity drops. (Under pure unit delay the two modes coincide:
 // no pulse is ever narrower than a gate delay.)
 func (e *Engine) AblationInertial(ctx context.Context, req ExperimentRequest) (AblationResult, error) {
+	if err := fixedCircuit("AblationInertial", req); err != nil {
+		return AblationResult{}, err
+	}
 	nl := circuits.NewDirectionDetector(circuits.DirDetConfig{Width: 8, Style: circuits.Cells})
 	a, err := e.Measure(ctx, MeasureRequest{Netlist: nl, Config: Config{Cycles: req.Cycles, Seed: req.Seed, Delay: delay.Typical()}})
 	if err != nil {
@@ -523,6 +566,9 @@ func AblationInertial(cycles int, seed uint64) (AblationResult, error) {
 // exposes more internal nodes and therefore more (and different)
 // glitching.
 func (e *Engine) AblationGranularity(ctx context.Context, req ExperimentRequest) (AblationResult, error) {
+	if err := fixedCircuit("AblationGranularity", req); err != nil {
+		return AblationResult{}, err
+	}
 	w := req.Width
 	if w == 0 {
 		w = 8
@@ -578,6 +624,9 @@ func (z ZeroDelayComparison) Underestimate() float64 {
 // AblationZeroDelay runs the comparison on an N-bit RCA (req.Width,
 // default 16).
 func (e *Engine) AblationZeroDelay(ctx context.Context, req ExperimentRequest) (ZeroDelayComparison, error) {
+	if err := fixedCircuit("AblationZeroDelay", req); err != nil {
+		return ZeroDelayComparison{}, err
+	}
 	w := req.Width
 	if w == 0 {
 		w = 16
@@ -609,6 +658,9 @@ func AblationZeroDelay(width, cycles int, seed uint64) (ZeroDelayComparison, err
 // 2·len(seeds) measurements run in parallel on the engine's pool,
 // sharing one compiled form per architecture.
 func (e *Engine) SeedSweep(ctx context.Context, req ExperimentRequest) ([]AblationResult, error) {
+	if err := fixedCircuit("SeedSweep", req); err != nil {
+		return nil, err
+	}
 	seeds := req.Seeds
 	array := circuits.NewArrayMultiplier(8, circuits.Cells)
 	wallace := circuits.NewWallaceMultiplier(8, circuits.Cells)
@@ -651,6 +703,9 @@ func SeedSweep(cycles int, seeds []uint64) ([]AblationResult, error) {
 // paper's claim that input correlation is destroyed by the abs-diff
 // stage.
 func (e *Engine) GraySweep(ctx context.Context, req ExperimentRequest) ([]Activity, error) {
+	if err := fixedCircuit("GraySweep", req); err != nil {
+		return nil, err
+	}
 	nl := circuits.NewDirectionDetector(circuits.DirDetConfig{Width: 8, Style: circuits.Cells})
 	w := nl.InputWidth()
 	sources := []struct {

@@ -11,12 +11,12 @@ import (
 	"glitchsim/internal/circuits"
 	"glitchsim/internal/delay"
 	"glitchsim/internal/logic"
-	"glitchsim/internal/netlist"
 	"glitchsim/internal/power"
 	"glitchsim/internal/sim"
 	"glitchsim/internal/stats"
 	"glitchsim/internal/stimulus"
-	"glitchsim/internal/verilog"
+	"glitchsim/netlist"
+	"glitchsim/verilog"
 )
 
 // This file hosts the extension studies beyond the paper's own tables:
@@ -58,6 +58,9 @@ type BalanceRow struct {
 // cells' activity falls by exactly 1 + L/F; the buffers' own switching
 // is reported separately as the cost of the technique.
 func (e *Engine) BalanceStudy(ctx context.Context, req ExperimentRequest) ([]BalanceRow, error) {
+	if err := fixedCircuit("BalanceStudy", req); err != nil {
+		return nil, err
+	}
 	var rows []BalanceRow
 	for _, build := range []func() *netlist.Netlist{
 		func() *netlist.Netlist { return circuits.NewRCA(16, circuits.Cells) },
@@ -137,6 +140,9 @@ type AdderRow struct {
 // the comparison the paper's reference [2] (Callaway & Swartzlander)
 // makes: shallower, better-balanced carry structures glitch less.
 func (e *Engine) AdderStudy(ctx context.Context, req ExperimentRequest) ([]AdderRow, error) {
+	if err := fixedCircuit("AdderStudy", req); err != nil {
+		return nil, err
+	}
 	w := req.Width
 	if w == 0 {
 		w = 16
@@ -160,6 +166,9 @@ func AdderStudy(width, cycles int, seed uint64) ([]AdderRow, error) {
 // its own reconvergent select logic. Returns rows for array, wallace and
 // booth at req.Width (default 8; must be even for Booth).
 func (e *Engine) MultiplierStudy(ctx context.Context, req ExperimentRequest) ([]AdderRow, error) {
+	if err := fixedCircuit("MultiplierStudy", req); err != nil {
+		return nil, err
+	}
 	w := req.Width
 	if w == 0 {
 		w = 8
@@ -224,6 +233,9 @@ type EstimatorComparison struct {
 // density propagation lands in between, and only event-driven simulation
 // captures the full glitching.
 func (e *Engine) CompareEstimators(ctx context.Context, req ExperimentRequest) (EstimatorComparison, error) {
+	if err := fixedCircuit("CompareEstimators", req); err != nil {
+		return EstimatorComparison{}, err
+	}
 	w := req.Width
 	if w == 0 {
 		w = 16
@@ -265,6 +277,9 @@ type CorrelationRow struct {
 // paper's §4.2 claim that "signal statistics and correlations are almost
 // completely lost immediately after the absolute differences are taken".
 func (e *Engine) CorrelationStudy(ctx context.Context, req ExperimentRequest) ([]CorrelationRow, error) {
+	if err := fixedCircuit("CorrelationStudy", req); err != nil {
+		return nil, err
+	}
 	n := circuits.NewDirectionDetector(circuits.DirDetConfig{Width: 8, Style: circuits.Cells})
 	collector := stats.NewCollector(n, nil)
 	opts := sim.Options{Delay: delay.Unit()}

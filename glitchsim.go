@@ -19,10 +19,10 @@ import (
 	"glitchsim/internal/circuits"
 	"glitchsim/internal/core"
 	"glitchsim/internal/delay"
-	"glitchsim/internal/netlist"
 	"glitchsim/internal/power"
 	"glitchsim/internal/sim"
 	"glitchsim/internal/stimulus"
+	"glitchsim/netlist"
 )
 
 // Activity summarizes classified transition counts of one measurement,

@@ -1,6 +1,6 @@
 package analytic
 
-import "glitchsim/internal/netlist"
+import "glitchsim/netlist"
 
 // TransitionDensities propagates transition densities through the
 // netlist: D(y) = Σ_i P(∂y/∂x_i)·D(x_i), where ∂y/∂x_i is the Boolean

@@ -3,7 +3,7 @@ package analytic
 import (
 	"testing"
 
-	"glitchsim/internal/netlist"
+	"glitchsim/netlist"
 )
 
 func TestDensityBasicGates(t *testing.T) {

@@ -3,7 +3,7 @@ package analytic
 import (
 	"math"
 
-	"glitchsim/internal/netlist"
+	"glitchsim/netlist"
 )
 
 // SignalProbabilities propagates static signal probabilities

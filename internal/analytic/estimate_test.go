@@ -4,7 +4,7 @@ import (
 	"math"
 	"testing"
 
-	"glitchsim/internal/netlist"
+	"glitchsim/netlist"
 )
 
 func TestSignalProbabilitiesBasicGates(t *testing.T) {

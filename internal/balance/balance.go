@@ -17,7 +17,7 @@ import (
 	"sort"
 
 	"glitchsim/internal/delay"
-	"glitchsim/internal/netlist"
+	"glitchsim/netlist"
 )
 
 // Result describes a balanced circuit.

@@ -3,7 +3,7 @@ package circuits
 import (
 	"fmt"
 
-	"glitchsim/internal/netlist"
+	"glitchsim/netlist"
 )
 
 // RippleAdd builds an N-bit ripple-carry adder (the paper's §3 circuit)

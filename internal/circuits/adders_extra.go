@@ -1,6 +1,6 @@
 package circuits
 
-import "glitchsim/internal/netlist"
+import "glitchsim/netlist"
 
 // CarryLookaheadAdd builds a carry-lookahead adder with 4-bit lookahead
 // blocks (ripple between blocks). Per bit, generate g=a·b and propagate

@@ -4,8 +4,8 @@ import (
 	"testing"
 	"testing/quick"
 
-	"glitchsim/internal/netlist"
 	"glitchsim/internal/stimulus"
+	"glitchsim/netlist"
 )
 
 func TestCLAExhaustive4(t *testing.T) {

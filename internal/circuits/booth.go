@@ -1,6 +1,6 @@
 package circuits
 
-import "glitchsim/internal/netlist"
+import "glitchsim/netlist"
 
 // BoothMultiply builds a radix-4 (modified) Booth multiplier for N-bit
 // two's-complement operands, N even. The multiplier y is recoded into

@@ -13,7 +13,7 @@ package circuits
 import (
 	"fmt"
 
-	"glitchsim/internal/netlist"
+	"glitchsim/netlist"
 )
 
 // Style selects the arithmetic cell granularity.

@@ -4,9 +4,9 @@ import (
 	"testing"
 
 	"glitchsim/internal/logic"
-	"glitchsim/internal/netlist"
 	"glitchsim/internal/sim"
 	"glitchsim/internal/stimulus"
+	"glitchsim/netlist"
 )
 
 // evalNet computes the zero-delay settled value of every net for the

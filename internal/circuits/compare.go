@@ -1,6 +1,6 @@
 package circuits
 
-import "glitchsim/internal/netlist"
+import "glitchsim/netlist"
 
 // GreaterThan builds an unsigned magnitude comparator returning a net
 // that is 1 when x > y. It ripples from the LSB:

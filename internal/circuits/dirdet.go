@@ -3,7 +3,7 @@ package circuits
 import (
 	"fmt"
 
-	"glitchsim/internal/netlist"
+	"glitchsim/netlist"
 )
 
 // DirDetConfig parameterizes the direction detector generator.

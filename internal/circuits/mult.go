@@ -1,6 +1,6 @@
 package circuits
 
-import "glitchsim/internal/netlist"
+import "glitchsim/netlist"
 
 // partialProducts builds the N×M AND matrix pp[i][j] = x[j]·y[i].
 func partialProducts(b *netlist.Builder, x, y []netlist.NetID) [][]netlist.NetID {

@@ -26,8 +26,8 @@ import (
 	"sort"
 
 	"glitchsim/internal/logic"
-	"glitchsim/internal/netlist"
 	"glitchsim/internal/sim"
+	"glitchsim/netlist"
 )
 
 // NetStats accumulates classified activity for one net across all

@@ -7,9 +7,9 @@ import (
 
 	"glitchsim/internal/delay"
 	"glitchsim/internal/logic"
-	"glitchsim/internal/netlist"
 	"glitchsim/internal/sim"
 	"glitchsim/internal/stimulus"
+	"glitchsim/netlist"
 )
 
 // feed drives the counter directly with a synthetic per-cycle transition

@@ -28,8 +28,8 @@ package core
 import (
 	"math/bits"
 
-	"glitchsim/internal/netlist"
 	"glitchsim/internal/sim"
+	"glitchsim/netlist"
 )
 
 // initialPlanes is the number of count bit-planes allocated up front:

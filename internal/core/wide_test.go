@@ -4,8 +4,8 @@ import (
 	"testing"
 
 	"glitchsim/internal/logic"
-	"glitchsim/internal/netlist"
 	"glitchsim/internal/sim"
+	"glitchsim/netlist"
 )
 
 // twoNetNetlist builds a minimal circuit (in -> not -> out) so the

@@ -12,7 +12,7 @@ package delay
 import (
 	"fmt"
 
-	"glitchsim/internal/netlist"
+	"glitchsim/netlist"
 )
 
 // Model maps a cell output pin to a propagation delay in integer units.

@@ -4,7 +4,7 @@ import (
 	"strings"
 	"testing"
 
-	"glitchsim/internal/netlist"
+	"glitchsim/netlist"
 )
 
 func cells(t *testing.T) (fa, ha, xor, inv *netlist.Cell) {

@@ -20,7 +20,7 @@ import (
 	"sort"
 
 	"glitchsim/internal/core"
-	"glitchsim/internal/netlist"
+	"glitchsim/netlist"
 )
 
 // Tech holds the technology and operating-point constants of the model.

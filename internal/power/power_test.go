@@ -9,10 +9,10 @@ import (
 	"glitchsim/internal/core"
 	"glitchsim/internal/delay"
 	"glitchsim/internal/logic"
-	"glitchsim/internal/netlist"
 	"glitchsim/internal/retime"
 	"glitchsim/internal/sim"
 	"glitchsim/internal/stimulus"
+	"glitchsim/netlist"
 )
 
 func approx(a, b, rel float64) bool {

@@ -12,7 +12,7 @@ import (
 
 	"glitchsim/internal/circuits"
 	"glitchsim/internal/delay"
-	"glitchsim/internal/netlist"
+	"glitchsim/netlist"
 )
 
 // builders maps circuit names to generators.

@@ -6,7 +6,7 @@ import (
 	"testing"
 
 	"glitchsim/internal/delay"
-	"glitchsim/internal/netlist"
+	"glitchsim/netlist"
 )
 
 // TestBuildAllCircuitsValid: every registered circuit must build into a

@@ -3,7 +3,7 @@ package retime
 import (
 	"sort"
 
-	"glitchsim/internal/netlist"
+	"glitchsim/netlist"
 )
 
 // Apply materializes the retimed netlist: combinational cells are copied,

@@ -14,7 +14,7 @@ import (
 	"fmt"
 
 	"glitchsim/internal/delay"
-	"glitchsim/internal/netlist"
+	"glitchsim/netlist"
 )
 
 // Graph is a retiming graph: one vertex per combinational cell plus a

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"glitchsim/internal/delay"
-	"glitchsim/internal/netlist"
+	"glitchsim/netlist"
 )
 
 // Result describes a retimed circuit.

@@ -6,9 +6,9 @@ import (
 	"glitchsim/internal/circuits"
 	"glitchsim/internal/delay"
 	"glitchsim/internal/logic"
-	"glitchsim/internal/netlist"
 	"glitchsim/internal/sim"
 	"glitchsim/internal/stimulus"
+	"glitchsim/netlist"
 )
 
 // equivalent simulates both netlists on the same random stimulus and

@@ -6,6 +6,7 @@ import (
 
 	"glitchsim"
 	"glitchsim/internal/power"
+	"glitchsim/netlist"
 )
 
 // The service's wire types: stable snake_case JSON shapes for the domain
@@ -172,6 +173,56 @@ type RowsResponse struct {
 // Table3Response is the reply of the Table 3 / Figure 10 endpoints.
 type Table3Response struct {
 	Rows []Table3RowDTO `json:"rows"`
+}
+
+// CircuitInfo is the fingerprint-addressed handle of one circuit: the
+// reply of POST /v1/circuits and the upload entries of GET /v1/circuits.
+type CircuitInfo struct {
+	// Fingerprint is the structural identity (netlist.Fingerprint), the
+	// handle measurement requests reference the circuit by.
+	Fingerprint string `json:"fingerprint"`
+	// Name is the circuit's module name.
+	Name string `json:"name"`
+	// Structure statistics.
+	Cells   int `json:"cells"`
+	Nets    int `json:"nets"`
+	Inputs  int `json:"inputs"`
+	Outputs int `json:"outputs"`
+	FFs     int `json:"ffs"`
+	// Depth is the unit-delay combinational depth (longest PI/DFF-to-
+	// net path in cells).
+	Depth int `json:"depth"`
+}
+
+// CircuitInfoFrom computes the handle of a netlist.
+func CircuitInfoFrom(n *netlist.Netlist) CircuitInfo {
+	return CircuitInfo{
+		Fingerprint: n.Fingerprint(),
+		Name:        n.Name,
+		Cells:       n.NumCells(),
+		Nets:        n.NumNets(),
+		Inputs:      n.InputWidth(),
+		Outputs:     n.OutputWidth(),
+		FFs:         n.NumDFFs(),
+		Depth:       n.LogicDepth(),
+	}
+}
+
+// CircuitsResponse is the GET /v1/circuits reply.
+type CircuitsResponse struct {
+	// Builtin lists the registry circuit names.
+	Builtin []string `json:"builtin"`
+	// Uploads lists the uploaded circuits, most recently used first.
+	Uploads []CircuitInfo `json:"uploads"`
+}
+
+// UploadRequest is the POST /v1/circuits JSON envelope. (Raw bodies
+// with a ?format= query parameter are the alternative shape.)
+type UploadRequest struct {
+	// Format is "verilog" or "json".
+	Format string `json:"format"`
+	// Source is the circuit description in that format.
+	Source string `json:"source"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx reply.

@@ -8,15 +8,25 @@
 // Endpoints:
 //
 //	GET  /healthz                     liveness + engine cache statistics
+//	GET  /v1/circuits                 list built-in and uploaded circuits
+//	POST /v1/circuits                 upload a Verilog or JSON circuit
 //	POST /v1/measure                  measure one circuit (multi-seed optional)
 //	POST /v1/experiments/table1       Table 1: array vs wallace multipliers
 //	POST /v1/experiments/table2       Table 2: sum/carry delay imbalance
 //	POST /v1/experiments/table3       Table 3: retimed variant power breakdown
 //	POST /v1/experiments/figure10     Figure 10: power vs flipflop sweep
 //
-// Every /v1 endpoint also accepts GET with the same parameters as query
-// strings, and `"stream": true` (or ?stream=1) switches the reply to
-// newline-delimited JSON progress events terminated by a "done" event.
+// Every measurement endpoint's `circuit` parameter accepts a built-in
+// registry name or the fingerprint handle POST /v1/circuits returned,
+// so uploaded circuits measure exactly like built-ins (and share the
+// Engine's fingerprint-keyed compiled cache). Unknown circuit
+// references answer 404 with the resolvable identifiers; malformed
+// uploads answer 400 with the parser's line-numbered message.
+//
+// Every /v1 endpoint except the upload also accepts GET with the same
+// parameters as query strings, and `"stream": true` (or ?stream=1)
+// switches the reply to newline-delimited JSON progress events
+// terminated by a "done" event.
 package service
 
 import (
@@ -33,23 +43,33 @@ import (
 
 	"glitchsim"
 	"glitchsim/internal/core"
-	"glitchsim/internal/netlist"
 	"glitchsim/internal/power"
 	"glitchsim/internal/registry"
+	"glitchsim/netlist"
 )
 
 // Server serves the glitchsim HTTP API from one shared Engine. It
 // implements http.Handler.
 type Server struct {
-	engine *glitchsim.Engine
-	mux    *http.ServeMux
-	start  time.Time
+	engine  *glitchsim.Engine
+	mux     *http.ServeMux
+	start   time.Time
+	uploads *uploadStore
 }
 
 // New returns a Server sharing the given Engine across all requests.
-func New(e *glitchsim.Engine) *Server {
-	s := &Server{engine: e, mux: http.NewServeMux(), start: time.Now()}
+func New(e *glitchsim.Engine, opts ...Option) *Server {
+	s := &Server{
+		engine:  e,
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+		uploads: newUploadStore(DefaultUploadCapacity),
+	}
+	for _, o := range opts {
+		o(s)
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/circuits", s.handleCircuits)
 	s.mux.HandleFunc("/v1/measure", s.handleMeasure)
 	s.mux.HandleFunc("/v1/experiments/table1", s.experimentHandler("table1"))
 	s.mux.HandleFunc("/v1/experiments/table2", s.experimentHandler("table2"))
@@ -97,7 +117,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // MeasureParams is the /v1/measure request body (or query string).
 type MeasureParams struct {
-	// Circuit names a registry circuit (see registry.Names).
+	// Circuit references the circuit to measure: a registry name (see
+	// registry.Names) or the fingerprint of an uploaded circuit (POST
+	// /v1/circuits).
 	Circuit string `json:"circuit"`
 	// Cycles: omitted = 500, explicit 0 = measure nothing.
 	Cycles *int `json:"cycles,omitempty"`
@@ -164,9 +186,9 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, fmt.Errorf("missing circuit (available: %s)", registry.NameList()))
 		return
 	}
-	nl, err := registry.Build(p.Circuit)
+	nl, err := s.resolveCircuit(p.Circuit)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeResolveError(w, err)
 		return
 	}
 	ctx := r.Context()
@@ -252,6 +274,10 @@ type ExperimentParams struct {
 	Seed uint64 `json:"seed,omitempty"`
 	// Targets overrides the Figure 10 retiming sweep.
 	Targets []int `json:"targets,omitempty"`
+	// Circuit overrides the subject of the retiming power sweeps
+	// (table3, figure10) with a registry name or uploaded-circuit
+	// fingerprint. The fixed-set experiments (table1, table2) reject it.
+	Circuit string `json:"circuit,omitempty"`
 	// Stream switches the reply to NDJSON progress events.
 	Stream bool `json:"stream,omitempty"`
 }
@@ -264,6 +290,19 @@ func (s *Server) experimentHandler(name string) http.HandlerFunc {
 			return
 		}
 		req := glitchsim.ExperimentRequest{Cycles: p.Cycles, Seed: p.Seed, Targets: p.Targets}
+		if p.Circuit != "" {
+			if name == "table1" || name == "table2" {
+				s.writeError(w, http.StatusBadRequest,
+					fmt.Errorf("experiment %s measures a fixed circuit set and takes no circuit", name))
+				return
+			}
+			nl, err := s.resolveCircuit(p.Circuit)
+			if err != nil {
+				s.writeResolveError(w, err)
+				return
+			}
+			req.Circuit = glitchsim.CircuitFromNetlist(nl)
+		}
 
 		if p.Stream {
 			s.streamResponse(w, r, func(sess *glitchsim.Session) (any, error) {
@@ -412,6 +451,19 @@ func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
 	_ = WriteJSON(w, ErrorResponse{Error: err.Error()})
 }
 
+// writeResolveError maps circuit-resolution failures onto status codes:
+// an unknown circuit reference is the client naming something that is
+// not there (404, with the resolvable identifiers in the message);
+// anything else is a bad request.
+func (s *Server) writeResolveError(w http.ResponseWriter, err error) {
+	var unknown *unknownCircuitError
+	if errors.As(err, &unknown) {
+		s.writeError(w, http.StatusNotFound, err)
+		return
+	}
+	s.writeError(w, http.StatusBadRequest, err)
+}
+
 // writeEngineError maps engine failures onto status codes. A cancelled
 // request context means the client went away: there is no one to answer,
 // so nothing is written.
@@ -469,6 +521,7 @@ func paramsFromQuery(q url.Values, v any) error {
 		return nil
 	case *ExperimentParams:
 		var err error
+		p.Circuit = q.Get("circuit")
 		if n, err := optInt(q, "cycles"); err != nil {
 			return err
 		} else if n != nil {

@@ -228,7 +228,7 @@ func TestServiceErrors(t *testing.T) {
 		name, method, path, body string
 		wantStatus               int
 	}{
-		{"unknown circuit", http.MethodPost, "/v1/measure", `{"circuit":"nope"}`, http.StatusBadRequest},
+		{"unknown circuit", http.MethodPost, "/v1/measure", `{"circuit":"nope"}`, http.StatusNotFound},
 		{"missing circuit", http.MethodPost, "/v1/measure", `{}`, http.StatusBadRequest},
 		{"bad json", http.MethodPost, "/v1/measure", `{`, http.StatusBadRequest},
 		{"unknown field", http.MethodPost, "/v1/measure", `{"circuit":"rca4","bogus":1}`, http.StatusBadRequest},

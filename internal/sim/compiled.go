@@ -6,7 +6,7 @@ import (
 
 	"glitchsim/internal/delay"
 	"glitchsim/internal/logic"
-	"glitchsim/internal/netlist"
+	"glitchsim/netlist"
 )
 
 // Compiled is an immutable, cache-friendly compilation of a netlist for

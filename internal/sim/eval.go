@@ -9,7 +9,7 @@ package sim
 
 import (
 	"glitchsim/internal/logic"
-	"glitchsim/internal/netlist"
+	"glitchsim/netlist"
 )
 
 var (

@@ -15,9 +15,9 @@ import (
 	"glitchsim/internal/circuits"
 	"glitchsim/internal/core"
 	"glitchsim/internal/delay"
-	"glitchsim/internal/netlist"
 	"glitchsim/internal/sim"
 	"glitchsim/internal/stimulus"
+	"glitchsim/netlist"
 )
 
 // kernelRun simulates cycles of random stimulus and returns the counter

@@ -5,9 +5,9 @@ import (
 
 	"glitchsim/internal/delay"
 	"glitchsim/internal/logic"
-	"glitchsim/internal/netlist"
 	"glitchsim/internal/stimulus"
 	"glitchsim/internal/testutil"
+	"glitchsim/netlist"
 )
 
 // TestPropertySettledStateMatchesReference: for random netlists, random

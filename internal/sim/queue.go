@@ -2,7 +2,7 @@ package sim
 
 import (
 	"glitchsim/internal/logic"
-	"glitchsim/internal/netlist"
+	"glitchsim/netlist"
 )
 
 // The simulator's pending-event queue. Three implementations coexist

@@ -61,7 +61,7 @@ import (
 
 	"glitchsim/internal/delay"
 	"glitchsim/internal/logic"
-	"glitchsim/internal/netlist"
+	"glitchsim/netlist"
 )
 
 // Mode selects how a cell output reacts to input changes arriving while a

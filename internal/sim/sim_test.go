@@ -5,8 +5,8 @@ import (
 
 	"glitchsim/internal/delay"
 	"glitchsim/internal/logic"
-	"glitchsim/internal/netlist"
 	"glitchsim/internal/stimulus"
+	"glitchsim/netlist"
 )
 
 // recorder is a test Monitor capturing every transition.

@@ -28,7 +28,7 @@ import (
 
 	"glitchsim/internal/delay"
 	"glitchsim/internal/logic"
-	"glitchsim/internal/netlist"
+	"glitchsim/netlist"
 )
 
 // MaxLanes is the number of stimulus lanes one WideSimulator advances

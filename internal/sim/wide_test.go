@@ -14,11 +14,11 @@ import (
 	"glitchsim/internal/core"
 	"glitchsim/internal/delay"
 	"glitchsim/internal/logic"
-	"glitchsim/internal/netlist"
 	"glitchsim/internal/registry"
 	"glitchsim/internal/sim"
 	"glitchsim/internal/stimulus"
 	"glitchsim/internal/testutil"
+	"glitchsim/netlist"
 )
 
 // mergedScalarRuns simulates one scalar run per seed and merges the

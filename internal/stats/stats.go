@@ -14,7 +14,7 @@ import (
 	"math"
 
 	"glitchsim/internal/logic"
-	"glitchsim/internal/netlist"
+	"glitchsim/netlist"
 )
 
 // Collector is a sim.Monitor sampling settled end-of-cycle values of a

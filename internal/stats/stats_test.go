@@ -6,9 +6,9 @@ import (
 
 	"glitchsim/internal/circuits"
 	"glitchsim/internal/logic"
-	"glitchsim/internal/netlist"
 	"glitchsim/internal/sim"
 	"glitchsim/internal/stimulus"
+	"glitchsim/netlist"
 )
 
 func buildBuf(t *testing.T) (*netlist.Netlist, netlist.NetID, netlist.NetID) {

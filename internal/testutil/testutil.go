@@ -6,8 +6,8 @@ package testutil
 import (
 	"fmt"
 
-	"glitchsim/internal/netlist"
 	"glitchsim/internal/stimulus"
+	"glitchsim/netlist"
 )
 
 // RandConfig controls random netlist generation.

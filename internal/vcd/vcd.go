@@ -15,7 +15,7 @@ import (
 	"strings"
 
 	"glitchsim/internal/logic"
-	"glitchsim/internal/netlist"
+	"glitchsim/netlist"
 )
 
 // Writer emits VCD. It buffers internally; call Flush when done.

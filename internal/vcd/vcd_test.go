@@ -5,8 +5,8 @@ import (
 	"testing"
 
 	"glitchsim/internal/logic"
-	"glitchsim/internal/netlist"
 	"glitchsim/internal/sim"
+	"glitchsim/netlist"
 )
 
 func hazardNetlist(t *testing.T) *netlist.Netlist {

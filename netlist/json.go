@@ -9,9 +9,15 @@ import (
 // jsonNetlist is the serialized form: cells reference nets by name, so
 // the format is stable under renumbering and human-diffable.
 type jsonNetlist struct {
-	Name  string              `json:"name"`
-	PIs   []string            `json:"inputs"`
-	POs   []string            `json:"outputs"`
+	Name string   `json:"name"`
+	PIs  []string `json:"inputs"`
+	POs  []string `json:"outputs"`
+	// Nets lists every net name in net-ID order. It is optional on
+	// input: when present, ReadJSON recreates nets in exactly this
+	// order, so the decoded netlist reproduces the original net
+	// numbering and with it the original Fingerprint. When absent,
+	// nets are numbered inputs-first then cell outputs in cell order.
+	Nets  []string            `json:"nets,omitempty"`
 	Cells []jsonCell          `json:"cells"`
 	Buses map[string][]string `json:"buses,omitempty"`
 }
@@ -40,6 +46,9 @@ func (n *Netlist) WriteJSON(w io.Writer) error {
 	}
 	for _, po := range n.POs {
 		jn.POs = append(jn.POs, netName(po))
+	}
+	for i := range n.Nets {
+		jn.Nets = append(jn.Nets, n.Nets[i].Name)
 	}
 	for i := range n.Cells {
 		c := &n.Cells[i]
@@ -74,16 +83,48 @@ func ReadJSON(r io.Reader) (*Netlist, error) {
 	}
 	b := NewBuilder(jn.Name)
 	nets := map[string]NetID{}
+	inputSet := make(map[string]bool, len(jn.PIs))
 	for _, pi := range jn.PIs {
-		if _, dup := nets[pi]; dup {
+		if inputSet[pi] {
 			return nil, fmt.Errorf("netlist: duplicate input %q", pi)
 		}
-		nets[pi] = b.Input(pi)
+		inputSet[pi] = true
+	}
+	ordered := len(jn.Nets) > 0
+	if ordered {
+		// Declare every net up front in the serialized ID order, so the
+		// decoded netlist reproduces the original numbering (and with it
+		// the Fingerprint).
+		var piOrder []string
+		for _, name := range jn.Nets {
+			if _, dup := nets[name]; dup {
+				return nil, fmt.Errorf("netlist: duplicate net %q", name)
+			}
+			if inputSet[name] {
+				nets[name] = b.Input(name)
+				piOrder = append(piOrder, name)
+			} else {
+				nets[name] = b.Net(name)
+			}
+		}
+		if len(piOrder) != len(jn.PIs) {
+			return nil, fmt.Errorf("netlist: %d inputs declared but %d appear in nets", len(jn.PIs), len(piOrder))
+		}
+		for i, pi := range jn.PIs {
+			if piOrder[i] != pi {
+				return nil, fmt.Errorf("netlist: input order mismatch: inputs[%d]=%q but nets order gives %q", i, pi, piOrder[i])
+			}
+		}
+	} else {
+		for _, pi := range jn.PIs {
+			nets[pi] = b.Input(pi)
+		}
 	}
 
-	// Phase 1: declare every cell output net so arbitrary (including
-	// feedback) references resolve. Phase 2: create the cells driving
-	// those nets.
+	// Phase 1: declare (or, in ordered mode, look up) every cell output
+	// net so arbitrary (including feedback) references resolve. Phase 2:
+	// create the cells driving those nets.
+	driven := make(map[string]bool, len(jn.Cells))
 	for ci, jc := range jn.Cells {
 		t, ok := typeByName[jc.Type]
 		if !ok {
@@ -97,10 +138,20 @@ func ReadJSON(r io.Reader) (*Netlist, error) {
 			return nil, fmt.Errorf("netlist: cell %d (%s) has %d inputs, want %d..%d", ci, jc.Type, len(jc.In), min, max)
 		}
 		for _, outName := range jc.Out {
-			if _, dup := nets[outName]; dup {
-				return nil, fmt.Errorf("netlist: net %q driven twice", outName)
+			if ordered {
+				if _, ok := nets[outName]; !ok {
+					return nil, fmt.Errorf("netlist: cell %d output references net %q missing from nets order", ci, outName)
+				}
+				if inputSet[outName] || driven[outName] {
+					return nil, fmt.Errorf("netlist: net %q driven twice", outName)
+				}
+			} else {
+				if _, dup := nets[outName]; dup {
+					return nil, fmt.Errorf("netlist: net %q driven twice", outName)
+				}
+				nets[outName] = b.Net(outName)
 			}
-			nets[outName] = b.Net(outName)
+			driven[outName] = true
 		}
 	}
 	for _, jc := range jn.Cells {

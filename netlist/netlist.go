@@ -1,0 +1,234 @@
+// Package netlist defines the gate-level circuit data model used by the
+// glitchsim simulator, the activity analyzer, the retimer and the power
+// model: a flat netlist of multi-output cells connected by single-driver
+// nets.
+//
+// The model matches the paper's level of abstraction: combinational cells
+// (simple gates plus compound half/full adder cells with independently
+// configurable sum and carry delays) and edge-triggered D flipflops that
+// update only on the clock edge.
+//
+// External circuits are constructed with a Builder:
+//
+//	b := netlist.NewBuilder("hazard")
+//	a := b.Input("a")
+//	b.Output("out", b.And(a, b.Not(a)))
+//	n, err := b.Build()
+//
+// Build validates the whole netlist (single drivers, pin counts, no
+// combinational cycles) and the result plugs directly into the root
+// glitchsim package (glitchsim.CircuitFromNetlist) or the simulator.
+// Netlists also round-trip through a JSON wire format (WriteJSON /
+// ReadJSON) and through structural Verilog (package glitchsim/verilog);
+// both preserve Fingerprint, the structural identity the Engine's
+// compiled-netlist cache is keyed by.
+package netlist
+
+import "fmt"
+
+// NetID identifies a net within one Netlist.
+type NetID int32
+
+// CellID identifies a cell within one Netlist.
+type CellID int32
+
+// NoCell marks the absence of a driving cell (primary inputs).
+const NoCell CellID = -1
+
+// NoNet marks an invalid or absent net.
+const NoNet NetID = -1
+
+// CellType enumerates the supported cell kinds.
+type CellType uint8
+
+// Supported cell types. And/Nand/Or/Nor/Xor/Xnor accept two or more
+// inputs; the rest have the fixed pin counts documented below.
+const (
+	Const0 CellType = iota // 0 inputs, 1 output: constant 0
+	Const1                 // 0 inputs, 1 output: constant 1
+	Buf                    // 1 input, 1 output
+	Not                    // 1 input, 1 output
+	And                    // ≥2 inputs, 1 output
+	Nand                   // ≥2 inputs, 1 output
+	Or                     // ≥2 inputs, 1 output
+	Nor                    // ≥2 inputs, 1 output
+	Xor                    // ≥2 inputs, 1 output (parity)
+	Xnor                   // ≥2 inputs, 1 output (inverted parity)
+	Mux2                   // 3 inputs [a, b, sel], 1 output: sel ? b : a
+	Maj3                   // 3 inputs, 1 output: majority
+	HA                     // 2 inputs [a, b], 2 outputs [sum, carry]
+	FA                     // 3 inputs [a, b, cin], 2 outputs [sum, cout]
+	DFF                    // 1 input [d], 1 output [q]; clocked
+	numCellTypes
+)
+
+var cellTypeNames = [numCellTypes]string{
+	Const0: "const0", Const1: "const1", Buf: "buf", Not: "not",
+	And: "and", Nand: "nand", Or: "or", Nor: "nor", Xor: "xor",
+	Xnor: "xnor", Mux2: "mux2", Maj3: "maj3", HA: "ha", FA: "fa",
+	DFF: "dff",
+}
+
+// String returns the lowercase cell-type name.
+func (t CellType) String() string {
+	if int(t) < len(cellTypeNames) {
+		return cellTypeNames[t]
+	}
+	return fmt.Sprintf("celltype(%d)", uint8(t))
+}
+
+// pinSpec describes legal pin counts for a type. inMax == -1 means
+// unbounded.
+type pinSpec struct {
+	inMin, inMax int
+	outs         int
+}
+
+var pinSpecs = [numCellTypes]pinSpec{
+	Const0: {0, 0, 1},
+	Const1: {0, 0, 1},
+	Buf:    {1, 1, 1},
+	Not:    {1, 1, 1},
+	And:    {2, -1, 1},
+	Nand:   {2, -1, 1},
+	Or:     {2, -1, 1},
+	Nor:    {2, -1, 1},
+	Xor:    {2, -1, 1},
+	Xnor:   {2, -1, 1},
+	Mux2:   {3, 3, 1},
+	Maj3:   {3, 3, 1},
+	HA:     {2, 2, 2},
+	FA:     {3, 3, 2},
+	DFF:    {1, 1, 1},
+}
+
+// Outputs returns the number of output pins cells of type t have.
+func (t CellType) Outputs() int { return pinSpecs[t].outs }
+
+// InputRange returns the legal input pin count range; max == -1 means
+// unbounded.
+func (t CellType) InputRange() (min, max int) {
+	s := pinSpecs[t]
+	return s.inMin, s.inMax
+}
+
+// Sequential reports whether cells of this type hold state across clock
+// cycles.
+func (t CellType) Sequential() bool { return t == DFF }
+
+// Named output pins of compound adder cells.
+const (
+	PinSum   = 0 // HA/FA output pin carrying the sum
+	PinCarry = 1 // HA/FA output pin carrying the carry
+)
+
+// Cell is one instance in the netlist.
+type Cell struct {
+	ID   CellID
+	Type CellType
+	Name string
+	In   []NetID // input nets, in pin order
+	Out  []NetID // output nets, in pin order; NoNet for unused pins
+}
+
+// Pin identifies one input port of a cell.
+type Pin struct {
+	Cell CellID
+	Port int
+}
+
+// Net is a single-driver wire.
+type Net struct {
+	ID        NetID
+	Name      string
+	Driver    CellID // NoCell when the net is a primary input
+	DriverPin int    // output pin index on the driver
+	Sinks     []Pin  // input pins reading this net
+}
+
+// IsPrimaryInput reports whether the net has no driving cell.
+func (n *Net) IsPrimaryInput() bool { return n.Driver == NoCell }
+
+// Netlist is a flat gate-level circuit.
+type Netlist struct {
+	Name  string
+	Cells []Cell
+	Nets  []Net
+	// PIs lists primary-input nets in declaration order; the simulator
+	// applies stimulus vectors in this order.
+	PIs []NetID
+	// POs lists primary-output nets in declaration order.
+	POs []NetID
+	// Buses maps a bus name to its member nets, LSB first. Buses group
+	// PIs/POs and named internal vectors for reporting.
+	Buses map[string][]NetID
+
+	netByName map[string]NetID
+}
+
+// NumCells returns the number of cells.
+func (n *Netlist) NumCells() int { return len(n.Cells) }
+
+// NumNets returns the number of nets.
+func (n *Netlist) NumNets() int { return len(n.Nets) }
+
+// Cell returns the cell with the given id.
+func (n *Netlist) Cell(id CellID) *Cell { return &n.Cells[id] }
+
+// Net returns the net with the given id.
+func (n *Netlist) Net(id NetID) *Net { return &n.Nets[id] }
+
+// NetByName returns the net with the given name, or NoNet.
+func (n *Netlist) NetByName(name string) NetID {
+	if id, ok := n.netByName[name]; ok {
+		return id
+	}
+	return NoNet
+}
+
+// Bus returns the nets of a named bus (LSB first), or nil.
+func (n *Netlist) Bus(name string) []NetID { return n.Buses[name] }
+
+// InputWidth returns the total number of primary-input bits.
+func (n *Netlist) InputWidth() int { return len(n.PIs) }
+
+// OutputWidth returns the total number of primary-output bits.
+func (n *Netlist) OutputWidth() int { return len(n.POs) }
+
+// NumDFFs returns the number of flipflop cells, the quantity the paper's
+// flipflop and clock power components are proportional to.
+func (n *Netlist) NumDFFs() int {
+	c := 0
+	for i := range n.Cells {
+		if n.Cells[i].Type == DFF {
+			c++
+		}
+	}
+	return c
+}
+
+// NumCombinationalCells returns the number of non-DFF cells.
+func (n *Netlist) NumCombinationalCells() int {
+	return len(n.Cells) - n.NumDFFs()
+}
+
+// CellCounts returns the number of cells of each type.
+func (n *Netlist) CellCounts() map[CellType]int {
+	m := make(map[CellType]int)
+	for i := range n.Cells {
+		m[n.Cells[i].Type]++
+	}
+	return m
+}
+
+// InternalNets returns the IDs of all nets that are not primary inputs:
+// the "internal signal nodes" the paper monitors during simulation.
+func (n *Netlist) InternalNets() []NetID {
+	out := make([]NetID, 0, len(n.Nets))
+	for i := range n.Nets {
+		if !n.Nets[i].IsPrimaryInput() {
+			out = append(out, n.Nets[i].ID)
+		}
+	}
+	return out
+}

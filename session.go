@@ -146,7 +146,7 @@ func (s *Session) MeasureMany(req BatchRequest) ([]MeasureResult, error) {
 // seed in completion order and an EventResult with the merged aggregate.
 func (s *Session) MeasureSeeds(req SeedSweepRequest) (*core.Counter, error) {
 	total := len(req.Seeds)
-	agg, err := s.e.measureSeeds(s.ctx, req, func(i int, r *MeasureResult) {
+	agg, name, err := s.e.measureSeeds(s.ctx, req, func(i int, r *MeasureResult) {
 		ev := Event{Kind: EventSeed, Index: i, Total: total, Err: r.Err}
 		if r.Err == nil {
 			act := r.Activity
@@ -156,10 +156,6 @@ func (s *Session) MeasureSeeds(req SeedSweepRequest) (*core.Counter, error) {
 	})
 	if err != nil {
 		return nil, err
-	}
-	name := ""
-	if req.Netlist != nil {
-		name = req.Netlist.Name
 	}
 	act := summarize(name, agg)
 	s.emit(Event{Kind: EventResult, Total: 1, Activity: &act})

@@ -1,0 +1,65 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+
+	"glitchsim/internal/registry"
+)
+
+// FuzzParse feeds arbitrary byte streams to the Verilog parser. Parse
+// must never panic: malformed input yields an error (carrying a source
+// line number), well-formed input yields a netlist that survives a
+// second Write→Parse round trip. The corpus is seeded with the writer's
+// output for every registry circuit plus hand-written subset samples,
+// so the fuzzer starts from deep inside the accepted grammar (metadata
+// block included) and mutates outward.
+func FuzzParse(f *testing.F) {
+	for _, name := range registry.Names() {
+		n, err := registry.Build(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		if n.NumCells() > 200 {
+			// The 16-bit multipliers make single executions so slow the
+			// fuzzer stops exploring; the small circuits cover the same
+			// grammar. TestRoundTripFingerprintRegistry still exercises
+			// the full catalogue.
+			continue
+		}
+		var sb strings.Builder
+		if err := Write(&sb, n); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(sb.String())
+	}
+	f.Add("module m(a, z); input a; output z; buf g(z, a); endmodule")
+	f.Add("module m(a, z); input a; output z; wire w; assign w = 1'b1; and g(z, a, w); endmodule")
+	f.Add("module m(clk, a, q); input clk; input a; output q; glitchsim_dff g(q, a, clk); endmodule")
+	f.Add("//! glitchsim 1\n//! module \"m\"\n//! order a z\nmodule m(a, po_z); input a; output po_z; wire z; not g(z, a); assign po_z = z; endmodule")
+	f.Add("/* unterminated comment")
+	f.Add("//! bus \"b\" x y\nmodule")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := Parse(strings.NewReader(src))
+		if err != nil {
+			if !strings.Contains(err.Error(), "line ") {
+				t.Fatalf("parse error without line number: %v", err)
+			}
+			return
+		}
+		// Anything we accept must be writable and re-parseable.
+		var sb strings.Builder
+		if err := Write(&sb, n); err != nil {
+			t.Fatalf("accepted netlist does not write: %v", err)
+		}
+		back, err := Parse(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("rewritten netlist does not parse: %v\n--- verilog ---\n%s", err, sb.String())
+		}
+		if back.NumCells() != n.NumCells() || back.NumNets() != n.NumNets() {
+			t.Fatalf("re-parse changed structure: %d/%d -> %d/%d cells/nets",
+				n.NumCells(), n.NumNets(), back.NumCells(), back.NumNets())
+		}
+	})
+}

@@ -4,7 +4,7 @@ import (
 	"strings"
 	"testing"
 
-	"glitchsim/internal/netlist"
+	"glitchsim/netlist"
 )
 
 func TestLexerComments(t *testing.T) {
@@ -49,6 +49,30 @@ endmodule
 	}
 	if n.OutputWidth() != 1 || n.NumCells() != 1 {
 		t.Fatalf("unexpected structure: %d outputs, %d cells", n.OutputWidth(), n.NumCells())
+	}
+}
+
+func TestParseAliasAsGateInput(t *testing.T) {
+	// Aliases are valid on gate inputs too, not just primary outputs.
+	src := `
+module m(a, z);
+  input a;
+  output z;
+  wire w;
+  assign w = a;
+  buf g(z, w);
+endmodule
+`
+	n, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumCells() != 1 {
+		t.Fatalf("cells = %d, want 1 (alias should not materialize)", n.NumCells())
+	}
+	buf := n.Cell(0)
+	if n.Net(buf.In[0]).Name != "a" {
+		t.Errorf("buf reads %q, want the aliased input a", n.Net(buf.In[0]).Name)
 	}
 }
 
@@ -135,6 +159,48 @@ func TestWriterCoversEveryCellType(t *testing.T) {
 		isConst := typ == netlist.Const0 || typ == netlist.Const1
 		if !isPrim && !isHelper && !isConst {
 			t.Errorf("cell type %v has no Verilog emission path", typ)
+		}
+	}
+}
+
+func TestParseRejectsAliasDriverConflicts(t *testing.T) {
+	// An alias assign drives its destination: combining it with any
+	// other driver is multi-driver Verilog and must be rejected, not
+	// silently resolved.
+	for name, src := range map[string]string{
+		"alias then gate": `module m(a, z); input a; output z; assign z = a; not g(z, a); endmodule`,
+		"gate then alias": `module m(a, z); input a; output z; not g(z, a); assign z = a; endmodule`,
+		"alias twice":     `module m(a, b, z); input a, b; output z; assign z = a; assign z = b; endmodule`,
+		"alias to input":  `module m(a, b); input a, b; assign a = b; endmodule`,
+	} {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: multi-driver source accepted", name)
+		}
+	}
+}
+
+func TestRoundTripAwkwardModuleNames(t *testing.T) {
+	// Module names colliding with the helper namespace (or empty) must
+	// still round-trip fingerprint-exact: the emitted module identifier
+	// is mangled but metadata restores the original.
+	for _, name := range []string{"glitchsim_dff", "glitchsim_const0", ""} {
+		b := netlist.NewBuilder(name)
+		a := b.Input("a")
+		b.Output("z", b.Not(a))
+		n := b.MustBuild()
+		var sb strings.Builder
+		if err := Write(&sb, n); err != nil {
+			t.Fatalf("%q: write: %v", name, err)
+		}
+		back, err := Parse(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("%q: parse: %v\n%s", name, err, sb.String())
+		}
+		if back.Name != name {
+			t.Errorf("module name %q became %q", name, back.Name)
+		}
+		if back.Fingerprint() != n.Fingerprint() {
+			t.Errorf("%q: fingerprint changed across round trip", name)
 		}
 	}
 }

@@ -1,0 +1,99 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+
+	"glitchsim/internal/registry"
+	"glitchsim/netlist"
+)
+
+// TestRoundTripFingerprintRegistry is the golden interchange test: for
+// every built-in circuit, Write→Parse must reproduce the netlist
+// exactly — same Fingerprint, which covers the module name, every cell
+// (type, name, pins), every net (name, driver), PI/PO order and bus
+// membership.
+func TestRoundTripFingerprintRegistry(t *testing.T) {
+	for _, name := range registry.Names() {
+		t.Run(name, func(t *testing.T) {
+			n, err := registry.Build(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sb strings.Builder
+			if err := Write(&sb, n); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			back, err := Parse(strings.NewReader(sb.String()))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if got, want := back.Fingerprint(), n.Fingerprint(); got != want {
+				t.Errorf("fingerprint changed across Verilog round trip:\n  want %s\n  got  %s", want, got)
+			}
+		})
+	}
+}
+
+// TestRoundTripPreservesNames spot-checks that metadata restores names
+// the Verilog identifier sanitizer would otherwise lose.
+func TestRoundTripPreservesNames(t *testing.T) {
+	b := netlist.NewBuilder("weird name/v2")
+	x := b.InputBus("x", 2)
+	s, co := b.HalfAdder(x[0], x[1])
+	b.Output("sum[0]", s)
+	b.OutputBus("carry bus", []netlist.NetID{co})
+	n := b.MustBuild()
+
+	var sb strings.Builder
+	if err := Write(&sb, n); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, sb.String())
+	}
+	if back.Name != n.Name {
+		t.Errorf("module name: got %q, want %q", back.Name, n.Name)
+	}
+	if back.NetByName("x[0]") == netlist.NoNet || back.NetByName("x[1]") == netlist.NoNet {
+		t.Error("bracketed input names lost")
+	}
+	if len(back.Bus("carry bus")) != 1 {
+		t.Error("bus with space in name lost")
+	}
+	if got, want := back.Fingerprint(), n.Fingerprint(); got != want {
+		t.Errorf("fingerprint changed:\n  want %s\n  got  %s", want, got)
+	}
+}
+
+// TestParseErrorsCarryLineNumbers asserts the satellite requirement that
+// every parser diagnostic names the offending source line.
+func TestParseErrorsCarryLineNumbers(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"not a module":   "wire x;",
+		"module at end":  "module",
+		"truncated":      "module m(a); input a;",
+		"bad statement":  "module m(a); input a;\nfrobnicate g(a); endmodule",
+		"undriven out":   "module m(a, z); input a; output z; endmodule",
+		"double driver":  "module m(a, z); input a; output z; assign z = 1'b0; not g(z, a); endmodule",
+		"bad char":       "module m(a); input a; $x endmodule",
+		"dup input":      "module m(a); input a; input a; endmodule",
+		"no inputs gate": "module m(z); output z; and g(z); endmodule",
+		"undriven read":  "module m(a, z); input a; output z; not g(z, ghost); endmodule",
+		"bad metadata":   "//! net onlyident\nmodule m(a); input a; endmodule",
+		"bad meta quote": "//! module \"unterminated\nmodule m(a); input a; endmodule",
+		"meta undecl":    "//! order ghost\nmodule m(a, z); input a; output z; buf g(z, a); endmodule",
+	}
+	for name, src := range cases {
+		_, err := Parse(strings.NewReader(src))
+		if err == nil {
+			t.Errorf("%s: expected parse error", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "line ") {
+			t.Errorf("%s: error %q carries no line number", name, err)
+		}
+	}
+}

@@ -13,8 +13,8 @@ import (
 	"glitchsim/internal/circuits"
 	"glitchsim/internal/core"
 	"glitchsim/internal/delay"
-	"glitchsim/internal/netlist"
 	"glitchsim/internal/sim"
+	"glitchsim/netlist"
 )
 
 func TestMeasureLanesScalarWideAgree(t *testing.T) {
