@@ -11,8 +11,10 @@ import (
 
 	"glitchsim"
 	"glitchsim/internal/circuits"
+	"glitchsim/internal/core"
 	"glitchsim/internal/delay"
 	"glitchsim/internal/retime"
+	"glitchsim/internal/stimulus"
 )
 
 // BenchmarkFig3WorstCase regenerates §3.1/Figure 3: the worst-case
@@ -262,6 +264,93 @@ func BenchmarkMeasureLanes(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkMeasureLanesNonUniform is the A/B for the wide-event kernel
+// on the measurement workload that used to fall back to scalar: a full
+// Table 2 heavy row (16x16 array multiplier, 500 vectors, dsum=2·dcarry
+// full-adder ratio delays). The A side reconstructs the deleted scalar
+// lane-by-lane fallback exactly — the same 64 lane streams and quotas,
+// each with its own warm-up, simulated one after another and merged in
+// lane order — and asserts the B side (one wide-event measurement)
+// reproduces its totals bit-identically. The interleaved
+// BENCH_kernel.json wide-event numbers come from this benchmark.
+func BenchmarkMeasureLanesNonUniform(b *testing.B) {
+	nl := circuits.NewArrayMultiplier(16, circuits.Cells)
+	dm := delay.FullAdderRatio(2, 1)
+	const cycles, baseSeed = 500, 1
+	lanes := glitchsim.MaxLanes
+
+	// The fallback's lane decomposition: splitmix64 seeds drawn from the
+	// base seed, cycles split evenly with the first cycles%lanes lanes
+	// one longer.
+	seeds := make([]uint64, lanes)
+	sm := stimulus.NewPRNG(baseSeed)
+	for l := range seeds {
+		seeds[l] = sm.Uint64()
+	}
+	scalarFallback := func() (glitchsim.Activity, error) {
+		var agg *core.Counter
+		for l, seed := range seeds {
+			quota := cycles / lanes
+			if l < cycles%lanes {
+				quota++
+			}
+			counter, err := glitchsim.MeasureDetailed(nl, glitchsim.Config{
+				Cycles: quota, Seed: seed, Delay: dm, Lanes: 1,
+			})
+			if err != nil {
+				return glitchsim.Activity{}, err
+			}
+			if agg == nil {
+				agg = counter
+			} else if err := agg.Merge(counter); err != nil {
+				return glitchsim.Activity{}, err
+			}
+		}
+		return glitchsim.ActivityFromCounter(nl.Name, agg), nil
+	}
+
+	wide, err := glitchsim.Measure(nl, glitchsim.Config{Cycles: cycles, Seed: baseSeed, Delay: dm, Lanes: lanes})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref, err := scalarFallback()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if wide != ref {
+		b.Fatalf("wide-event totals diverge from the scalar fallback:\nwide:   %+v\nscalar: %+v", wide, ref)
+	}
+
+	b.Run("scalar-fallback", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		var events uint64
+		for i := 0; i < b.N; i++ {
+			act, err := scalarFallback()
+			if err != nil {
+				b.Fatal(err)
+			}
+			events += act.Transitions
+		}
+		secs := b.Elapsed().Seconds()
+		b.ReportMetric(float64(events)/secs, "events/s")
+	})
+	b.Run("wide-event", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		var events uint64
+		for i := 0; i < b.N; i++ {
+			act, err := glitchsim.Measure(nl, glitchsim.Config{Cycles: cycles, Seed: baseSeed, Delay: dm, Lanes: lanes})
+			if err != nil {
+				b.Fatal(err)
+			}
+			events += act.Transitions
+		}
+		secs := b.Elapsed().Seconds()
+		b.ReportMetric(float64(events)/secs, "events/s")
+	})
 }
 
 // BenchmarkMeasureMany measures the parallel batch layer: a 16-seed

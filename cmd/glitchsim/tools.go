@@ -9,6 +9,7 @@ import (
 	"glitchsim/internal/delay"
 	"glitchsim/internal/registry"
 	"glitchsim/internal/retime"
+	"glitchsim/internal/service"
 	"glitchsim/internal/sim"
 	"glitchsim/internal/stimulus"
 	"glitchsim/internal/vcd"
@@ -36,15 +37,29 @@ func cmdSim(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(n.Summary())
-	counter, err := glitchsim.MeasureDetailed(n, glitchsim.Config{
+	cfg := glitchsim.Config{
 		Cycles: *cycles, Seed: *seed,
 		Delay: delayFlag(*dsum, *dcarry, *typical), Inertial: *inertial,
-	})
+	}
+	kernel, err := glitchsim.DefaultEngine().SelectedKernel(glitchsim.MeasureRequest{Netlist: n, Config: cfg})
 	if err != nil {
 		return err
 	}
+	if !jsonOut() {
+		fmt.Print(n.Summary())
+	}
+	counter, err := glitchsim.MeasureDetailed(n, cfg)
+	if err != nil {
+		return err
+	}
+	if jsonOut() {
+		return emitJSON(service.MeasureResponse{
+			Activity: service.ActivityFrom(glitchsim.ActivityFromCounter(n.Name, counter)),
+			Kernel:   string(kernel),
+		})
+	}
 	rep := counter.Report()
+	fmt.Printf("kernel: %s\n", kernel)
 	fmt.Printf("\n%v\n", rep)
 	fmt.Printf("balance reduction limit: %.2f\n\n", rep.BalanceLimitFactor())
 	if *top > 0 && len(rep.PerNet) > 0 {

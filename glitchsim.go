@@ -81,24 +81,27 @@ type Config struct {
 	// Source overrides the default uniform random stimulus.
 	Source stimulus.Source
 	// Lanes selects how many independent seeded stimulus streams the
-	// measured Cycles are distributed over (see wide.go): under a
-	// uniform delay model all lanes advance in one word-parallel
-	// simulation, evaluating every gate for up to 64 patterns at once.
-	// 0 selects the engine default (DefaultLanes, normally MaxLanes);
-	// 1 is the historical single-stream measurement; values are capped
-	// at MaxLanes. Ignored when an explicit Source is set (external
-	// sources are inherently single-stream) or when at most one cycle
-	// is measured.
+	// measured Cycles are distributed over (see wide.go): all lanes
+	// advance in one word-parallel simulation, evaluating every gate for
+	// up to 64 patterns at once — under every delay model. Uniform
+	// models ride the lockstep wavefront kernel (in either delay mode:
+	// inertial and transport coincide under uniform delay), everything
+	// else (the full-adder sum/carry ratios and per-type models of
+	// Tables 2 and 3, zero delay) rides the lane-masked wide-event
+	// kernel; both are bit-identical to running the L streams one after
+	// another on the scalar kernel. 0 selects the engine default
+	// (DefaultLanes, normally MaxLanes); 1 is the historical
+	// single-stream measurement; values are capped at MaxLanes. Ignored
+	// when an explicit Source is set (external sources are inherently
+	// single-stream) or when at most one cycle is measured.
 	//
-	// Under a NON-uniform delay model the same L streams run on the
-	// scalar kernel instead — bit-identical results, but each stream
-	// pays its own Warmup, so the default decomposition roughly doubles
-	// the simulated work of an imbalanced-delay measurement (e.g. 64×8
-	// warm-up + 500 measured cycles versus 8 + 500). That price buys
-	// exact cross-delay-model comparability: Table 2's unit and
-	// dsum=2·dcarry rows see identical vector streams, keeping their
-	// useful counts equal. Set Lanes=1 when that invariance does not
-	// matter and the delay model rules out the word-parallel kernel.
+	// Lane decomposition keeps stimulus streams invariant across delay
+	// models: Table 2's unit and dsum=2·dcarry rows see identical vector
+	// streams, keeping their useful counts equal. Each lane pays its own
+	// Warmup (e.g. 64×8 warm-up cycles for a default decomposition, all
+	// word-parallel); set Lanes=1 to reproduce pre-lanes single-stream
+	// numbers exactly. Engine.SelectedKernel reports the resulting
+	// kernel choice.
 	Lanes int
 }
 

@@ -154,3 +154,53 @@ func Typical() Model {
 func AsDelayFunc(m Model) netlist.DelayFunc {
 	return func(c *netlist.Cell, pin int) int { return m.Delay(c, pin) }
 }
+
+// VisitOutputs is the table-extraction walk: it resolves the model on
+// every connected output pin of every combinational (non-DFF) cell of
+// the netlist, in cell/pin order, calling f with the cell index, the
+// output pin and the model's delay. Unconnected (NoNet) pins are
+// skipped — a model is never asked about a pin that drives nothing.
+// Every consumer that precompiles a delay model into a lookup table —
+// the simulator kernels resolve models exactly once, at construction,
+// and never call Model.Delay from a hot loop — goes through this walk,
+// so all of them agree on which pins a model is asked about and in
+// which order.
+func VisitOutputs(n *netlist.Netlist, m Model, f func(cell, pin, d int)) {
+	for ci := range n.Cells {
+		c := &n.Cells[ci]
+		if c.Type == netlist.DFF {
+			continue
+		}
+		for pin := range c.Out {
+			if c.Out[pin] == netlist.NoNet {
+				continue
+			}
+			f(ci, pin, m.Delay(c, pin))
+		}
+	}
+}
+
+// Bounds returns the smallest and largest delay the model assigns to any
+// combinational output of the netlist. A netlist without combinational
+// outputs reports (1, 1), the trivially uniform unit delay. Like the
+// rest of the package it panics on a negative delay, so callers that
+// only fold the bounds (kernel-eligibility checks) reject invalid models
+// as loudly as table construction does.
+func Bounds(n *netlist.Netlist, m Model) (min, max int) {
+	min, max = -1, 0
+	VisitOutputs(n, m, func(cell, pin, d int) {
+		if d < 0 {
+			panic(fmt.Sprintf("delay: model %s returned %d for cell %s pin %d", m.Name(), d, n.Cells[cell].Name, pin))
+		}
+		if min < 0 || d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	})
+	if min < 0 {
+		return 1, 1
+	}
+	return min, max
+}

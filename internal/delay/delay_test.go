@@ -1,6 +1,7 @@
 package delay
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -123,4 +124,90 @@ func TestFuncAdapter(t *testing.T) {
 	if df(fa, 0) != 1 {
 		t.Error("AsDelayFunc")
 	}
+}
+
+// TestVisitOutputs: the table-extraction walk hits every output pin of
+// every combinational cell exactly once, in cell/pin order, skipping
+// flipflops, and Bounds folds the visited delays (with the (1, 1)
+// convention for purely sequential netlists).
+func TestVisitOutputs(t *testing.T) {
+	b := netlist.NewBuilder("v")
+	x := b.Input("x")
+	y := b.Input("y")
+	z := b.Input("z")
+	sum, carry := b.FullAdder(x, y, z)
+	q := b.DFF(sum)
+	b.Output("s", q)
+	b.Output("c", b.Not(carry))
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := FullAdderRatio(2, 1)
+	type visit struct{ cell, pin, d int }
+	var got []visit
+	VisitOutputs(n, m, func(cell, pin, d int) { got = append(got, visit{cell, pin, d}) })
+	// Cell 0 is the FA (pins sum=2, carry=1), cell 1 the DFF (skipped),
+	// cell 2 the inverter (unit base).
+	want := []visit{{0, 0, 2}, {0, 1, 1}, {2, 0, 1}}
+	if len(got) != len(want) {
+		t.Fatalf("visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("visit %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if min, max := Bounds(n, m); min != 1 || max != 2 {
+		t.Errorf("Bounds = (%d, %d), want (1, 2)", min, max)
+	}
+
+	// Unconnected (NoNet) output pins are never visited — a model must
+	// not be asked about a pin that drives nothing.
+	n.Cells[0].Out = []netlist.NetID{n.Cells[0].Out[0], netlist.NoNet}
+	probing := Func{
+		F: func(c *netlist.Cell, pin int) int {
+			if c.Out[pin] == netlist.NoNet {
+				t.Fatalf("model asked about unconnected pin %d of %s", pin, c.Name)
+			}
+			return 1
+		},
+		N: "probing",
+	}
+	got = got[:0]
+	VisitOutputs(n, probing, func(cell, pin, d int) { got = append(got, visit{cell, pin, d}) })
+	want = []visit{{0, 0, 1}, {2, 0, 1}}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("with NoNet carry pin: visited %v, want %v", got, want)
+	}
+
+	// A netlist with no combinational outputs is trivially unit-delay.
+	b2 := netlist.NewBuilder("seq")
+	b2.Output("q", b2.DFF(b2.Input("d")))
+	seq, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min, max := Bounds(seq, m); min != 1 || max != 1 {
+		t.Errorf("sequential Bounds = (%d, %d), want (1, 1)", min, max)
+	}
+}
+
+// TestBoundsPanicsNegative: kernel-eligibility folds must reject invalid
+// models as loudly as table construction, never report them uniform.
+func TestBoundsPanicsNegative(t *testing.T) {
+	b := netlist.NewBuilder("neg")
+	b.Output("o", b.Not(b.Input("x")))
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("Bounds accepted a negative delay")
+		} else if !strings.Contains(fmt.Sprint(r), "-3") {
+			t.Fatalf("panic %v does not name the offending delay", r)
+		}
+	}()
+	Bounds(n, Func{F: func(*netlist.Cell, int) int { return -3 }, N: "neg"})
 }

@@ -72,6 +72,22 @@ func (w *W) SetLane(l int, v V) {
 // KnownMask returns the lanes holding a strong (binary) level.
 func (w W) KnownMask() uint64 { return w.Zero | w.One }
 
+// DiffMask returns the mask of lanes whose level differs between a and
+// b. Valid words never set both rails of one lane, so a lane's level
+// differs exactly when either of its rail bits does — including
+// transitions from or to X.
+func DiffMask(a, b W) uint64 { return (a.Zero ^ b.Zero) | (a.One ^ b.One) }
+
+// Merge returns w with the lanes selected by mask replaced by v's: the
+// masked-update primitive of the word-parallel event kernel, where a
+// scheduled event commits only the lanes its mask covers.
+func (w W) Merge(v W, mask uint64) W {
+	return W{
+		Zero: (w.Zero &^ mask) | (v.Zero & mask),
+		One:  (w.One &^ mask) | (v.One & mask),
+	}
+}
+
 // String renders the word lane 63 first, e.g. "xx…0101", for debugging.
 func (w W) String() string {
 	buf := make([]byte, Lanes)

@@ -108,3 +108,40 @@ func TestWideSplatAndKnownMask(t *testing.T) {
 		t.Errorf("String = %q", fmt.Sprintf("%.8s…", s))
 	}
 }
+
+// TestWideDiffMaskMerge: the masked-event primitives — DiffMask flags
+// exactly the lanes whose three-valued level differs (X included), and
+// Merge replaces exactly the masked lanes.
+func TestWideDiffMaskMerge(t *testing.T) {
+	vals := [3]V{X, L0, L1}
+	var a, b W
+	for l := 0; l < Lanes; l++ {
+		a.SetLane(l, vals[l%3])
+		b.SetLane(l, vals[(l/3)%3])
+	}
+	diff := DiffMask(a, b)
+	for l := 0; l < Lanes; l++ {
+		want := a.Lane(l) != b.Lane(l)
+		if got := diff&(1<<uint(l)) != 0; got != want {
+			t.Fatalf("DiffMask lane %d = %v, want %v (a=%v b=%v)", l, got, want, a.Lane(l), b.Lane(l))
+		}
+	}
+	for _, mask := range []uint64{0, ^uint64(0), 0xF0F0F0F0F0F0F0F0, 1, 1 << 63} {
+		m := a.Merge(b, mask)
+		if m.Zero&m.One != 0 {
+			t.Fatalf("Merge(mask=%x) produced both rails set", mask)
+		}
+		for l := 0; l < Lanes; l++ {
+			want := a.Lane(l)
+			if mask&(1<<uint(l)) != 0 {
+				want = b.Lane(l)
+			}
+			if got := m.Lane(l); got != want {
+				t.Fatalf("Merge(mask=%x) lane %d = %v, want %v", mask, l, got, want)
+			}
+		}
+	}
+	if got := DiffMask(a, a); got != 0 {
+		t.Errorf("DiffMask(a, a) = %x, want 0", got)
+	}
+}

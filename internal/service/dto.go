@@ -163,6 +163,10 @@ type MeasureResponse struct {
 	// Seeds is the number of merged stimulus streams (0 for a plain
 	// single-seed measurement).
 	Seeds int `json:"seeds,omitempty"`
+	// Kernel names the simulation kernel the measurement ran on
+	// ("scalar", "wide-lockstep" or "wide-event"), so callers can
+	// confirm the word-parallel fast path engaged.
+	Kernel string `json:"kernel,omitempty"`
 }
 
 // RowsResponse is the reply of the Table 1/2 experiment endpoints.

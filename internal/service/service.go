@@ -212,6 +212,14 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 // streaming (sess non-nil, emitting per-seed progress) or directly on
 // the engine.
 func (s *Server) measure(ctx context.Context, sess *glitchsim.Session, nl *netlist.Netlist, cfg glitchsim.Config, p *MeasureParams) (*MeasureResponse, error) {
+	// Kernel selection is deterministic per (circuit, config, engine
+	// defaults), so the reply can name the kernel without threading it
+	// out of the measurement itself. Seed sweeps run every seed on the
+	// same kernel (the seed never influences selection).
+	kernel, err := s.engine.SelectedKernel(glitchsim.MeasureRequest{Netlist: nl, Config: cfg})
+	if err != nil {
+		return nil, err
+	}
 	if len(p.Seeds) > 0 {
 		req := glitchsim.SeedSweepRequest{Netlist: nl, Config: cfg, Seeds: p.Seeds}
 		var counter *core.Counter
@@ -227,6 +235,7 @@ func (s *Server) measure(ctx context.Context, sess *glitchsim.Session, nl *netli
 		resp := &MeasureResponse{
 			Activity: ActivityFrom(glitchsim.ActivityFromCounter(nl.Name, counter)),
 			Seeds:    len(p.Seeds),
+			Kernel:   string(kernel),
 		}
 		if p.Power {
 			bd := power.FromActivity(counter, s.engine.Tech())
@@ -250,10 +259,9 @@ func (s *Server) measure(ctx context.Context, sess *glitchsim.Session, nl *netli
 			return nil, err
 		}
 		pw := PowerFrom(bd)
-		return &MeasureResponse{Activity: ActivityFrom(act), Power: &pw}, nil
+		return &MeasureResponse{Activity: ActivityFrom(act), Power: &pw, Kernel: string(kernel)}, nil
 	}
 	var act glitchsim.Activity
-	var err error
 	if sess != nil {
 		act, err = sess.Measure(req)
 	} else {
@@ -262,7 +270,7 @@ func (s *Server) measure(ctx context.Context, sess *glitchsim.Session, nl *netli
 	if err != nil {
 		return nil, err
 	}
-	return &MeasureResponse{Activity: ActivityFrom(act)}, nil
+	return &MeasureResponse{Activity: ActivityFrom(act), Kernel: string(kernel)}, nil
 }
 
 // ExperimentParams is the request body (or query string) of the

@@ -53,6 +53,37 @@ func TestServiceMeasureSmoke(t *testing.T) {
 		got.Activity.Useless != want.Useless || got.Activity.Circuit != "rca8" {
 		t.Errorf("service activity %+v, library %+v", got.Activity, want)
 	}
+	if got.Kernel != string(glitchsim.KernelWideLockstep) {
+		t.Errorf("kernel = %q, want %q", got.Kernel, glitchsim.KernelWideLockstep)
+	}
+}
+
+// TestServiceMeasureKernelField: the reply names the kernel the
+// measurement ran on, per delay model and lane count.
+func TestServiceMeasureKernelField(t *testing.T) {
+	ts := newTestServer(t)
+	for _, tc := range []struct {
+		body string
+		want glitchsim.Kernel
+	}{
+		{`{"circuit":"array8","cycles":40}`, glitchsim.KernelWideLockstep},
+		{`{"circuit":"array8","cycles":40,"dsum":2,"dcarry":1}`, glitchsim.KernelWideEvent},
+		{`{"circuit":"array8","cycles":40,"typical":true}`, glitchsim.KernelWideEvent},
+		{`{"circuit":"array8","cycles":40,"lanes":1}`, glitchsim.KernelScalar},
+		{`{"circuit":"dirdet8r","cycles":30,"seeds":[1,2],"typical":true}`, glitchsim.KernelWideEvent},
+	} {
+		resp, err := http.Post(ts.URL+"/v1/measure", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", tc.body, resp.StatusCode)
+		}
+		got := decodeBody[MeasureResponse](t, resp)
+		if got.Kernel != string(tc.want) {
+			t.Errorf("%s: kernel = %q, want %q", tc.body, got.Kernel, tc.want)
+		}
+	}
 }
 
 // TestServiceMeasureConcurrent: many concurrent /v1/measure requests

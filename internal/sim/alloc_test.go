@@ -16,6 +16,7 @@ import (
 	"glitchsim/internal/logic"
 	"glitchsim/internal/sim"
 	"glitchsim/internal/stimulus"
+	"glitchsim/netlist"
 )
 
 // allocTolerance is the average allocations per Step the tests accept:
@@ -80,5 +81,47 @@ func TestWideStepAllocFree(t *testing.T) {
 	})
 	if avg > allocTolerance {
 		t.Errorf("wide kernel: %.2f allocs per warmed-up Step, want 0", avg)
+	}
+}
+
+// TestWideEventStepAllocFree: the event-driven word-parallel kernel must
+// also run steady-state alloc-free, on both its queues, with zero-delay
+// coalescing, and with the inertial in-flight bookkeeping active.
+func TestWideEventStepAllocFree(t *testing.T) {
+	nl := circuits.NewArrayMultiplier(8, circuits.Cells)
+	comp := sim.Compile(nl)
+	zeroish := delay.PerType(map[netlist.CellType]int{netlist.Not: 0, netlist.Nand: 0}, 2)
+	for _, tc := range []struct {
+		name string
+		opts sim.Options
+	}{
+		{"calendar-faratio", sim.Options{Delay: delay.FullAdderRatio(2, 1)}},
+		{"calendar-typical", sim.Options{Delay: delay.Typical()}},
+		{"calendar-zeroish", sim.Options{Delay: zeroish}},
+		{"heap-faratio", sim.Options{Delay: delay.FullAdderRatio(2, 1), Scheduler: sim.SchedulerHeap}},
+		{"inertial-typical", sim.Options{Delay: delay.Typical(), Mode: sim.Inertial}},
+	} {
+		ws := sim.NewWideEvent(comp, tc.opts)
+		counter := core.NewWideCounter(nl)
+		ws.AttachWideMonitor(counter)
+		seeds := make([]uint64, sim.MaxLanes)
+		for i := range seeds {
+			seeds[i] = uint64(i + 1)
+		}
+		src := stimulus.NewWideRandom(nl.InputWidth(), seeds)
+		buf := make([]logic.W, nl.InputWidth())
+		for i := 0; i < 100; i++ {
+			if err := ws.Step(src.NextWide(buf)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		avg := testing.AllocsPerRun(100, func() {
+			if err := ws.Step(src.NextWide(buf)); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if avg > allocTolerance {
+			t.Errorf("%s: %.2f allocs per warmed-up Step, want 0", tc.name, avg)
+		}
 	}
 }

@@ -154,27 +154,85 @@ func (c *Compiled) Netlist() *netlist.Netlist { return c.n }
 // visitDelays resolves the delay model on every connected output pin of
 // every combinational cell, in cell/pin order, calling f with the
 // cell-output key (outputsPerCell*cell + pin) and the validated delay.
-// It panics on delays outside [0, MaxInt32]. Both kernels resolve delay
-// models exclusively through this walk — the scalar constructor to
-// precompute its per-output delay array, UniformDelay to decide
-// word-parallel eligibility — so the two can never disagree about which
-// pins a model is asked about or which delays are legal.
+// It panics on delays outside [0, MaxInt32]. Every kernel resolves delay
+// models exclusively through this walk (via NewDelayTable), so they can
+// never disagree about which pins a model is asked about or which
+// delays are legal. The pin enumeration itself is delay.VisitOutputs,
+// shared with every other table-extraction consumer.
 func (c *Compiled) visitDelays(dm delay.Model, f func(key, d int)) {
 	n := c.n
-	for cid := 0; cid < n.NumCells(); cid++ {
-		if c.cellType[cid] == netlist.DFF {
-			continue
+	delay.VisitOutputs(n, dm, func(cid, pin, d int) {
+		if d < 0 || d > math.MaxInt32 {
+			panic(fmt.Sprintf("sim: delay %d for cell %s pin %d outside [0, MaxInt32]", d, n.Cells[cid].Name, pin))
 		}
-		for pin := 0; pin < int(c.outLen[cid]); pin++ {
-			key := outputsPerCell*cid + pin
-			if c.outNets[key] == netlist.NoNet {
-				continue
-			}
-			d := dm.Delay(&n.Cells[cid], pin)
-			if d < 0 || d > math.MaxInt32 {
-				panic(fmt.Sprintf("sim: delay %d for cell %s pin %d outside [0, MaxInt32]", d, n.Cells[cid].Name, pin))
-			}
-			f(key, d)
-		}
+		f(outputsPerCell*cid+pin, d)
+	})
+}
+
+// DelayTable is a delay model compiled against one netlist: the
+// per-cell-output delays in a flat array indexed by cell-output key,
+// plus the min/max bounds the kernels select their schedulers by. Both
+// the scalar and the word-parallel kernels consume the same table, built
+// once at construction (or earlier, via Options.Delays, when a
+// measurement wants to share one table across several kernels), so no
+// hot loop ever calls delay.Model.Delay.
+//
+// A DelayTable is immutable after NewDelayTable returns and may be
+// shared by any number of simulators, like the Compiled it was built
+// from.
+type DelayTable struct {
+	c      *Compiled
+	delays []int32 // per cell-output key (outputsPerCell*cell + pin)
+	min    int32   // smallest per-output delay; 1 when no combinational outputs
+	max    int32   // largest per-output delay; 1 when no combinational outputs
+}
+
+// NewDelayTable resolves the delay model on every combinational output
+// of the compiled netlist. A nil model means unit delay. Like simulator
+// construction it panics on out-of-range delays.
+func NewDelayTable(c *Compiled, dm delay.Model) *DelayTable {
+	if dm == nil {
+		dm = delay.Unit()
 	}
+	t := &DelayTable{
+		c:      c,
+		delays: make([]int32, outputsPerCell*c.n.NumCells()),
+		min:    -1,
+	}
+	c.visitDelays(dm, func(key, d int) {
+		t.delays[key] = int32(d)
+		if t.min < 0 || int32(d) < t.min {
+			t.min = int32(d)
+		}
+		if int32(d) > t.max {
+			t.max = int32(d)
+		}
+	})
+	if t.min < 0 {
+		// No combinational outputs: trivially uniform unit delay.
+		t.min, t.max = 1, 1
+	}
+	return t
+}
+
+// Compiled returns the compiled netlist the table was built for.
+func (t *DelayTable) Compiled() *Compiled { return t.c }
+
+// At returns the delay of one cell-output key.
+func (t *DelayTable) At(key int) int { return int(t.delays[key]) }
+
+// Min returns the smallest per-output delay.
+func (t *DelayTable) Min() int { return int(t.min) }
+
+// Max returns the largest per-output delay.
+func (t *DelayTable) Max() int { return int(t.max) }
+
+// Uniform reports whether every combinational output shares one delay,
+// and returns it. This is the eligibility test of the lockstep
+// word-parallel kernel (which additionally requires the delay >= 1).
+func (t *DelayTable) Uniform() (int, bool) {
+	if t.min != t.max {
+		return 0, false
+	}
+	return int(t.min), true
 }

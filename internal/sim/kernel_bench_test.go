@@ -48,6 +48,52 @@ func BenchmarkKernel(b *testing.B) {
 	}
 }
 
+// BenchmarkWideEventKernel runs the 16x16 array-multiplier workload on
+// the lane-masked event-driven word-parallel kernel, per delay-model
+// family — the non-uniform models are the configurations only this
+// kernel can run word-parallel (compare BenchmarkKernel/calendar-faratio
+// for the scalar cost of the same model, and BenchmarkWideKernel for the
+// lockstep kernel's uniform-delay ceiling). One iteration is one wide
+// Step = 64 simulated cycles.
+func BenchmarkWideEventKernel(b *testing.B) {
+	nl := circuits.NewArrayMultiplier(16, circuits.Cells)
+	comp := sim.Compile(nl)
+	for _, tc := range []struct {
+		name string
+		opts sim.Options
+	}{
+		{"faratio", sim.Options{Delay: delay.FullAdderRatio(2, 1)}},
+		{"typical", sim.Options{Delay: delay.Typical()}},
+		{"unit", sim.Options{}}, // event kernel on a uniform model, for the lockstep comparison
+		{"faratio-inertial", sim.Options{Delay: delay.FullAdderRatio(2, 1), Mode: sim.Inertial}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			ws := sim.NewWideEvent(comp, tc.opts)
+			counter := core.NewWideCounter(nl)
+			ws.AttachWideMonitor(counter)
+			seeds := make([]uint64, sim.MaxLanes)
+			for i := range seeds {
+				seeds[i] = uint64(i + 1)
+			}
+			src := stimulus.NewWideRandom(nl.InputWidth(), seeds)
+			buf := make([]logic.W, nl.InputWidth())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ws.Step(src.NextWide(buf)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			secs := b.Elapsed().Seconds()
+			folded := counter.Counter()
+			b.ReportMetric(float64(b.N*sim.MaxLanes)/secs, "lane-cycles/s")
+			b.ReportMetric(float64(folded.Totals().Transitions)/secs, "lane-events/s")
+			b.ReportMetric(secs*1e9/float64(b.N), "ns/wide-cycle")
+		})
+	}
+}
+
 // BenchmarkWideKernel runs the same 16x16 array-multiplier workload on
 // the 64-lane word-parallel kernel with the wide activity counter
 // attached. One iteration is one wide Step = 64 simulated cycles;

@@ -46,7 +46,10 @@ type event struct {
 //     clear additionally discards all pending events.
 
 // calendarQueue is the O(1) scheduler: a power-of-two ring of event
-// buckets where an event at absolute time t lives in bucket t&mask.
+// buckets where an event at absolute time t lives in bucket t&mask. It
+// is generic over the element type: the scalar kernel stores events
+// directly, the word-parallel event kernel stores arena indices (its
+// events are wide and live in a per-cycle arena).
 //
 // Invariant: all in-flight event times span less than window time units
 // (guaranteed by construction: the window exceeds the largest per-hop
@@ -54,40 +57,40 @@ type event struct {
 // after the time of the batch being processed). Each bucket therefore
 // holds events of a single absolute time, and a forward scan from cur
 // finds the earliest one.
-type calendarQueue struct {
-	buckets [][]event
+type calendarQueue[E any] struct {
+	buckets [][]E
 	mask    int
 	cur     int // absolute time the next-bucket scan starts from
 	size    int
-	spare   []event // previous popBatch result, recycled as a fresh bucket
+	spare   []E // previous popBatch result, recycled as a fresh bucket
 }
 
 // newCalendarQueue returns a calendar queue whose window is the smallest
 // power of two that can hold per-hop delays up to maxDelay.
-func newCalendarQueue(maxDelay int) *calendarQueue {
+func newCalendarQueue[E any](maxDelay int) *calendarQueue[E] {
 	w := 4
 	for w < maxDelay+2 {
 		w <<= 1
 	}
-	return &calendarQueue{buckets: make([][]event, w), mask: w - 1}
+	return &calendarQueue[E]{buckets: make([][]E, w), mask: w - 1}
 }
 
-func (q *calendarQueue) push(e event) {
-	i := int(e.time) & q.mask
+func (q *calendarQueue[E]) push(t int, e E) {
+	i := t & q.mask
 	q.buckets[i] = append(q.buckets[i], e)
 	q.size++
 }
 
-func (q *calendarQueue) empty() bool { return q.size == 0 }
+func (q *calendarQueue[E]) empty() bool { return q.size == 0 }
 
-func (q *calendarQueue) nextTime() int {
+func (q *calendarQueue[E]) nextTime() int {
 	for len(q.buckets[q.cur&q.mask]) == 0 {
 		q.cur++
 	}
 	return q.cur
 }
 
-func (q *calendarQueue) popBatch(t int) []event {
+func (q *calendarQueue[E]) popBatch(t int) []E {
 	i := t & q.mask
 	b := q.buckets[i]
 	q.buckets[i] = q.spare[:0]
@@ -96,9 +99,9 @@ func (q *calendarQueue) popBatch(t int) []event {
 	return b
 }
 
-func (q *calendarQueue) reset() { q.cur = 0 }
+func (q *calendarQueue[E]) reset() { q.cur = 0 }
 
-func (q *calendarQueue) clear() {
+func (q *calendarQueue[E]) clear() {
 	for i := range q.buckets {
 		q.buckets[i] = q.buckets[i][:0]
 	}

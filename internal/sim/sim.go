@@ -120,6 +120,12 @@ const maxCalendarWindow = 1 << 12
 type Options struct {
 	// Delay is the propagation-delay model. Nil means unit delay.
 	Delay delay.Model
+	// Delays, when non-nil, is the precompiled form of Delay for the
+	// simulator's Compiled netlist (see NewDelayTable) and must have been
+	// built from the same Compiled and an equivalent model. It lets a
+	// measurement resolve a delay model once and share the table across
+	// every kernel it constructs; when nil, constructors build their own.
+	Delays *DelayTable
 	// Mode selects transport (default) or inertial delay handling.
 	Mode Mode
 	// MaxTimePerCycle guards against runaway event cascades; Step fails
@@ -184,9 +190,9 @@ type Simulator struct {
 	ffQ    []logic.V // sampled Q, indexed like Compiled.dffCells
 	delays []int32   // per cell-output key, precomputed from the model
 
-	wq         *waveQueue     // uniform-delay scheduler; nil unless active
-	cal        *calendarQueue // O(1) scheduler; nil unless active
-	hq         *heapQueue     // fallback scheduler; nil unless active
+	wq         *waveQueue            // uniform-delay scheduler; nil unless active
+	cal        *calendarQueue[event] // O(1) scheduler; nil unless active
+	hq         *heapQueue            // fallback scheduler; nil unless active
 	serial     uint64
 	pending    []int32  // in-flight events per net
 	lastSerial []uint64 // per cell-output key, for inertial cancellation
@@ -233,6 +239,13 @@ func NewFromCompiled(c *Compiled, opts Options) *Simulator {
 	if guard == 0 {
 		guard = 1 << 16
 	}
+	// Delay models are deterministic, so per-output delays are resolved
+	// once, into the table shared with the word-parallel kernels, and the
+	// event loop never makes an interface call.
+	dt := opts.Delays
+	if dt == nil {
+		dt = NewDelayTable(c, dm)
+	}
 	n := c.n
 	nc, nn := n.NumCells(), n.NumNets()
 	s := &Simulator{
@@ -242,7 +255,7 @@ func NewFromCompiled(c *Compiled, opts Options) *Simulator {
 		guard:      guard,
 		values:     make([]logic.V, nn),
 		ffQ:        make([]logic.V, len(c.dffCells)),
-		delays:     make([]int32, outputsPerCell*nc),
+		delays:     dt.delays,
 		pending:    make([]int32, nn),
 		lastSerial: make([]uint64, outputsPerCell*nc),
 		changed:    make([]changeState, nn),
@@ -257,45 +270,44 @@ func NewFromCompiled(c *Compiled, opts Options) *Simulator {
 		s.ffQ[i] = logic.L0
 	}
 
-	// Delay models are deterministic, so per-output delays are resolved
-	// once here (through the shared visitDelays walk) and the event loop
-	// never makes an interface call.
-	maxDelay, minDelay := 0, -1
-	c.visitDelays(dm, func(key, d int) {
-		s.delays[key] = int32(d)
-		if d > maxDelay {
-			maxDelay = d
-		}
-		if minDelay < 0 || d < minDelay {
-			minDelay = d
-		}
-	})
-
 	// With every delay >= 1, an instant consists of exactly one event
 	// batch and each net (single driver pin, fixed per-pin delay) changes
 	// at most once per instant, so transitions can be recorded directly
 	// as they commit. Zero-delay pins re-schedule within the instant and
 	// need the full per-instant coalescing machinery.
-	s.coalesce = minDelay == 0
+	s.coalesce = dt.Min() == 0
 
 	switch opts.Scheduler {
 	case SchedulerHeap:
 		s.hq = newHeapQueue()
 	case SchedulerCalendar:
-		s.cal = newCalendarQueue(maxDelay)
+		s.cal = newCalendarQueue[event](dt.Max())
 	default:
 		switch {
-		case minDelay == maxDelay:
+		case dt.Min() == dt.Max():
 			// Uniform delay model (the paper's unit-delay experiments):
 			// all in-flight events share one time, no ring needed.
 			s.wq = newWaveQueue()
-		case maxDelay+2 <= maxCalendarWindow:
-			s.cal = newCalendarQueue(maxDelay)
+		case dt.Max()+2 <= maxCalendarWindow:
+			s.cal = newCalendarQueue[event](dt.Max())
 		default:
 			s.hq = newHeapQueue()
 		}
 	}
 	return s
+}
+
+// KernelName names the scheduler kernel this simulator runs on, for
+// diagnostics and the measurement layer's kernel reporting.
+func (s *Simulator) KernelName() string {
+	switch {
+	case s.wq != nil:
+		return "wave"
+	case s.cal != nil:
+		return "calendar"
+	default:
+		return "heap"
+	}
 }
 
 // AttachMonitor registers a monitor for subsequent cycles.
@@ -406,7 +418,7 @@ func (s *Simulator) schedule(t int, net netlist.NetID, v logic.V, key int32) {
 	case s.wq != nil:
 		s.wq.push(e)
 	case s.cal != nil:
-		s.cal.push(e)
+		s.cal.push(t, e)
 	default:
 		s.hq.push(e)
 	}

@@ -35,38 +35,33 @@ import (
 // per step: the machine word width.
 const MaxLanes = logic.Lanes
 
-// ErrNonUniformDelay reports that a delay model is not word-parallel
-// simulatable: the wide kernel needs one common per-output delay >= 1.
-var ErrNonUniformDelay = errors.New("sim: wide kernel requires a uniform delay model with delay >= 1")
+// ErrNonUniformDelay reports that a delay model is outside the lockstep
+// wide kernel's reach: it needs one common per-output delay >= 1. The
+// event-driven WideEventSimulator handles every delay model, so callers
+// seeing this error switch kernels, not word widths (NewWideKernel does
+// the switch for them).
+var ErrNonUniformDelay = errors.New("sim: lockstep wide kernel requires a uniform delay model with delay >= 1")
 
 // UniformDelay reports whether the delay model assigns one common delay
 // to every connected output pin of every combinational cell of the
 // compiled netlist, and returns that delay. A netlist with no
 // combinational outputs is trivially uniform with delay 1. This is the
-// eligibility check for the word-parallel kernel (which additionally
-// requires the delay to be >= 1, so that instants never merge). Like
-// scalar simulator construction it panics on out-of-range delays — both
-// walk the model through the same visitDelays helper, so they can never
-// disagree on which pins a delay model is asked about.
+// eligibility check for the lockstep word-parallel kernel (which
+// additionally requires the delay to be >= 1, so that instants never
+// merge). It folds the model through the same delay.VisitOutputs walk
+// as table construction — without building a table, so pure kernel
+// prediction (Engine.SelectedKernel) stays allocation-free — and thus
+// can never disagree with the kernels about which pins a model is asked
+// about.
 func UniformDelay(c *Compiled, dm delay.Model) (int, bool) {
 	if dm == nil {
 		dm = delay.Unit()
 	}
-	d, uniform := -1, true
-	c.visitDelays(dm, func(_, pd int) {
-		if d < 0 {
-			d = pd
-		} else if pd != d {
-			uniform = false
-		}
-	})
-	if !uniform {
+	min, max := delay.Bounds(c.n, dm)
+	if min != max {
 		return 0, false
 	}
-	if d < 0 {
-		return 1, true
-	}
-	return d, true
+	return min, true
 }
 
 // WideChange is one net transition of one wavefront, carrying the packed
@@ -83,6 +78,43 @@ type WideChange struct {
 type WideMonitor interface {
 	OnWideChanges(cycle, t int, changes []WideChange)
 	OnCycleEnd(cycle int)
+}
+
+// WideKernel is the common face of the two word-parallel kernels: the
+// lockstep WideSimulator (uniform delay models) and the event-driven
+// WideEventSimulator (everything else). The measurement layer drives
+// whichever NewWideKernel hands it through this interface.
+type WideKernel interface {
+	// Step simulates one clock cycle for all lanes (see the concrete
+	// kernels' Step docs).
+	Step(pi []logic.W) error
+	// AttachWideMonitor registers a monitor for subsequent cycles.
+	AttachWideMonitor(m WideMonitor)
+	// DetachWideMonitors removes all monitors.
+	DetachWideMonitors()
+	// Events returns the number of word events processed (each spans all
+	// lanes of one net).
+	Events() uint64
+	// Cycle returns the number of completed cycles.
+	Cycle() int
+	// KernelName names the kernel ("wide-lockstep" or "wide-event").
+	KernelName() string
+}
+
+// NewWideKernel returns the fastest word-parallel kernel for the
+// options' delay model: the lockstep wavefront kernel when the model is
+// uniform with delay >= 1, the event-driven masked kernel for every
+// other model (unequal per-cell delays, zero delays, inertial mode).
+// Every delay model is word-parallel simulatable, so unlike NewWide this
+// cannot fail.
+func NewWideKernel(c *Compiled, opts Options) WideKernel {
+	if opts.Delays == nil {
+		opts.Delays = NewDelayTable(c, opts.Delay)
+	}
+	if ws, err := NewWide(c, opts); err == nil {
+		return ws
+	}
+	return NewWideEvent(c, opts)
 }
 
 // wideEvent is one scheduled net update: all lanes of net take val at
@@ -134,7 +166,11 @@ func NewWide(c *Compiled, opts Options) (*WideSimulator, error) {
 	if dm == nil {
 		dm = delay.Unit()
 	}
-	d, ok := UniformDelay(c, dm)
+	dt := opts.Delays
+	if dt == nil {
+		dt = NewDelayTable(c, dm)
+	}
+	d, ok := dt.Uniform()
 	if !ok || d < 1 {
 		return nil, fmt.Errorf("%w (model %s)", ErrNonUniformDelay, dm.Name())
 	}
@@ -185,6 +221,9 @@ func (s *WideSimulator) Events() uint64 { return s.events }
 
 // Delay returns the uniform per-output delay the kernel advances by.
 func (s *WideSimulator) Delay() int { return s.d }
+
+// KernelName implements WideKernel.
+func (s *WideSimulator) KernelName() string { return "wide-lockstep" }
 
 // Value returns the packed settled value of a net.
 func (s *WideSimulator) Value(id netlist.NetID) logic.W { return s.values[id] }
@@ -295,7 +334,7 @@ func (s *WideSimulator) applyWave(t int) {
 func (s *WideSimulator) evalTouched() {
 	c := s.c
 	for _, cid := range s.touched {
-		o0, o1, twoOut := s.evalCellWide(cid)
+		o0, o1, twoOut := evalCellWide(c, s.values, &s.evalIn, &s.evalOut, cid)
 		base := outputsPerCell * int(cid)
 		if o := c.outNets[base]; o != netlist.NoNet {
 			s.push(o, o0)
@@ -321,10 +360,10 @@ func (s *WideSimulator) discardInFlight() {
 
 // evalCellWide computes a cell's packed outputs from the current net
 // values: the word-parallel image of the scalar evalCell, built from the
-// init-cross-checked wide ops in internal/logic.
-func (s *WideSimulator) evalCellWide(cid netlist.CellID) (o0, o1 logic.W, twoOut bool) {
-	c := s.c
-	v := s.values
+// init-cross-checked wide ops in internal/logic. It is the shared eval
+// core of both wide kernels (lockstep and event-driven); evalIn/evalOut
+// are the caller's scratch for the reference fallback.
+func evalCellWide(c *Compiled, v []logic.W, evalIn *logic.Vector, evalOut *[outputsPerCell]logic.V, cid netlist.CellID) (o0, o1 logic.W, twoOut bool) {
 	in := c.inNets[c.inStart[cid]:c.inStart[cid+1]]
 	switch c.cellType[cid] {
 	case netlist.FA:
@@ -384,9 +423,9 @@ func (s *WideSimulator) evalCellWide(cid netlist.CellID) (o0, o1 logic.W, twoOut
 	default:
 		// Reference fallback for any future cell type: evaluate each lane
 		// with the scalar reference implementation.
-		outs := s.evalOut[:c.outLen[cid]]
+		outs := evalOut[:c.outLen[cid]]
 		for l := 0; l < MaxLanes; l++ {
-			ins := s.evalIn[:0]
+			ins := (*evalIn)[:0]
 			for _, id := range in {
 				ins = append(ins, v[id].Lane(l))
 			}

@@ -2,7 +2,7 @@ package glitchsim
 
 import (
 	"context"
-	"errors"
+	"sync"
 	"sync/atomic"
 
 	"glitchsim/internal/core"
@@ -12,17 +12,20 @@ import (
 )
 
 // Lane decomposition: the measurement-layer face of the word-parallel
-// kernel. A measurement with L lanes distributes its Cycles random
+// kernels. A measurement with L lanes distributes its Cycles random
 // vectors over L independent seeded stimulus streams (each with its own
-// warm-up) instead of one long stream. Under a uniform delay model —
-// the paper's unit-delay experiments — all L streams then advance in one
-// word-parallel simulation, evaluating every gate for 64 patterns per
-// visit; otherwise the same L streams run on the scalar kernel one after
-// another. Both executions are bit-identical by construction (the wide
-// kernel's per-lane behaviour equals a scalar run with that lane's
-// stream; TestWideKernelEquivalence and TestMeasureLanesScalarWideAgree
-// enforce it), so the delay model changes the speed of a measurement,
-// never the meaning of its lane decomposition.
+// warm-up) instead of one long stream, and all L streams advance in ONE
+// word-parallel simulation, evaluating every gate for up to 64 patterns
+// per visit — under every delay model. Uniform models with delay >= 1
+// (the paper's unit-delay experiments; inertial and transport coincide
+// there) ride the lockstep wavefront kernel; everything else (full-adder
+// sum/carry ratios, per-type delays, zero delay, and inertial runs on
+// those models) rides the lane-masked wide-event kernel. Both are
+// bit-identical to L scalar runs merged in lane order by construction
+// (TestWideKernelEquivalence, TestWideEventKernelEquivalence and
+// TestMeasureLanesScalarWideAgree enforce it), so the delay model
+// changes the speed of a measurement, never the meaning of its lane
+// decomposition.
 //
 // Classification semantics are unchanged: every measured cycle is one
 // random vector applied to a warmed-up circuit, and the counter sees
@@ -101,24 +104,29 @@ func (e *Engine) laneCount(cfg Config) int {
 	return n
 }
 
-// laneSeeds derives the per-lane stimulus seeds of a decomposed
+// laneSeedsInto derives the per-lane stimulus seeds of a decomposed
 // measurement from its base seed: one splitmix64 draw per lane, so lane
 // streams are mutually independent and stable across lane counts.
-func laneSeeds(base uint64, lanes int) []uint64 {
-	seeds := make([]uint64, lanes)
+func laneSeedsInto(seeds []uint64, base uint64) {
 	sm := stimulus.NewPRNG(base)
 	for l := range seeds {
 		seeds[l] = sm.Uint64()
 	}
+}
+
+// laneSeeds is the allocating form of laneSeedsInto.
+func laneSeeds(base uint64, lanes int) []uint64 {
+	seeds := make([]uint64, lanes)
+	laneSeedsInto(seeds, base)
 	return seeds
 }
 
-// laneQuotas splits cycles across lanes as evenly as possible,
+// laneQuotasInto splits cycles across lanes as evenly as possible,
 // non-increasing: the first cycles%lanes lanes measure one extra cycle.
 // The quota sum is exactly cycles, so a decomposed measurement reports
 // the same cycle count as a single-stream one.
-func laneQuotas(cycles, lanes int) []int {
-	quotas := make([]int, lanes)
+func laneQuotasInto(quotas []int, cycles int) {
+	lanes := len(quotas)
 	base, rem := cycles/lanes, cycles%lanes
 	for l := range quotas {
 		quotas[l] = base
@@ -126,48 +134,80 @@ func laneQuotas(cycles, lanes int) []int {
 			quotas[l]++
 		}
 	}
+}
+
+// laneQuotas is the allocating form of laneQuotasInto.
+func laneQuotas(cycles, lanes int) []int {
+	quotas := make([]int, lanes)
+	laneQuotasInto(quotas, cycles)
 	return quotas
 }
 
+// Kernel identifies the simulation kernel a measurement runs on.
+type Kernel string
+
+const (
+	// KernelScalar is the single-stream event-driven kernel: Lanes=1
+	// measurements, explicit stimulus sources, and runs of at most one
+	// cycle. (Its scheduler — wave, calendar or heap — is an internal
+	// detail chosen per delay model.)
+	KernelScalar Kernel = "scalar"
+	// KernelWideLockstep is the 64-lane lockstep wavefront kernel,
+	// selected for lane-decomposed measurements under uniform delay
+	// models with delay >= 1 (the paper's unit-delay experiments).
+	KernelWideLockstep Kernel = "wide-lockstep"
+	// KernelWideEvent is the 64-lane lane-masked event-driven kernel,
+	// selected for lane-decomposed measurements under every other delay
+	// model: unequal per-cell delays (full-adder sum/carry ratios,
+	// per-type models) and zero delay, in transport or inertial mode.
+	// (Inertial runs on a uniform model still select the lockstep
+	// kernel — the two modes coincide when no pulse can be narrower
+	// than a cell delay.)
+	KernelWideEvent Kernel = "wide-event"
+)
+
+// kernelFor reports which kernel measureCompiled routes a measurement
+// to, mirroring its decomposition test and sim.NewWideKernel's
+// eligibility rule. cfg and lanes are as measureCompiled receives them
+// (engine defaults applied, Config defaults not yet).
+func kernelFor(c *sim.Compiled, cfg Config, lanes int) Kernel {
+	split := lanes > 1 && cfg.Source == nil
+	cfg = cfg.withDefaults(c.Netlist())
+	if !split || cfg.Cycles <= 1 {
+		return KernelScalar
+	}
+	if d, ok := sim.UniformDelay(c, cfg.Delay); ok && d >= 1 {
+		return KernelWideLockstep
+	}
+	return KernelWideEvent
+}
+
+// SelectedKernel reports which simulation kernel the engine would run
+// the request on, without measuring anything: the value the service's
+// /v1/measure responses and the CLI's -format json output surface so
+// users can confirm the word-parallel fast path engaged. Kernel
+// selection is deterministic — it depends only on the circuit, the
+// resolved configuration and the engine's lane/delay defaults — so the
+// prediction is exact.
+func (e *Engine) SelectedKernel(req MeasureRequest) (Kernel, error) {
+	nl, err := e.requestNetlist(req.Netlist, req.Circuit)
+	if err != nil {
+		return "", err
+	}
+	cfg := e.fillDefaults(req.Config)
+	return kernelFor(e.compiled(nl), cfg, e.laneCount(cfg)), nil
+}
+
 // measureLanes measures a lane-decomposed configuration (cfg has its
-// defaults resolved; cfg.Source is the unused default stream): on the
-// word-parallel kernel when the delay model is uniform, lane by lane on
-// the scalar kernel otherwise. Both paths produce bit-identical
-// counters.
+// defaults resolved; cfg.Source is the unused default stream) on the
+// word-parallel kernel NewWideKernel selects for the delay model. Every
+// delay model runs word-parallel; the scalar kernel only ever simulates
+// single-stream (Lanes=1 / explicit-Source) measurements.
 func measureLanes(ctx context.Context, c *sim.Compiled, cfg Config, lanes int) (*core.Counter, error) {
 	if cfg.Cycles < lanes {
 		lanes = cfg.Cycles // never run a lane with nothing to measure
 	}
-	seeds := laneSeeds(cfg.Seed, lanes)
-	quotas := laneQuotas(cfg.Cycles, lanes)
-	counter, err := measureWide(ctx, c, cfg, seeds, quotas)
-	if !errors.Is(err, sim.ErrNonUniformDelay) {
-		return counter, err
-	}
-	// Scalar fallback: the same lane streams and quotas, simulated one
-	// after another and merged in lane order. Each stream warms up
-	// independently (required for bit-identity with the wide path and
-	// for cross-delay-model stream invariance), so this path simulates
-	// roughly lanes×Warmup extra cycles compared to a Lanes=1 run — see
-	// the Config.Lanes docs for the tradeoff.
-	n := c.Netlist()
-	var agg *core.Counter
-	for l, seed := range seeds {
-		lcfg := cfg
-		lcfg.Seed = seed
-		lcfg.Cycles = quotas[l]
-		lcfg.Source = stimulus.NewRandom(n.InputWidth(), seed)
-		counter, err := measureStream(ctx, c, lcfg)
-		if err != nil {
-			return nil, err
-		}
-		if agg == nil {
-			agg = counter
-		} else if err := agg.Merge(counter); err != nil {
-			return nil, err
-		}
-	}
-	return agg, nil
+	return measureWide(ctx, c, cfg, lanes)
 }
 
 // laneMaskOf returns the mask of the first n lanes.
@@ -178,12 +218,38 @@ func laneMaskOf(n int) uint64 {
 	return uint64(1)<<uint(n) - 1
 }
 
-// measureWide runs one word-parallel pass: lane l simulates the stream
-// of seeds[l] for quotas[l] measured cycles (quotas must be
-// non-increasing; all lanes share the warm-up length). The folded
-// counter is bit-identical to the per-lane scalar measurements merged in
-// lane order.
-func measureWide(ctx context.Context, c *sim.Compiled, cfg Config, seeds []uint64, quotas []int) (*core.Counter, error) {
+// wideScratch holds the per-measurement buffers of the word-parallel
+// path. Measurements are short relative to their setup on small
+// circuits, and batch sweeps issue thousands of them, so the buffers are
+// pooled across measurement passes instead of reallocated per pass.
+type wideScratch struct {
+	seeds  []uint64
+	quotas []int
+	buf    []logic.W
+}
+
+var wideScratchPool = sync.Pool{New: func() any { return new(wideScratch) }}
+
+// grow returns s's buffers resized to the measurement's lane count and
+// input width, reusing their backing arrays when large enough.
+func (s *wideScratch) grow(lanes, width int) {
+	if cap(s.seeds) < lanes {
+		s.seeds = make([]uint64, lanes)
+		s.quotas = make([]int, lanes)
+	}
+	s.seeds, s.quotas = s.seeds[:lanes], s.quotas[:lanes]
+	if cap(s.buf) < width {
+		s.buf = make([]logic.W, width)
+	}
+	s.buf = s.buf[:width]
+}
+
+// measureWide runs one word-parallel measurement: lane l simulates the
+// stream of laneSeeds(cfg.Seed)[l] for its quota of measured cycles
+// (quotas are non-increasing; all lanes share the warm-up length). The
+// folded counter is bit-identical to the per-lane scalar measurements
+// merged in lane order, under every delay model.
+func measureWide(ctx context.Context, c *sim.Compiled, cfg Config, lanes int) (*core.Counter, error) {
 	n := c.Netlist()
 	mode := sim.Transport
 	if cfg.Inertial {
@@ -193,12 +259,14 @@ func measureWide(ctx context.Context, c *sim.Compiled, cfg Config, seeds []uint6
 	if ctx.Done() != nil {
 		opts.Cancel = ctx.Err
 	}
-	ws, err := sim.NewWide(c, opts)
-	if err != nil {
-		return nil, err
-	}
+	ws := sim.NewWideKernel(c, opts)
+	scratch := wideScratchPool.Get().(*wideScratch)
+	defer wideScratchPool.Put(scratch)
+	scratch.grow(lanes, n.InputWidth())
+	seeds, quotas, buf := scratch.seeds, scratch.quotas, scratch.buf
+	laneSeedsInto(seeds, cfg.Seed)
+	laneQuotasInto(quotas, cfg.Cycles)
 	src := stimulus.NewWideRandom(n.InputWidth(), seeds)
-	buf := make([]logic.W, n.InputWidth())
 	// Warm-up runs unmonitored: the kernel skips change capture entirely,
 	// and attaching the counter afterwards is indistinguishable from
 	// attach-then-Reset (the counter carries no cross-cycle state beyond
@@ -212,9 +280,9 @@ func measureWide(ctx context.Context, c *sim.Compiled, cfg Config, seeds []uint6
 		}
 	}
 	counter := core.NewWideCounter(n)
-	counter.SetLaneMask(laneMaskOf(len(seeds)))
+	counter.SetLaneMask(laneMaskOf(lanes))
 	ws.AttachWideMonitor(counter)
-	active := len(seeds)
+	active := lanes
 	maxQ := 0
 	if len(quotas) > 0 {
 		maxQ = quotas[0]

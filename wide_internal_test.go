@@ -20,22 +20,32 @@ import (
 func TestMeasureLanesScalarWideAgree(t *testing.T) {
 	ctx := context.Background()
 	for _, tc := range []struct {
-		name   string
-		build  func() *netlist.Netlist
-		cycles int
-		lanes  int
-		dm     delay.Model
+		name     string
+		build    func() *netlist.Netlist
+		cycles   int
+		lanes    int
+		dm       delay.Model
+		inertial bool
 	}{
-		{"rca8-unit-64", func() *netlist.Netlist { return circuits.NewRCA(8, circuits.Cells) }, 100, 64, delay.Unit()},
-		{"wallace8-unit-64", func() *netlist.Netlist { return circuits.NewWallaceMultiplier(8, circuits.Cells) }, 70, 64, delay.Unit()},
+		{"rca8-unit-64", func() *netlist.Netlist { return circuits.NewRCA(8, circuits.Cells) }, 100, 64, delay.Unit(), false},
+		{"wallace8-unit-64", func() *netlist.Netlist { return circuits.NewWallaceMultiplier(8, circuits.Cells) }, 70, 64, delay.Unit(), false},
 		{"dirdet8-uniform2-17", func() *netlist.Netlist {
 			return circuits.NewDirectionDetector(circuits.DirDetConfig{Width: 8, Style: circuits.Cells})
-		}, 90, 17, delay.Uniform(2)},
-		{"rca8-short-run", func() *netlist.Netlist { return circuits.NewRCA(8, circuits.Cells) }, 5, 64, delay.Unit()},
+		}, 90, 17, delay.Uniform(2), false},
+		{"rca8-short-run", func() *netlist.Netlist { return circuits.NewRCA(8, circuits.Cells) }, 5, 64, delay.Unit(), false},
+		// Non-uniform models: the wide-event kernel replaces the deleted
+		// scalar lane-by-lane fallback and must stay bit-identical to it.
+		{"array8-faratio-64", func() *netlist.Netlist { return circuits.NewArrayMultiplier(8, circuits.Cells) }, 60, 64, delay.FullAdderRatio(2, 1), false},
+		{"wallace8-typical-64", func() *netlist.Netlist { return circuits.NewWallaceMultiplier(8, circuits.Cells) }, 60, 64, delay.Typical(), false},
+		{"dirdet8-faratio-23", func() *netlist.Netlist {
+			return circuits.NewDirectionDetector(circuits.DirDetConfig{Width: 8, Style: circuits.Cells})
+		}, 90, 23, delay.FullAdderRatio(3, 1), false},
+		{"rca8-zero-64", func() *netlist.Netlist { return circuits.NewRCA(8, circuits.Cells) }, 50, 64, delay.Zero(), false},
+		{"array8-typical-inertial", func() *netlist.Netlist { return circuits.NewArrayMultiplier(8, circuits.Cells) }, 40, 64, delay.Typical(), true},
 	} {
 		nl := tc.build()
 		c := sim.Compile(nl)
-		cfg := Config{Cycles: tc.cycles, Seed: 9, Delay: tc.dm}.withDefaults(nl)
+		cfg := Config{Cycles: tc.cycles, Seed: 9, Delay: tc.dm, Inertial: tc.inertial}.withDefaults(nl)
 
 		lanes := tc.lanes
 		if cfg.Cycles < lanes {
@@ -44,7 +54,7 @@ func TestMeasureLanesScalarWideAgree(t *testing.T) {
 		seeds := laneSeeds(cfg.Seed, lanes)
 		quotas := laneQuotas(cfg.Cycles, lanes)
 
-		wide, err := measureWide(ctx, c, cfg, seeds, quotas)
+		wide, err := measureWide(ctx, c, cfg, lanes)
 		if err != nil {
 			t.Fatalf("%s: wide: %v", tc.name, err)
 		}
@@ -158,6 +168,34 @@ func TestLanesOneIsHistoricalStream(t *testing.T) {
 	}
 	if decomposed.Totals() == historical.Totals() {
 		t.Error("decomposition produced the single-stream numbers (suspicious)")
+	}
+}
+
+// TestSelectedKernel: the kernel predictor mirrors the actual routing —
+// scalar for single-stream shapes, lockstep for uniform delay, event
+// kernel for everything else.
+func TestSelectedKernel(t *testing.T) {
+	e := NewEngine()
+	nl := circuits.NewArrayMultiplier(8, circuits.Cells)
+	for _, tc := range []struct {
+		name string
+		req  MeasureRequest
+		want Kernel
+	}{
+		{"default-unit", MeasureRequest{Netlist: nl}, KernelWideLockstep},
+		{"faratio", MeasureRequest{Netlist: nl, Config: Config{Delay: delay.FullAdderRatio(2, 1)}}, KernelWideEvent},
+		{"typical-inertial", MeasureRequest{Netlist: nl, Config: Config{Delay: delay.Typical(), Inertial: true}}, KernelWideEvent},
+		{"zero", MeasureRequest{Netlist: nl, Config: Config{Delay: delay.Zero()}}, KernelWideEvent},
+		{"lanes1", MeasureRequest{Netlist: nl, Config: Config{Lanes: 1}}, KernelScalar},
+		{"one-cycle", MeasureRequest{Netlist: nl, Config: Config{Cycles: 1}}, KernelScalar},
+	} {
+		got, err := e.SelectedKernel(tc.req)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got != tc.want {
+			t.Errorf("%s: kernel %q, want %q", tc.name, got, tc.want)
+		}
 	}
 }
 
