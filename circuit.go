@@ -3,6 +3,7 @@ package glitchsim
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -186,6 +187,13 @@ func (e *Engine) Resolve(c Circuit) (*netlist.Netlist, error) {
 	return c.resolve(e)
 }
 
+// ErrUnknownCircuit marks a named-circuit resolution failure: no
+// registered CircuitSource and no built-in knows the name. Callers use
+// errors.Is to tell "the name does not exist" (a client error, 404)
+// apart from a source that knew the name but failed to produce it (an
+// execution failure, possibly transient).
+var ErrUnknownCircuit = errors.New("glitchsim: unknown circuit")
+
 // resolveName walks the engine's source chain.
 func (e *Engine) resolveName(name string) (*netlist.Netlist, error) {
 	for _, s := range e.sources {
@@ -199,8 +207,8 @@ func (e *Engine) resolveName(name string) (*netlist.Netlist, error) {
 	}
 	n, err := registry.Build(name)
 	if err != nil {
-		return nil, fmt.Errorf("glitchsim: unknown circuit %q (available: %s)",
-			name, strings.Join(e.CircuitNames(), ", "))
+		return nil, fmt.Errorf("%w %q (available: %s)",
+			ErrUnknownCircuit, name, strings.Join(e.CircuitNames(), ", "))
 	}
 	return n, nil
 }

@@ -1,12 +1,14 @@
 // Command glitchsimd serves the glitchsim measurement engine over
 // HTTP/JSON: one shared Engine (compiled-netlist cache + worker pool)
 // behind /v1/measure, the /v1/experiments endpoints, the /v1/circuits
-// catalogue/upload endpoint and /healthz. See internal/service for the
-// endpoint and parameter reference.
+// catalogue/upload endpoint, the /v1/jobs async job API and /healthz.
+// See internal/service for the endpoint and parameter reference.
 //
 // Usage:
 //
-//	glitchsimd [-addr :8347] [-workers N] [-cache N] [-lanes N] [-uploads N] [-pprof]
+//	glitchsimd [-addr :8347] [-workers N] [-cache N] [-lanes N] [-uploads N]
+//	           [-job-workers N] [-job-queue N] [-job-timeout D] [-store DIR]
+//	           [-grace D] [-pprof]
 //
 // Examples:
 //
@@ -16,6 +18,8 @@
 //	curl -d '{"cycles":500}' localhost:8347/v1/experiments/table1
 //	curl --data-binary @design.v 'localhost:8347/v1/circuits?format=verilog'
 //	curl -d '{"circuit":"<fingerprint>","cycles":500}' localhost:8347/v1/measure
+//	curl -d '{"kind":"measure","measure":{"circuit":"rca16","cycles":5000}}' localhost:8347/v1/jobs
+//	curl localhost:8347/v1/jobs/<id>/result
 //	go tool pprof localhost:8347/debug/pprof/profile   # with -pprof
 package main
 
@@ -33,6 +37,7 @@ import (
 	"time"
 
 	"glitchsim"
+	"glitchsim/internal/jobs"
 	"glitchsim/internal/service"
 )
 
@@ -42,6 +47,11 @@ func main() {
 	cache := flag.Int("cache", glitchsim.DefaultCacheSize, "compiled-netlist cache entries (0 disables caching)")
 	lanes := flag.Int("lanes", 0, "word-parallel stimulus lanes per measurement (1 = scalar kernel, 0 = 64)")
 	uploads := flag.Int("uploads", service.DefaultUploadCapacity, "uploaded circuits retained (LRU; 0 disables /v1/circuits uploads)")
+	jobWorkers := flag.Int("job-workers", 0, "async job workers (0 = default)")
+	jobQueue := flag.Int("job-queue", 0, "async job queue depth before 429 (0 = default)")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job deadline across retries (0 = default, negative disables)")
+	storeDir := flag.String("store", "", "directory persisting job records across restarts (empty = in-memory only)")
+	grace := flag.Duration("grace", 15*time.Second, "shutdown grace period for in-flight requests and jobs")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/")
 	flag.Parse()
 
@@ -50,7 +60,21 @@ func main() {
 		glitchsim.WithCacheSize(*cache),
 		glitchsim.WithLanes(*lanes),
 	)
-	var handler http.Handler = service.New(engine, service.WithUploadCapacity(*uploads))
+	jobOpts := jobs.Options{Workers: *jobWorkers, QueueDepth: *jobQueue, Timeout: *jobTimeout}
+	if *storeDir != "" {
+		store, err := jobs.NewFileStore(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "glitchsimd: job store: %v\n", err)
+			os.Exit(1)
+		}
+		jobOpts.Store = store
+	}
+	svc := service.New(engine,
+		service.WithUploadCapacity(*uploads),
+		service.WithJobOptions(jobOpts),
+		service.WithLogf(log.Printf),
+	)
+	var handler http.Handler = svc
 	if *pprofOn {
 		// Profiling is opt-in: the endpoints expose internals (heap and
 		// goroutine dumps, CPU profiles) no public deployment should
@@ -87,11 +111,30 @@ func main() {
 		os.Exit(1)
 	case sig := <-stop:
 		log.Printf("glitchsimd: %v, draining", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		exit := 0
+		if err := srv.Shutdown(ctx); err != nil {
+			// Grace expired with requests still open; keep going — the
+			// jobs below still deserve their checkpoint.
 			fmt.Fprintf(os.Stderr, "glitchsimd: shutdown: %v\n", err)
-			os.Exit(1)
+			exit = 1
 		}
+		// Shutdown closed the listener, so the serve goroutine has handed
+		// its (expected) close error to errc; drain it for a
+		// deterministic exit instead of abandoning the channel.
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "glitchsimd: serve: %v\n", err)
+			exit = 1
+		}
+		// HTTP intake is closed; give running jobs the rest of the grace
+		// period, checkpointing whatever cannot finish so a restart with
+		// the same -store re-runs it.
+		if err := svc.Drain(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "glitchsimd: job drain: %v\n", err)
+			exit = 1
+		}
+		log.Printf("glitchsimd: drained, bye")
+		os.Exit(exit)
 	}
 }

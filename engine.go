@@ -3,6 +3,7 @@ package glitchsim
 import (
 	"container/list"
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -137,6 +138,15 @@ func NewEngine(opts ...EngineOption) *Engine {
 	return e
 }
 
+// ErrEngineBusy marks a measurement that gave up waiting for an engine
+// simulation slot: its context ended while every WithMaxConcurrency
+// slot was held by other work. The returned error also wraps the
+// context's own error (context.Canceled or context.DeadlineExceeded),
+// so existing errors.Is checks keep working. Async callers use the mark
+// to classify the failure as transient — the engine was loaded, not
+// broken — and retry with backoff.
+var ErrEngineBusy = errors.New("glitchsim: engine at concurrency limit")
+
 // acquire claims one of the engine's simulation slots, blocking until a
 // slot frees up or ctx is cancelled.
 func (e *Engine) acquire(ctx context.Context) error {
@@ -144,7 +154,7 @@ func (e *Engine) acquire(ctx context.Context) error {
 	case e.sem <- struct{}{}:
 		return nil
 	case <-ctx.Done():
-		return ctx.Err()
+		return fmt.Errorf("%w: %w", ErrEngineBusy, ctx.Err())
 	}
 }
 

@@ -3,11 +3,13 @@ package glitchsim_test
 import (
 	"context"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
 	"glitchsim"
 	"glitchsim/internal/delay"
+	"glitchsim/internal/logic"
 )
 
 // TestEngineCacheReusesCompilation: separately built instances of the
@@ -292,5 +294,63 @@ func TestEngineMaxConcurrency(t *testing.T) {
 	cancel()
 	if _, err := bounded.MeasureMany(cancelled, glitchsim.BatchRequest{Jobs: jobs}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// blockingSource is a stimulus source that parks the measurement on its
+// first vector until released — it holds the engine's concurrency slot
+// deterministically, so tests can observe a genuinely busy engine.
+type blockingSource struct {
+	width   int
+	started chan struct{}
+	release chan struct{}
+	once    sync.Once
+	buf     logic.Vector
+}
+
+func (s *blockingSource) Next() logic.Vector {
+	s.once.Do(func() { close(s.started) })
+	<-s.release
+	if s.buf == nil {
+		s.buf = make(logic.Vector, s.width)
+	}
+	return s.buf
+}
+
+func (s *blockingSource) Width() int { return s.width }
+
+// TestEngineBusyClassification: a measurement whose context expires
+// while every WithMaxConcurrency slot is held reports ErrEngineBusy
+// (wrapped around the context error), the mark the async job layer
+// retries on.
+func TestEngineBusyClassification(t *testing.T) {
+	e := glitchsim.NewEngine(glitchsim.WithMaxConcurrency(1))
+	nl := glitchsim.NewRCA(8)
+	src := &blockingSource{width: nl.InputWidth(), started: make(chan struct{}), release: make(chan struct{})}
+
+	holderDone := make(chan error, 1)
+	go func() {
+		_, err := e.Measure(context.Background(), glitchsim.MeasureRequest{
+			Netlist: nl, Config: glitchsim.Config{Cycles: 1, Source: src},
+		})
+		holderDone <- err
+	}()
+	<-src.started // the slot is now provably held
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := e.Measure(ctx, glitchsim.MeasureRequest{
+		Netlist: glitchsim.NewRCA(8), Config: glitchsim.Config{Cycles: 20},
+	})
+	if !errors.Is(err, glitchsim.ErrEngineBusy) {
+		t.Fatalf("slot-starved Measure err = %v, want ErrEngineBusy", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("busy error %v does not wrap the context error", err)
+	}
+
+	close(src.release)
+	if err := <-holderDone; err != nil {
+		t.Fatalf("slot-holding measurement failed: %v", err)
 	}
 }

@@ -1,0 +1,74 @@
+package jobs
+
+import (
+	"sync"
+	"time"
+)
+
+// FaultInjector intercepts every job attempt before the Executor runs.
+// It exists for fault-injection testing: an injector can return an
+// error (transient, to exercise the retry path, or terminal), panic (to
+// exercise worker panic containment), or sleep (to exercise deadlines
+// and drain grace periods). Production managers leave Options.Injector
+// nil — there is no non-test wiring to set one.
+//
+// BeforeAttempt is called from worker goroutines; implementations must
+// be safe for concurrent use.
+type FaultInjector interface {
+	BeforeAttempt(rec Record, attempt int) error
+}
+
+// InjectorFunc adapts a function to FaultInjector.
+type InjectorFunc func(rec Record, attempt int) error
+
+// BeforeAttempt implements FaultInjector.
+func (f InjectorFunc) BeforeAttempt(rec Record, attempt int) error { return f(rec, attempt) }
+
+// ScriptedFaults is a FaultInjector replaying a fixed per-attempt
+// script: attempt n runs Steps[n-1] (attempts past the script's end run
+// clean). Each step may return an error, panic, or just delay — or any
+// combination. It counts invocations, so tests can assert exactly how
+// many attempts ran.
+type ScriptedFaults struct {
+	// Steps[i] applies to attempt i+1.
+	Steps []FaultStep
+
+	mu    sync.Mutex
+	calls int
+}
+
+// FaultStep is one scripted attempt outcome.
+type FaultStep struct {
+	// Delay is slept before anything else (latency injection).
+	Delay time.Duration
+	// Panic, when non-nil, is panicked with.
+	Panic any
+	// Err, when non-nil, fails the attempt (wrap with Transient to get
+	// a retry).
+	Err error
+}
+
+// BeforeAttempt implements FaultInjector.
+func (s *ScriptedFaults) BeforeAttempt(_ Record, attempt int) error {
+	s.mu.Lock()
+	s.calls++
+	var step FaultStep
+	if attempt-1 < len(s.Steps) {
+		step = s.Steps[attempt-1]
+	}
+	s.mu.Unlock()
+	if step.Delay > 0 {
+		time.Sleep(step.Delay)
+	}
+	if step.Panic != nil {
+		panic(step.Panic)
+	}
+	return step.Err
+}
+
+// Calls returns how many attempts the injector has intercepted.
+func (s *ScriptedFaults) Calls() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}

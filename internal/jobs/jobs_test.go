@@ -1,0 +1,470 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitState polls until the job reaches state (or the deadline).
+func waitState(t *testing.T, m *Manager, id string, state State) Record {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		rec, err := m.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", id, err)
+		}
+		if rec.State == state {
+			return rec
+		}
+		if rec.State.Terminal() {
+			t.Fatalf("job %s reached terminal state %q, want %q (error: %s)", id, rec.State, state, rec.Error)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached state %q", id, state)
+	return Record{}
+}
+
+// okExec is an executor that immediately succeeds with a fixed payload.
+func okExec() Executor {
+	return ExecutorFunc(func(ctx context.Context, rec Record, emit func(Event)) (json.RawMessage, error) {
+		emit(Event{Kind: "result", Total: 1})
+		return json.RawMessage(`{"ok":true}`), nil
+	})
+}
+
+// gateExec blocks every execution until release is closed (or the job
+// context ends, which it surfaces as the context error).
+func gateExec(started chan<- string, release <-chan struct{}) Executor {
+	return ExecutorFunc(func(ctx context.Context, rec Record, emit func(Event)) (json.RawMessage, error) {
+		if started != nil {
+			started <- rec.ID
+		}
+		select {
+		case <-release:
+			return json.RawMessage(`{"ok":true}`), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+}
+
+func drainNow(t *testing.T, m *Manager) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := m.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+}
+
+// TestJobsSucceed covers the happy path: submit, run, result payload,
+// progress accounting and the recorded event tail.
+func TestJobsSucceed(t *testing.T) {
+	m, err := NewManager(okExec(), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drainNow(t, m)
+
+	rec, err := m.Submit(Submission{Kind: "measure", Request: json.RawMessage(`{"x":1}`), RequestID: "req-1", Fingerprint: "fp-1"})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if rec.State != StateQueued || rec.ID == "" {
+		t.Fatalf("submitted record = %+v, want queued with an ID", rec)
+	}
+	got := waitState(t, m, rec.ID, StateSucceeded)
+	if string(got.Result) != `{"ok":true}` {
+		t.Errorf("result = %s, want {\"ok\":true}", got.Result)
+	}
+	if got.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1", got.Attempts)
+	}
+	if got.Progress != (Progress{Done: 1, Total: 1}) {
+		t.Errorf("progress = %+v, want 1/1", got.Progress)
+	}
+	if got.RequestID != "req-1" || got.Fingerprint != "fp-1" {
+		t.Errorf("annotations not threaded: %+v", got)
+	}
+	var kinds []string
+	for _, ev := range got.Events {
+		kinds = append(kinds, ev.Kind)
+	}
+	want := []string{"state", "state", "result", "state"} // queued, running, result, succeeded
+	if fmt.Sprint(kinds) != fmt.Sprint(want) {
+		t.Errorf("event kinds = %v, want %v", kinds, want)
+	}
+}
+
+// TestJobsQueueFull pins bounded admission: with one worker wedged and
+// the queue at capacity, the next submission is rejected with
+// ErrQueueFull instead of buffering without bound.
+func TestJobsQueueFull(t *testing.T) {
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	m, err := NewManager(gateExec(started, release), Options{Workers: 1, QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { close(release); drainNow(t, m) }()
+
+	// First job occupies the worker; two more fill the queue.
+	if _, err := m.Submit(Submission{Kind: "measure"}); err != nil {
+		t.Fatalf("Submit 1: %v", err)
+	}
+	<-started
+	for i := 2; i <= 3; i++ {
+		if _, err := m.Submit(Submission{Kind: "measure"}); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	if _, err := m.Submit(Submission{Kind: "measure"}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Submit over capacity: err = %v, want ErrQueueFull", err)
+	}
+	st := m.Stats()
+	if st.Queued != 2 || st.Running != 1 || st.QueueCap != 2 {
+		t.Errorf("stats = %+v, want 2 queued / 1 running / cap 2", st)
+	}
+}
+
+// TestJobsRetryThenSucceed pins the backoff-retry path: two injected
+// transient faults, then success on the third attempt, within the
+// default budget of 3.
+func TestJobsRetryThenSucceed(t *testing.T) {
+	faults := &ScriptedFaults{Steps: []FaultStep{
+		{Err: Transient(errors.New("engine busy"))},
+		{Err: Transient(errors.New("engine busy"))},
+	}}
+	m, err := NewManager(okExec(), Options{
+		Workers:  1,
+		Injector: faults,
+		Retry:    RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drainNow(t, m)
+
+	rec, err := m.Submit(Submission{Kind: "measure"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, m, rec.ID, StateSucceeded)
+	if got.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3", got.Attempts)
+	}
+	if faults.Calls() != 3 {
+		t.Errorf("injector calls = %d, want 3", faults.Calls())
+	}
+	retries := 0
+	for _, ev := range got.Events {
+		if ev.Kind == "retry" {
+			retries++
+			if !strings.Contains(ev.Error, "engine busy") {
+				t.Errorf("retry event error = %q, want the transient cause", ev.Error)
+			}
+		}
+	}
+	if retries != 2 {
+		t.Errorf("retry events = %d, want 2", retries)
+	}
+}
+
+// TestJobsRetryBudgetExhausted pins that a persistently transient fault
+// fails the job once the attempt budget is spent.
+func TestJobsRetryBudgetExhausted(t *testing.T) {
+	boom := Transient(errors.New("still busy"))
+	m, err := NewManager(okExec(), Options{
+		Workers:  1,
+		Injector: InjectorFunc(func(Record, int) error { return boom }),
+		Retry:    RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drainNow(t, m)
+
+	rec, _ := m.Submit(Submission{Kind: "measure"})
+	got := waitState(t, m, rec.ID, StateFailed)
+	if got.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", got.Attempts)
+	}
+	if !strings.Contains(got.Error, "still busy") {
+		t.Errorf("error = %q, want the transient cause", got.Error)
+	}
+}
+
+// TestJobsNonTransientFailsImmediately pins that an unclassified error
+// is not retried.
+func TestJobsNonTransientFailsImmediately(t *testing.T) {
+	m, err := NewManager(ExecutorFunc(func(ctx context.Context, rec Record, emit func(Event)) (json.RawMessage, error) {
+		return nil, errors.New("bad request payload")
+	}), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drainNow(t, m)
+
+	rec, _ := m.Submit(Submission{Kind: "measure"})
+	got := waitState(t, m, rec.ID, StateFailed)
+	if got.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (no retry for non-transient errors)", got.Attempts)
+	}
+}
+
+// TestJobsDeadlineTimesOut pins the per-job deadline: a wedged executor
+// is classified timed_out, not failed or canceled.
+func TestJobsDeadlineTimesOut(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	m, err := NewManager(gateExec(nil, release), Options{Workers: 1, Timeout: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drainNow(t, m)
+
+	rec, _ := m.Submit(Submission{Kind: "measure"})
+	got := waitState(t, m, rec.ID, StateTimedOut)
+	if !strings.Contains(got.Error, "deadline exceeded") {
+		t.Errorf("error = %q, want a deadline message", got.Error)
+	}
+	if got.FinishedAt.IsZero() {
+		t.Error("timed-out job has no FinishedAt")
+	}
+}
+
+// TestJobsPerJobTimeoutShortensDefault pins the Submission.Timeout
+// override.
+func TestJobsPerJobTimeoutShortensDefault(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	m, err := NewManager(gateExec(nil, release), Options{Workers: 1, Timeout: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drainNow(t, m)
+
+	rec, _ := m.Submit(Submission{Kind: "measure", Timeout: 30 * time.Millisecond})
+	if rec.Timeout != 30*time.Millisecond {
+		t.Fatalf("recorded timeout = %v, want 30ms", rec.Timeout)
+	}
+	waitState(t, m, rec.ID, StateTimedOut)
+}
+
+// TestRecoverWorkerPanic pins panic containment: an injected panic
+// becomes a failed record carrying the goroutine stack, and the worker
+// pool keeps serving subsequent jobs.
+func TestRecoverWorkerPanic(t *testing.T) {
+	var fired atomic.Bool
+	m, err := NewManager(okExec(), Options{
+		Workers: 1,
+		Injector: InjectorFunc(func(rec Record, attempt int) error {
+			if fired.CompareAndSwap(false, true) {
+				panic("injected kaboom")
+			}
+			return nil
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drainNow(t, m)
+
+	rec, _ := m.Submit(Submission{Kind: "measure"})
+	got := waitState(t, m, rec.ID, StateFailed)
+	if !strings.Contains(got.Error, "injected kaboom") {
+		t.Errorf("error = %q, want the panic value", got.Error)
+	}
+	if !strings.Contains(got.Stack, "goroutine") || !strings.Contains(got.Stack, "BeforeAttempt") {
+		t.Errorf("stack not captured:\n%s", got.Stack)
+	}
+
+	// The daemon keeps serving: the same worker runs the next job.
+	rec2, err := m.Submit(Submission{Kind: "measure"})
+	if err != nil {
+		t.Fatalf("Submit after panic: %v", err)
+	}
+	waitState(t, m, rec2.ID, StateSucceeded)
+}
+
+// TestJobsCancelMidRun pins DELETE semantics on a running job: the
+// executor's context is canceled and the record lands in canceled.
+func TestJobsCancelMidRun(t *testing.T) {
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	defer close(release)
+	m, err := NewManager(gateExec(started, release), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drainNow(t, m)
+
+	rec, _ := m.Submit(Submission{Kind: "measure"})
+	<-started
+	if _, err := m.Cancel(rec.ID); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	got := waitState(t, m, rec.ID, StateCanceled)
+	if got.FinishedAt.IsZero() {
+		t.Error("canceled job has no FinishedAt")
+	}
+	if _, err := m.Cancel(rec.ID); !errors.Is(err, ErrFinished) {
+		t.Errorf("second Cancel err = %v, want ErrFinished", err)
+	}
+}
+
+// TestJobsCancelQueued pins cancellation before a worker ever starts
+// the job.
+func TestJobsCancelQueued(t *testing.T) {
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	m, err := NewManager(gateExec(started, release), Options{Workers: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { close(release); drainNow(t, m) }()
+
+	if _, err := m.Submit(Submission{Kind: "measure"}); err != nil { // wedges the worker
+		t.Fatal(err)
+	}
+	<-started
+	queued, _ := m.Submit(Submission{Kind: "measure"})
+	got, err := m.Cancel(queued.ID)
+	if err != nil {
+		t.Fatalf("Cancel queued: %v", err)
+	}
+	if got.State != StateCanceled {
+		t.Fatalf("state = %q, want canceled immediately", got.State)
+	}
+}
+
+// TestJobsUnknownID pins the not-found surface.
+func TestJobsUnknownID(t *testing.T) {
+	m, err := NewManager(okExec(), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drainNow(t, m)
+	if _, err := m.Get("nope"); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("Get err = %v, want ErrUnknownJob", err)
+	}
+	if _, err := m.Cancel("nope"); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("Cancel err = %v, want ErrUnknownJob", err)
+	}
+	if _, _, _, err := m.Subscribe("nope"); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("Subscribe err = %v, want ErrUnknownJob", err)
+	}
+}
+
+// TestJobsSubscribe pins the event tail contract: a subscriber sees the
+// recorded past plus the live remainder, and the live channel closes at
+// the terminal state.
+func TestJobsSubscribe(t *testing.T) {
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	m, err := NewManager(gateExec(started, release), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drainNow(t, m)
+
+	rec, _ := m.Submit(Submission{Kind: "measure"})
+	<-started
+	past, live, stop, err := m.Subscribe(rec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	if len(past) < 2 { // queued + running
+		t.Fatalf("past events = %d, want at least queued+running", len(past))
+	}
+	close(release)
+	var final []Event
+	for ev := range live {
+		final = append(final, ev)
+	}
+	if len(final) == 0 || final[len(final)-1].State != StateSucceeded {
+		t.Fatalf("live events = %+v, want a trailing succeeded state event", final)
+	}
+
+	// Subscribing to a terminal job returns the tail and no channel.
+	past, live, stop, err = m.Subscribe(rec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	if live != nil {
+		t.Error("terminal subscribe returned a live channel")
+	}
+	if past[len(past)-1].State != StateSucceeded {
+		t.Errorf("terminal tail ends with %+v, want succeeded", past[len(past)-1])
+	}
+}
+
+// TestDrainRejectsNewWork pins that Submit answers ErrDraining once a
+// drain has begun.
+func TestDrainRejectsNewWork(t *testing.T) {
+	m, err := NewManager(okExec(), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainNow(t, m)
+	if _, err := m.Submit(Submission{Kind: "measure"}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Submit after drain err = %v, want ErrDraining", err)
+	}
+}
+
+// TestDrainWaitsForRunning pins the graceful path: a running job that
+// finishes within the grace period completes normally.
+func TestDrainWaitsForRunning(t *testing.T) {
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	m, err := NewManager(gateExec(started, release), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := m.Submit(Submission{Kind: "measure"})
+	<-started
+
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(release)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := m.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	got, err := m.Get(rec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateSucceeded {
+		t.Fatalf("state after graceful drain = %q, want succeeded", got.State)
+	}
+}
+
+// TestJobsBackoff pins the policy arithmetic: doubling from BaseDelay,
+// capped at MaxDelay, never more than the cap nor less than half the
+// uncapped step (the jitter floor).
+func TestJobsBackoff(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 10, BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second}
+	for attempt := 1; attempt <= 8; attempt++ {
+		uncapped := p.BaseDelay << (attempt - 1)
+		want := min(uncapped, p.MaxDelay)
+		for trial := 0; trial < 20; trial++ {
+			d := p.backoff(attempt)
+			if d < want/2 || d > want {
+				t.Fatalf("backoff(%d) = %v, want in [%v, %v]", attempt, d, want/2, want)
+			}
+		}
+	}
+}

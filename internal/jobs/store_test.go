@@ -1,0 +1,234 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestJobsFileStoreRoundTrip pins the on-disk format: one JSON document
+// per job, atomic writes, lossless Put/Get/List/Delete.
+func TestJobsFileStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{
+		ID:          "deadbeef01234567",
+		State:       StateSucceeded,
+		Kind:        "measure",
+		RequestID:   "req-9",
+		Fingerprint: "fp-9",
+		Request:     json.RawMessage(`{"circuit":"rca16"}`),
+		Result:      json.RawMessage(`{"activity":{}}`),
+		Attempts:    2,
+		Timeout:     time.Minute,
+		Progress:    Progress{Done: 3, Total: 3},
+		Events:      []Event{{Kind: "state", State: StateQueued, Time: time.Now().UTC().Truncate(time.Second)}},
+		CreatedAt:   time.Now().UTC().Truncate(time.Second),
+		FinishedAt:  time.Now().UTC().Truncate(time.Second),
+	}
+	if err := st.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, rec.ID+".json")); err != nil {
+		t.Fatalf("record file missing: %v", err)
+	}
+	got, ok, err := st.Get(rec.ID)
+	if err != nil || !ok {
+		t.Fatalf("Get: ok=%v err=%v", ok, err)
+	}
+	a, _ := json.Marshal(rec)
+	b, _ := json.Marshal(got)
+	if string(a) != string(b) {
+		t.Fatalf("round trip mismatch:\nput: %s\ngot: %s", a, b)
+	}
+	recs, err := st.List()
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("List = %d records, err %v; want 1", len(recs), err)
+	}
+	if err := st.Delete(rec.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := st.Get(rec.ID); ok {
+		t.Fatal("record survived Delete")
+	}
+	if err := st.Delete(rec.ID); err != nil {
+		t.Fatalf("Delete of a missing record errored: %v", err)
+	}
+}
+
+// TestJobsFileStoreRejectsTraversal pins that IDs cannot escape the
+// store directory.
+func TestJobsFileStoreRejectsTraversal(t *testing.T) {
+	st, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"", "..", "a/b", `a\b`, "x.json"} {
+		if err := st.Put(Record{ID: id}); err == nil {
+			t.Errorf("Put(%q) accepted an unsafe id", id)
+		}
+	}
+}
+
+// TestJobsFileStoreSkipsCorrupt pins recovery resilience: a damaged
+// record file is skipped (and reported) without hiding the healthy
+// ones.
+func TestJobsFileStoreSkipsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(Record{ID: "aaaaaaaaaaaaaaaa", State: StateQueued, Kind: "measure", CreatedAt: time.Now()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bbbbbbbbbbbbbbbb.json"), []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := st.List()
+	if err == nil {
+		t.Error("List over a corrupt record reported no error")
+	}
+	if len(recs) != 1 || recs[0].ID != "aaaaaaaaaaaaaaaa" {
+		t.Fatalf("List = %+v, want just the healthy record", recs)
+	}
+}
+
+// TestDrainCheckpointAndRestartRecovery is the full durability
+// scenario of the acceptance criteria: with jobs queued AND running, a
+// drain whose grace period expires checkpoints the running job back to
+// queued; a fresh manager over the same on-disk store still serves the
+// completed result and re-runs both the queued and the checkpointed
+// job.
+func TestDrainCheckpointAndRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: one job completes, one wedges mid-run, one stays queued.
+	// The executor dispatches on the payload: {"fast":true} succeeds
+	// immediately, anything else wedges until its context is canceled.
+	started := make(chan string, 2)
+	release := make(chan struct{})
+	defer close(release)
+	exec := ExecutorFunc(func(ctx context.Context, rec Record, emit func(Event)) (json.RawMessage, error) {
+		var p struct {
+			Fast bool `json:"fast"`
+		}
+		if err := json.Unmarshal(rec.Request, &p); err == nil && p.Fast {
+			return json.RawMessage(`{"ok":true}`), nil
+		}
+		started <- rec.ID
+		select {
+		case <-release:
+			return json.RawMessage(`{"ok":true}`), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+	m1, err := NewManager(exec, Options{Workers: 1, QueueDepth: 4, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, _ := m1.Submit(Submission{Kind: "measure", Request: json.RawMessage(`{"fast":true}`)})
+	waitState(t, m1, done.ID, StateSucceeded)
+
+	running, _ := m1.Submit(Submission{Kind: "measure", Request: json.RawMessage(`{"n":2}`)})
+	<-started
+	queued, _ := m1.Submit(Submission{Kind: "measure", Request: json.RawMessage(`{"n":3}`)})
+
+	// Drain with a grace period the wedged job cannot meet.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	if err := m1.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	cancel()
+
+	for _, tc := range []struct {
+		id   string
+		want State
+	}{{done.ID, StateSucceeded}, {running.ID, StateQueued}, {queued.ID, StateQueued}} {
+		rec, ok, err := st.Get(tc.id)
+		if err != nil || !ok {
+			t.Fatalf("store.Get(%s): ok=%v err=%v", tc.id, ok, err)
+		}
+		if rec.State != tc.want {
+			t.Fatalf("after drain, store has %s in state %q, want %q", tc.id, rec.State, tc.want)
+		}
+	}
+
+	// Phase 2: a fresh manager over the same directory.
+	m2, err := NewManager(okExec(), Options{Workers: 2, QueueDepth: 4, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drainNow(t, m2)
+
+	// The completed result survived the restart...
+	got, err := m2.Get(done.ID)
+	if err != nil {
+		t.Fatalf("restarted Get(%s): %v", done.ID, err)
+	}
+	var compacted bytes.Buffer
+	if err := json.Compact(&compacted, got.Result); err != nil {
+		t.Fatalf("recovered result is not JSON: %v", err)
+	}
+	if got.State != StateSucceeded || compacted.String() != `{"ok":true}` {
+		t.Fatalf("recovered completed job = %+v, want succeeded with its result", got)
+	}
+	// ...and the unfinished jobs re-ran to completion.
+	waitState(t, m2, running.ID, StateSucceeded)
+	waitState(t, m2, queued.ID, StateSucceeded)
+}
+
+// TestRecoverRunningAsQueued pins that a record persisted as "running"
+// (a crash, not a graceful drain) is recovered as queued and re-run.
+func TestRecoverRunningAsQueued(t *testing.T) {
+	st := NewMemStore()
+	if err := st.Put(Record{
+		ID: "cccccccccccccccc", State: StateRunning, Kind: "measure",
+		Attempts: 2, Progress: Progress{Done: 1, Total: 4},
+		CreatedAt: time.Now(), StartedAt: time.Now(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(okExec(), Options{Workers: 1, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drainNow(t, m)
+	got := waitState(t, m, "cccccccccccccccc", StateSucceeded)
+	if got.Attempts != 1 {
+		t.Errorf("recovered job attempts = %d, want a fresh 1", got.Attempts)
+	}
+}
+
+// TestRecoverOverflowingQueue pins that recovery admits every stored
+// pending job even when there are more than the configured queue depth.
+func TestRecoverOverflowingQueue(t *testing.T) {
+	st := NewMemStore()
+	base := time.Now()
+	for i := 0; i < 5; i++ {
+		id := string(rune('a'+i)) + "aaaaaaaaaaaaaaa"
+		if err := st.Put(Record{ID: id, State: StateQueued, Kind: "measure", CreatedAt: base.Add(time.Duration(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := NewManager(okExec(), Options{Workers: 2, QueueDepth: 2, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drainNow(t, m)
+	for i := 0; i < 5; i++ {
+		waitState(t, m, string(rune('a'+i))+"aaaaaaaaaaaaaaa", StateSucceeded)
+	}
+}

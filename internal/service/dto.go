@@ -3,8 +3,10 @@ package service
 import (
 	"encoding/json"
 	"io"
+	"time"
 
 	"glitchsim"
+	"glitchsim/internal/jobs"
 	"glitchsim/internal/power"
 	"glitchsim/netlist"
 )
@@ -232,6 +234,88 @@ type UploadRequest struct {
 // ErrorResponse is the JSON body of every non-2xx reply.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	// RequestID echoes the X-Request-Id of the failed request when the
+	// error was produced by the panic-recovery middleware, so a client
+	// report can be matched to the server's log line.
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// JobSubmitParams is the POST /v1/jobs request body. Exactly the
+// parameter struct of the matching synchronous endpoint rides along
+// under `measure` or `experiment`, so a caller converts a synchronous
+// request to an async job by wrapping, not rewriting, it.
+type JobSubmitParams struct {
+	// Kind selects the work: "measure" (requires Measure) or one of
+	// the experiment names "table1", "table2", "table3", "figure10"
+	// (Experiment optional).
+	Kind string `json:"kind"`
+	// Measure is the /v1/measure parameter set for kind "measure".
+	// Its Stream flag is ignored: job progress streams from
+	// GET /v1/jobs/{id}/events instead.
+	Measure *MeasureParams `json:"measure,omitempty"`
+	// Experiment is the experiment parameter set for the table/figure
+	// kinds. Its Stream flag is likewise ignored.
+	Experiment *ExperimentParams `json:"experiment,omitempty"`
+	// TimeoutSeconds shortens the server's per-job deadline for this
+	// job (0 keeps the server default).
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+}
+
+// JobProgressDTO is the wire form of a job's completion counters.
+type JobProgressDTO struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// JobDTO is the wire form of one job record: the POST /v1/jobs reply
+// and the GET /v1/jobs/{id} status body. The success payload is not
+// inlined — GET /v1/jobs/{id}/result serves it once ResultReady.
+type JobDTO struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Kind  string `json:"kind"`
+	// RequestID is the X-Request-Id of the submitting request.
+	RequestID string `json:"request_id,omitempty"`
+	// Fingerprint identifies the subject circuit when the job has one.
+	Fingerprint string         `json:"fingerprint,omitempty"`
+	Attempts    int            `json:"attempts"`
+	Progress    JobProgressDTO `json:"progress"`
+	// Error/Stack describe a terminal failure (Stack only for a
+	// recovered worker panic).
+	Error string `json:"error,omitempty"`
+	Stack string `json:"stack,omitempty"`
+	// TimeoutSeconds is the job's deadline budget across all attempts.
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+	// ResultReady reports that GET /v1/jobs/{id}/result will answer 200.
+	ResultReady bool      `json:"result_ready"`
+	CreatedAt   time.Time `json:"created_at"`
+	StartedAt   time.Time `json:"started_at,omitzero"`
+	FinishedAt  time.Time `json:"finished_at,omitzero"`
+}
+
+// JobFrom converts a job record to its wire form.
+func JobFrom(rec jobs.Record) JobDTO {
+	return JobDTO{
+		ID:             rec.ID,
+		State:          string(rec.State),
+		Kind:           rec.Kind,
+		RequestID:      rec.RequestID,
+		Fingerprint:    rec.Fingerprint,
+		Attempts:       rec.Attempts,
+		Progress:       JobProgressDTO{Done: rec.Progress.Done, Total: rec.Progress.Total},
+		Error:          rec.Error,
+		Stack:          rec.Stack,
+		TimeoutSeconds: rec.Timeout.Seconds(),
+		ResultReady:    rec.State == jobs.StateSucceeded,
+		CreatedAt:      rec.CreatedAt,
+		StartedAt:      rec.StartedAt,
+		FinishedAt:     rec.FinishedAt,
+	}
+}
+
+// JobsResponse is the GET /v1/jobs reply (newest first).
+type JobsResponse struct {
+	Jobs []JobDTO `json:"jobs"`
 }
 
 // WriteJSON encodes v to w with the service's canonical settings

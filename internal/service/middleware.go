@@ -1,0 +1,130 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// Request middleware, applied to every endpoint by ServeHTTP:
+//
+//   - Request identity: every response carries X-Request-Id (the
+//     client's own header echoed back, or a generated one), the same ID
+//     lands in error envelopes and in job records, and the access log
+//     keys on it — one identifier to grep a request across client,
+//     server log, and job store.
+//   - Panic containment: a panicking handler answers 500 with a JSON
+//     error envelope (when nothing was written yet) and logs the stack;
+//     the daemon keeps serving. http.ErrAbortHandler re-panics, keeping
+//     net/http's deliberate connection-abort idiom intact.
+//   - Access log: one line per request through the server's logf.
+
+// requestIDKey is the context key under which the request's ID travels
+// to handlers (and from there into job records).
+type requestIDKey struct{}
+
+// requestIDFrom returns the request ID the middleware attached, or "".
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// requestIDHeader reads the ID already stamped on the in-flight
+// response, for inclusion in error envelopes.
+func requestIDHeader(w http.ResponseWriter) string {
+	return w.Header().Get("X-Request-Id")
+}
+
+// newRequestID returns 16 hex characters of crypto/rand entropy.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "00000000deadbeef"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// validRequestID bounds what we echo back from the client: short,
+// printable, header-safe.
+func validRequestID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// statusWriter records the response status and byte count for the
+// access log and lets the recovery layer know whether anything was
+// written. Flush passes through so NDJSON streaming keeps working.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// withMiddleware wraps a handler in the request-ID, panic-recovery and
+// access-log layers.
+func (s *Server) withMiddleware(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if !validRequestID(id) {
+			id = newRequestID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id))
+
+		sw := &statusWriter{ResponseWriter: w}
+		began := time.Now()
+		defer func() {
+			if v := recover(); v != nil {
+				if err, ok := v.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+					panic(v)
+				}
+				s.logf("service: panic serving %s %s rid=%s: %v\n%s",
+					r.Method, r.URL.Path, id, v, debug.Stack())
+				if sw.status == 0 {
+					s.writeError(sw, http.StatusInternalServerError,
+						errors.New("internal error (see server log)"))
+				}
+			}
+			s.logf("service: %s %s rid=%s status=%d bytes=%d dur=%s",
+				r.Method, r.URL.Path, id, sw.status, sw.bytes, time.Since(began).Round(time.Microsecond))
+		}()
+		next(sw, r)
+	}
+}

@@ -1,0 +1,139 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"glitchsim"
+)
+
+// TestServiceBodyLimits: the request-size bound answers 413 (the body
+// must shrink), while merely malformed JSON answers 400 with a message
+// naming the problem.
+func TestServiceBodyLimits(t *testing.T) {
+	ts := newTestServer(t)
+
+	huge := `{"circuit":"rca8","seeds":[` + strings.Repeat("1,", 1<<20) + `1]}`
+	resp, err := http.Post(ts.URL+"/v1/measure", "application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body answered %d, want 413", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Post(ts.URL+"/v1/measure", "application/json", strings.NewReader(`{"circuit":`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body answered %d, want 400", resp.StatusCode)
+	}
+	e := decodeBody[ErrorResponse](t, resp)
+	if !strings.Contains(e.Error, "invalid JSON body") {
+		t.Errorf("400 body %q does not explain the parse failure", e.Error)
+	}
+}
+
+// TestServiceUnknownCircuitStream: an unknown circuit reference on the
+// streaming path still fails fast with a plain 404 (resolution happens
+// before the NDJSON switch, so the client gets a status, not a
+// half-open stream).
+func TestServiceUnknownCircuitStream(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/measure?circuit=0123456789abcdef&stream=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown fingerprint on stream path answered %d, want 404", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("404 Content-Type = %q, want plain JSON error", ct)
+	}
+	e := decodeBody[ErrorResponse](t, resp)
+	if !strings.Contains(e.Error, "0123456789abcdef") {
+		t.Errorf("404 body %q does not name the missing circuit", e.Error)
+	}
+}
+
+// TestServiceRequestID: every response carries X-Request-Id — a valid
+// client-provided one is echoed, anything else is replaced with a
+// generated one — and error envelopes include the same ID.
+func TestServiceRequestID(t *testing.T) {
+	ts := newTestServer(t)
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-Id", "my-trace-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != "my-trace-42" {
+		t.Errorf("valid client ID not echoed: got %q", got)
+	}
+	resp.Body.Close()
+
+	req, _ = http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-Id", "bad id\twith spaces")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got == "" || strings.Contains(got, " ") {
+		t.Errorf("invalid client ID not replaced: got %q", got)
+	}
+	resp.Body.Close()
+
+	// An error response carries the ID in its envelope too.
+	req, _ = http.NewRequest(http.MethodPost, ts.URL+"/v1/measure", strings.NewReader(`{`))
+	req.Header.Set("X-Request-Id", "err-trace-7")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := decodeBody[ErrorResponse](t, resp)
+	if e.RequestID != "err-trace-7" {
+		t.Errorf("error envelope request_id = %q, want the request's", e.RequestID)
+	}
+}
+
+// TestServicePanicRecovery: a handler panic is contained by the
+// middleware — the client gets a 500 JSON envelope, and the server
+// keeps answering.
+func TestServicePanicRecovery(t *testing.T) {
+	s := New(glitchsim.NewEngine())
+	s.mux.HandleFunc("/boom", func(http.ResponseWriter, *http.Request) {
+		panic("handler exploded")
+	})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking handler answered %d, want 500", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Error("500 from panic lacks X-Request-Id")
+	}
+	e := decodeBody[ErrorResponse](t, resp)
+	if e.Error == "" {
+		t.Error("500 from panic has empty error envelope")
+	}
+
+	// The daemon survived the panic.
+	after, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.StatusCode != http.StatusOK {
+		t.Errorf("healthz after panic answered %d", after.StatusCode)
+	}
+	after.Body.Close()
+}

@@ -43,6 +43,7 @@ import (
 
 	"glitchsim"
 	"glitchsim/internal/core"
+	"glitchsim/internal/jobs"
 	"glitchsim/internal/power"
 	"glitchsim/internal/registry"
 	"glitchsim/netlist"
@@ -55,6 +56,17 @@ type Server struct {
 	mux     *http.ServeMux
 	start   time.Time
 	uploads *uploadStore
+	logf    func(format string, args ...any)
+	jobOpts *jobs.Options
+	jobs    *jobs.Manager
+	jobsErr error
+}
+
+// WithLogf routes the server's operational log lines (access log, job
+// lifecycle, recovered panics) to the given printf-style function. The
+// default discards them.
+func WithLogf(logf func(format string, args ...any)) Option {
+	return func(s *Server) { s.logf = logf }
 }
 
 // New returns a Server sharing the given Engine across all requests.
@@ -64,10 +76,12 @@ func New(e *glitchsim.Engine, opts ...Option) *Server {
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
 		uploads: newUploadStore(DefaultUploadCapacity),
+		logf:    func(string, ...any) {},
 	}
 	for _, o := range opts {
 		o(s)
 	}
+	s.initJobs()
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/circuits", s.handleCircuits)
 	s.mux.HandleFunc("/v1/measure", s.handleMeasure)
@@ -75,11 +89,16 @@ func New(e *glitchsim.Engine, opts ...Option) *Server {
 	s.mux.HandleFunc("/v1/experiments/table2", s.experimentHandler("table2"))
 	s.mux.HandleFunc("/v1/experiments/table3", s.experimentHandler("table3"))
 	s.mux.HandleFunc("/v1/experiments/figure10", s.experimentHandler("figure10"))
+	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("/v1/jobs/", s.handleJob)
 	return s
 }
 
-// ServeHTTP dispatches to the registered endpoints.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP dispatches to the registered endpoints through the request
+// middleware (request-ID, panic containment, access log).
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.withMiddleware(s.mux.ServeHTTP)(w, r)
+}
 
 // healthzResponse is the /healthz body.
 type healthzResponse struct {
@@ -94,6 +113,16 @@ type healthzResponse struct {
 		Misses    uint64 `json:"misses"`
 		Evictions uint64 `json:"evictions"`
 	} `json:"cache"`
+	Jobs *healthzJobs `json:"jobs,omitempty"`
+}
+
+// healthzJobs summarizes the job subsystem's load in /healthz.
+type healthzJobs struct {
+	Queued        int  `json:"queued"`
+	Running       int  `json:"running"`
+	QueueCapacity int  `json:"queue_capacity"`
+	Workers       int  `json:"workers"`
+	Draining      bool `json:"draining"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -112,6 +141,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp.Cache.Hits = cs.Hits
 	resp.Cache.Misses = cs.Misses
 	resp.Cache.Evictions = cs.Evictions
+	if s.jobs != nil {
+		st := s.jobs.Stats()
+		resp.Jobs = &healthzJobs{
+			Queued:        st.Queued,
+			Running:       st.Running,
+			QueueCapacity: st.QueueCap,
+			Workers:       st.Workers,
+			Draining:      st.Draining,
+		}
+	}
 	s.writeOK(w, resp)
 }
 
@@ -438,7 +477,7 @@ func (s *Server) decodeParams(w http.ResponseWriter, r *http.Request, v any) boo
 		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(v); err != nil {
-			s.writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err))
+			s.writeError(w, statusForBodyError(err), fmt.Errorf("invalid JSON body: %w", err))
 			return false
 		}
 		return true
@@ -446,6 +485,16 @@ func (s *Server) decodeParams(w http.ResponseWriter, r *http.Request, v any) boo
 		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or POST"))
 		return false
 	}
+}
+
+// statusForBodyError distinguishes "the body is too large" (413, the
+// client must shrink it) from "the body is malformed" (400).
+func statusForBodyError(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 func (s *Server) writeOK(w http.ResponseWriter, v any) {
@@ -456,7 +505,7 @@ func (s *Server) writeOK(w http.ResponseWriter, v any) {
 func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = WriteJSON(w, ErrorResponse{Error: err.Error()})
+	_ = WriteJSON(w, ErrorResponse{Error: err.Error(), RequestID: requestIDHeader(w)})
 }
 
 // writeResolveError maps circuit-resolution failures onto status codes:

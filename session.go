@@ -62,6 +62,7 @@ type Session struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	events chan Event
+	fn     func(Event) // callback tap (NewSessionFunc); nil = channel mode
 	once   sync.Once
 }
 
@@ -78,10 +79,26 @@ func (e *Engine) NewSession(ctx context.Context) *Session {
 	}
 }
 
+// NewSessionFunc starts a session that delivers its progress events to
+// fn instead of the Events channel — the tap an asynchronous job layer
+// records progress through without dedicating a consumer goroutine per
+// job. fn is called synchronously from the measurement's worker
+// goroutines, possibly concurrently; it must be safe for concurrent use
+// and return quickly (a slow tap stalls the sweep that called it). The
+// Events channel of a func session carries nothing and is closed by
+// Close as usual.
+func (e *Engine) NewSessionFunc(ctx context.Context, fn func(Event)) *Session {
+	s := e.NewSession(ctx)
+	s.fn = fn
+	return s
+}
+
 // Events returns the session's progress stream. The channel is closed by
 // Close. Consumers that fall behind exert backpressure on the producing
 // sweep (the channel is buffered but bounded); a consumer that stops
 // reading entirely must cancel the session's context to release it.
+// Sessions created with NewSessionFunc deliver to their callback
+// instead; their channel never carries events.
 func (s *Session) Events() <-chan Event { return s.events }
 
 // Context returns the session's context, the one every session method
@@ -96,9 +113,15 @@ func (s *Session) Close() {
 	s.once.Do(func() { close(s.events) })
 }
 
-// emit publishes an event, dropping it only when the session is
-// cancelled (so a vanished consumer cannot wedge the measurement pool).
+// emit publishes an event: synchronously to the callback of a
+// NewSessionFunc session, otherwise onto the channel — dropping it only
+// when the session is cancelled (so a vanished consumer cannot wedge
+// the measurement pool).
 func (s *Session) emit(ev Event) {
+	if s.fn != nil {
+		s.fn(ev)
+		return
+	}
 	select {
 	case s.events <- ev:
 	case <-s.ctx.Done():

@@ -2,6 +2,7 @@ package glitchsim_test
 
 import (
 	"context"
+	"sync"
 	"testing"
 
 	"glitchsim"
@@ -129,4 +130,45 @@ func TestSessionCancelledConsumer(t *testing.T) {
 		t.Fatal("cancelled session measured successfully")
 	}
 	sess.Close()
+}
+
+// TestSessionFuncTap: a NewSessionFunc session delivers events to its
+// callback (from concurrent worker goroutines) instead of the channel,
+// and the channel stays empty.
+func TestSessionFuncTap(t *testing.T) {
+	e := glitchsim.NewEngine()
+	var mu sync.Mutex
+	var got []glitchsim.Event
+	sess := e.NewSessionFunc(context.Background(), func(ev glitchsim.Event) {
+		mu.Lock()
+		got = append(got, ev)
+		mu.Unlock()
+	})
+	evc, closeSess := collectEvents(sess)
+
+	seeds := []uint64{1, 2, 3}
+	if _, err := sess.MeasureSeeds(glitchsim.SeedSweepRequest{
+		Netlist: glitchsim.NewRCA(8), Config: glitchsim.Config{Cycles: 30}, Seeds: seeds,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	closeSess()
+	if chanEvents := <-evc; len(chanEvents) != 0 {
+		t.Fatalf("func session leaked %d events onto the channel", len(chanEvents))
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	seedEvents, results := 0, 0
+	for _, ev := range got {
+		switch ev.Kind {
+		case glitchsim.EventSeed:
+			seedEvents++
+		case glitchsim.EventResult:
+			results++
+		}
+	}
+	if seedEvents != len(seeds) || results != 1 {
+		t.Fatalf("tap saw %d seed events and %d results, want %d and 1", seedEvents, results, len(seeds))
+	}
 }
