@@ -353,6 +353,90 @@ func BenchmarkMeasureLanesNonUniform(b *testing.B) {
 	})
 }
 
+// BenchmarkSequential is the scalar-versus-word-parallel A/B on a
+// sequential workload: the pipelined 8x8 array multiplier (91 DFFs, 4
+// register levels) measured for 500 vectors under unit delay. Register
+// state makes this the case the per-lane packed DFF planes exist for:
+// the A side reconstructs the 64-lane scalar decomposition exactly
+// (same splitmix64 lane seeds and cycle quotas, each lane's registers
+// flushed by its own warm-up, merged in lane order) and the benchmark
+// asserts the B side (one lockstep wide measurement) reproduces its
+// totals bit-identically before timing. The interleaved
+// BENCH_kernel.json sequential numbers come from this benchmark.
+func BenchmarkSequential(b *testing.B) {
+	nl := circuits.NewPipelinedMultiplier(8, 2, circuits.Cells)
+	const cycles, baseSeed = 500, 1
+	lanes := glitchsim.MaxLanes
+
+	seeds := make([]uint64, lanes)
+	sm := stimulus.NewPRNG(baseSeed)
+	for l := range seeds {
+		seeds[l] = sm.Uint64()
+	}
+	scalarFallback := func() (glitchsim.Activity, error) {
+		var agg *core.Counter
+		for l, seed := range seeds {
+			quota := cycles / lanes
+			if l < cycles%lanes {
+				quota++
+			}
+			counter, err := glitchsim.MeasureDetailed(nl, glitchsim.Config{
+				Cycles: quota, Seed: seed, Lanes: 1,
+			})
+			if err != nil {
+				return glitchsim.Activity{}, err
+			}
+			if agg == nil {
+				agg = counter
+			} else if err := agg.Merge(counter); err != nil {
+				return glitchsim.Activity{}, err
+			}
+		}
+		return glitchsim.ActivityFromCounter(nl.Name, agg), nil
+	}
+
+	wide, err := glitchsim.Measure(nl, glitchsim.Config{Cycles: cycles, Seed: baseSeed, Lanes: lanes})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref, err := scalarFallback()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if wide != ref {
+		b.Fatalf("wide sequential totals diverge from the scalar lanes:\nwide:   %+v\nscalar: %+v", wide, ref)
+	}
+
+	b.Run("scalar-lanes", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		var events uint64
+		for i := 0; i < b.N; i++ {
+			act, err := scalarFallback()
+			if err != nil {
+				b.Fatal(err)
+			}
+			events += act.Transitions
+		}
+		secs := b.Elapsed().Seconds()
+		b.ReportMetric(float64(events)/secs, "events/s")
+	})
+	b.Run("wide", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		var events uint64
+		for i := 0; i < b.N; i++ {
+			act, err := glitchsim.Measure(nl, glitchsim.Config{Cycles: cycles, Seed: baseSeed, Lanes: lanes})
+			if err != nil {
+				b.Fatal(err)
+			}
+			events += act.Transitions
+		}
+		secs := b.Elapsed().Seconds()
+		b.ReportMetric(float64(events)/secs, "events/s")
+	})
+}
+
 // BenchmarkMeasureMany measures the parallel batch layer: a 16-seed
 // study of the 8x8 array multiplier sharded across all CPUs, the
 // many-scenario workload the batch API exists for.

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -190,24 +191,29 @@ func cmdFig10(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rows, err := glitchsim.Figure10(nil, *cycles, *seed)
+	res, err := glitchsim.DefaultEngine().Figure10(context.Background(),
+		glitchsim.ExperimentRequest{Cycles: *cycles, Seed: *seed})
 	if err != nil {
 		return err
 	}
 	if jsonOut() {
-		return emitJSON(service.Table3Response{Rows: service.Table3RowsFrom(rows)})
+		return emitJSON(service.Fig10From(res))
 	}
-	fmt.Println(table3Table("Figure 10 sweep: power vs number of flipflops", rows))
-	labels := make([]string, len(rows))
+	fmt.Println(table3Table(
+		fmt.Sprintf("Figure 10: %s before retiming (circuit 0) and retimed sweep", res.Subject),
+		append([]glitchsim.Table3Row{res.Before}, res.Points...)))
+	labels := []string{fmt.Sprintf("%dff*", res.Before.FFs)}
 	series := []report.Series{{Name: "total"}, {Name: "logic"}, {Name: "ff"}, {Name: "clock"}}
-	for i, r := range rows {
-		labels[i] = fmt.Sprintf("%dff", r.FFs)
+	for _, r := range append([]glitchsim.Table3Row{res.Before}, res.Points...) {
 		series[0].Values = append(series[0].Values, r.TotalMW)
 		series[1].Values = append(series[1].Values, r.LogicMW)
 		series[2].Values = append(series[2].Values, r.FlipflopMW)
 		series[3].Values = append(series[3].Values, r.ClockMW)
 	}
-	fmt.Println(report.Chart("power dissipation (mW) vs flipflops", labels, series, 40))
+	for _, r := range res.Points {
+		labels = append(labels, fmt.Sprintf("%dff", r.FFs))
+	}
+	fmt.Println(report.Chart("power dissipation (mW) vs flipflops (* = before retiming)", labels, series, 40))
 	return nil
 }
 

@@ -124,12 +124,13 @@ paper experiments:
   table2      sum/carry delay imbalance study (Table 2)
   dirdet      direction detector activity (§4.2)
   table3      power breakdown of retimed variants (Table 3)
-  fig10       power vs flipflop count sweep (Figure 10)
+  fig10       power before retiming + vs-flipflop sweep (Figure 10)
   all         run all of the above
 
 tools (every -circuit flag below also accepts -verilog file.v or
 -netlist file.json to bring your own circuit):
-  sim         measure activity of a circuit (-circuit, -cycles, -seed, ...)
+  sim         measure activity of a circuit (-circuit, -cycles, -seed,
+              -stimulus file.vcd replays recorded waveforms, ...)
   retime      retime/pipeline a circuit (-circuit, -period | -stages)
   vcd         dump a waveform (-circuit, -cycles, -out)
   dot         write a Graphviz drawing (-circuit, -out)

@@ -30,6 +30,8 @@ func cmdSim(args []string) error {
 	typical := fs.Bool("typical", false, "use the heterogeneous typical delay model")
 	inertial := fs.Bool("inertial", false, "inertial instead of transport delay")
 	top := fs.Int("top", 10, "list the N most glitching nets")
+	stim := fs.String("stimulus", "", "replay primary-input waveforms from a VCD file instead of random stimulus")
+	stimPeriod := fs.Int("stimulus-period", 0, "VCD time units per clock cycle when replaying (0 = logic depth + 2, the vcd subcommand's period)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -40,6 +42,29 @@ func cmdSim(args []string) error {
 	cfg := glitchsim.Config{
 		Cycles: *cycles, Seed: *seed,
 		Delay: delayFlag(*dsum, *dcarry, *typical), Inertial: *inertial,
+	}
+	if *stim != "" {
+		f, err := os.Open(*stim)
+		if err != nil {
+			return err
+		}
+		dump, err := vcd.Parse(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		period := *stimPeriod
+		if period == 0 {
+			period = n.LogicDepth() + 2
+		}
+		src, have, err := dump.Replay(n, period)
+		if err != nil {
+			return err
+		}
+		cfg.Source = src
+		if *cycles > have {
+			fmt.Fprintf(os.Stderr, "note: %s covers %d cycles, replay wraps around to fill %d\n", *stim, have, *cycles)
+		}
 	}
 	kernel, err := glitchsim.DefaultEngine().SelectedKernel(glitchsim.MeasureRequest{Netlist: n, Config: cfg})
 	if err != nil {

@@ -457,23 +457,83 @@ func Table3(cycles int, seed uint64) ([]Table3Row, error) {
 	return DefaultEngine().Table3(context.Background(), ExperimentRequest{Cycles: cycles, Seed: seed})
 }
 
-// Figure10 returns the Table 3 sweep extended to arbitrary retiming
-// targets (req.Targets; nil selects the default eight-point sweep),
-// producing the power-versus-flipflops curves of Figure 10. Points are
-// ordered by increasing flipflop count.
-func (e *Engine) Figure10(ctx context.Context, req ExperimentRequest) ([]Table3Row, error) {
-	plan, err := e.figure10Targets(req)
-	if err != nil {
-		return nil, err
-	}
-	return e.powerSweep(ctx, plan.base, plan.dm, plan.targets, plan.maxLatency, req, nil)
+// Fig10Result is the Figure 10 experiment outcome: the subject circuit
+// measured as-is (Before — the actual sequential netlist, registers and
+// all, simulated without any retiming) and the retimed sweep (Points,
+// one row per target period). Comparing Before against the sweep gives
+// the paper's claim its honest baseline: the power cost or saving of
+// retiming is read off the same circuit, not reconstructed from
+// combinational slices.
+type Fig10Result struct {
+	// Subject names the swept circuit.
+	Subject string
+	// Before is the unretimed subject: Circuit 0, TargetPeriod 0,
+	// Latency 0, Period the subject's own critical path.
+	Before Table3Row
+	// Points is the retimed sweep, one row per target period.
+	Points []Table3Row
 }
 
-// Figure10 is the package-level form of Engine.Figure10.
+// measureUnretimed measures the sweep subject exactly as handed in — the
+// real sequential circuit before retiming — and shapes the result as the
+// sweep's row 0. The default (sequential-aware) warm-up applies, so deep
+// pipelines are flushed before counting.
+func (e *Engine) measureUnretimed(ctx context.Context, base *netlist.Netlist, dm delay.Model, req ExperimentRequest) (Table3Row, error) {
+	bd, act, err := e.MeasurePower(ctx, MeasureRequest{
+		Netlist: base,
+		Config:  Config{Cycles: req.Cycles, Seed: req.Seed},
+	})
+	if err != nil {
+		return Table3Row{}, err
+	}
+	return Table3Row{
+		Circuit:      0,
+		TargetPeriod: 0,
+		Period:       retime.FromNetlist(base, dm, 0).ClockPeriod(nil),
+		Latency:      0,
+		FFs:          bd.NumFFs,
+		AreaMM2:      bd.AreaMM2,
+		ClockCapPF:   bd.ClockCapF * 1e12,
+		LogicMW:      bd.LogicW * 1e3,
+		FlipflopMW:   bd.FlipflopW * 1e3,
+		ClockMW:      bd.ClockW * 1e3,
+		TotalMW:      bd.TotalW() * 1e3,
+		LOverF:       act.LOverF(),
+	}, nil
+}
+
+// Figure10 measures the sweep subject before retiming and then runs the
+// Table 3 sweep extended to arbitrary retiming targets (req.Targets; nil
+// selects the default eight-point sweep), producing the
+// power-versus-flipflops curves of Figure 10 anchored to the unretimed
+// circuit. Points are ordered by increasing flipflop count.
+func (e *Engine) Figure10(ctx context.Context, req ExperimentRequest) (Fig10Result, error) {
+	plan, err := e.figure10Targets(req)
+	if err != nil {
+		return Fig10Result{}, err
+	}
+	before, err := e.measureUnretimed(ctx, plan.base, plan.dm, req)
+	if err != nil {
+		return Fig10Result{}, err
+	}
+	points, err := e.powerSweep(ctx, plan.base, plan.dm, plan.targets, plan.maxLatency, req, nil)
+	if err != nil {
+		return Fig10Result{}, err
+	}
+	return Fig10Result{Subject: plan.base.Name, Before: before, Points: points}, nil
+}
+
+// Figure10 is the package-level form of Engine.Figure10, returning only
+// the sweep points (the historical shape; the before-retiming row is
+// available from the Engine form's Fig10Result).
 //
 // Deprecated: use DefaultEngine().Figure10 with a context.
 func Figure10(targets []int, cycles int, seed uint64) ([]Table3Row, error) {
-	return DefaultEngine().Figure10(context.Background(), ExperimentRequest{Targets: targets, Cycles: cycles, Seed: seed})
+	res, err := DefaultEngine().Figure10(context.Background(), ExperimentRequest{Targets: targets, Cycles: cycles, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return res.Points, nil
 }
 
 // powerSweep retimes base for each target period and measures each

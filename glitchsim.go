@@ -69,8 +69,11 @@ type Config struct {
 	// 500, the paper's Table 1 run length; ExplicitZero runs none.
 	Cycles int
 	// Warmup cycles run before measurement starts, flushing X values and
-	// pipeline fill. 0 selects the default of 8; ExplicitZero disables
-	// warm-up so start-up activity is measured too.
+	// pipeline fill. 0 selects the default: 8 cycles, extended on
+	// sequential netlists to SequentialLevels+1 when the register
+	// pipeline is deeper than that, so every DFF holds flushed state
+	// before counting starts. ExplicitZero disables warm-up so start-up
+	// activity is measured too.
 	Warmup int
 	// Seed selects the random stimulus stream (default 1).
 	Seed uint64
@@ -115,6 +118,11 @@ func (c Config) withDefaults(n *netlist.Netlist) Config {
 	switch {
 	case c.Warmup == 0:
 		c.Warmup = 8
+		if n.NumDFFs() > 0 {
+			if lv := n.SequentialLevels() + 1; lv > c.Warmup {
+				c.Warmup = lv
+			}
+		}
 	case c.Warmup < 0: // ExplicitZero
 		c.Warmup = 0
 	}

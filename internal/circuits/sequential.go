@@ -1,0 +1,137 @@
+package circuits
+
+import (
+	"fmt"
+
+	"glitchsim/netlist"
+)
+
+// PipelinedArrayMultiply builds the ArrayMultiply structure with register
+// banks cut in after every rowsPerStage adder rows: the running
+// accumulator, its top carry and the not-yet-consumed operand bits all
+// pass through a DFF bank at each cut, and every product bit is aligned
+// to the final stage with a DFF chain plus one output register, so the
+// whole 2N-bit product emerges registered and cycle-aligned. The result
+// is the paper's array multiplier as an actual pipelined datapath rather
+// than a combinational slice. Returns the 2N-bit product.
+func PipelinedArrayMultiply(b *netlist.Builder, style Style, x, y []netlist.NetID, rowsPerStage int) []netlist.NetID {
+	mustSameWidth("PipelinedArrayMultiply", x, y)
+	if rowsPerStage < 1 {
+		panic("circuits: PipelinedArrayMultiply needs rowsPerStage >= 1")
+	}
+	n := len(x)
+	// Operand bits delayed to the current stage. y bits already consumed
+	// by earlier rows are never registered again.
+	xd := append([]netlist.NetID(nil), x...)
+	yd := append([]netlist.NetID(nil), y...)
+	product := make([]netlist.NetID, 2*n)
+	stageOf := make([]int, 2*n)
+
+	acc := make([]netlist.NetID, n)
+	for j := range acc {
+		acc[j] = b.And(xd[j], yd[0])
+	}
+	product[0] = acc[0]
+	topCarry := b.Const(0)
+	stage, rows := 0, 0
+	for i := 1; i < n; i++ {
+		if rows == rowsPerStage {
+			acc = b.RegisterBus(acc)
+			topCarry = b.DFF(topCarry)
+			xd = b.RegisterBus(xd)
+			for k := i; k < n; k++ {
+				yd[k] = b.DFF(yd[k])
+			}
+			stage++
+			rows = 0
+		}
+		// Add pp[i] (weight i+j) to acc shifted down one bit, exactly as
+		// in ArrayMultiply, but from the stage-delayed operands.
+		ppi := make([]netlist.NetID, n)
+		for j := range ppi {
+			ppi[j] = b.And(xd[j], yd[i])
+		}
+		opA := make([]netlist.NetID, n)
+		copy(opA, acc[1:])
+		opA[n-1] = topCarry
+		sum, cout := RippleAdd(b, style, opA, ppi, b.Const(0))
+		product[i] = sum[0]
+		stageOf[i] = stage
+		acc = sum
+		topCarry = cout
+		rows++
+	}
+	copy(product[n:2*n-1], acc[1:])
+	product[2*n-1] = topCarry
+	for k := n; k < 2*n; k++ {
+		stageOf[k] = stage
+	}
+	latency := stage + 1
+	for k := range product {
+		product[k] = b.DFFChain(product[k], latency-stageOf[k])
+	}
+	return product
+}
+
+// NewPipelinedMultiplier returns a complete N×N unsigned pipelined array
+// multiplier netlist with input buses "x", "y" and registered output bus
+// "p". Latency is ceil((width−1)/rowsPerStage)+1 cycles.
+func NewPipelinedMultiplier(width, rowsPerStage int, style Style) *netlist.Netlist {
+	b := netlist.NewBuilder(circuitName("pipemult", width, style))
+	x := b.InputBus("x", width)
+	y := b.InputBus("y", width)
+	p := PipelinedArrayMultiply(b, style, x, y, rowsPerStage)
+	b.OutputBus("p", p)
+	return b.MustBuild()
+}
+
+// NewAccumulator returns a width-bit accumulator computing acc ← acc + x
+// on every clock edge, with input bus "x", registered output bus "acc"
+// and overflow output "cout". When gated, an extra "en" input holds the
+// register contents through a recirculating mux (acc ← en ? acc+x : acc),
+// the netlist-level model of a clock-gated register bank: with en low the
+// register inputs are quiet and only the adder cone toggles.
+func NewAccumulator(width int, gated bool) *netlist.Netlist {
+	name := fmt.Sprintf("accum%d", width)
+	if gated {
+		name += "cg"
+	}
+	b := netlist.NewBuilder(name)
+	x := b.InputBus("x", width)
+	var en netlist.NetID
+	if gated {
+		en = b.Input("en")
+	}
+	// The register outputs feed back into the adder (and the hold mux),
+	// but do not exist yet while those cells are built: read a placeholder
+	// constant first and Rewire to the real Q nets afterwards, the same
+	// construction retime.Apply uses.
+	placeholder := b.Const(0)
+	sum := make([]netlist.NetID, width)
+	d := make([]netlist.NetID, width)
+	faCells := make([]netlist.CellID, width)
+	muxCells := make([]netlist.CellID, width)
+	carry := b.Const(0)
+	for i := range sum {
+		faCells[i] = netlist.CellID(b.NumCells())
+		sum[i], carry = b.FullAdder(x[i], placeholder, carry)
+		d[i] = sum[i]
+	}
+	if gated {
+		for i := range d {
+			muxCells[i] = netlist.CellID(b.NumCells())
+			d[i] = b.Mux(placeholder, sum[i], en)
+		}
+	}
+	q := b.RegisterBus(d)
+	for i, qi := range q {
+		b.Rewire(faCells[i], 1, qi)
+		if gated {
+			b.Rewire(muxCells[i], 0, qi)
+		}
+	}
+	b.OutputBus("acc", q)
+	b.Output("cout", carry)
+	b.NameBus("sum", sum)
+	return b.MustBuild()
+}

@@ -40,6 +40,13 @@ var builders = map[string]func() *netlist.Netlist{
 	"cla16":   func() *netlist.Netlist { return circuits.NewCLA(16) },
 	"csel16":  func() *netlist.Netlist { return circuits.NewCarrySelect(16, 4, circuits.Gates) },
 	"hazard":  buildHazard,
+
+	// Sequential subjects: a pipelined 8×8 array multiplier (register
+	// bank every two adder rows), a 16-bit accumulator and its
+	// clock-gated variant.
+	"pipemult8": func() *netlist.Netlist { return circuits.NewPipelinedMultiplier(8, 2, circuits.Cells) },
+	"accum16":   func() *netlist.Netlist { return circuits.NewAccumulator(16, false) },
+	"accum16cg": func() *netlist.Netlist { return circuits.NewAccumulator(16, true) },
 }
 
 // buildHazard is the two-gate static-hazard demonstrator (a AND NOT a),

@@ -176,9 +176,28 @@ type RowsResponse struct {
 	Rows []MultRowDTO `json:"rows"`
 }
 
-// Table3Response is the reply of the Table 3 / Figure 10 endpoints.
+// Table3Response is the reply of the Table 3 endpoint.
 type Table3Response struct {
 	Rows []Table3RowDTO `json:"rows"`
+}
+
+// Fig10Response is the reply of the Figure 10 endpoint: the subject
+// measured before retiming plus the retimed sweep. (The endpoint
+// previously answered the Table3Response shape; `rows` is unchanged,
+// `subject` and `before` are new.)
+type Fig10Response struct {
+	Subject string         `json:"subject"`
+	Before  Table3RowDTO   `json:"before"`
+	Rows    []Table3RowDTO `json:"rows"`
+}
+
+// Fig10From converts a Figure 10 result to its wire form.
+func Fig10From(res glitchsim.Fig10Result) Fig10Response {
+	return Fig10Response{
+		Subject: res.Subject,
+		Before:  Table3RowsFrom([]glitchsim.Table3Row{res.Before})[0],
+		Rows:    Table3RowsFrom(res.Points),
+	}
 }
 
 // CircuitInfo is the fingerprint-addressed handle of one circuit: the

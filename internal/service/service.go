@@ -392,11 +392,17 @@ func (s *Server) experiment(ctx context.Context, sess *glitchsim.Session, name s
 		}
 		return Table3Response{Rows: Table3RowsFrom(rows)}, nil
 	case "figure10":
-		rows, err := s.runTable3(ctx, sess, req, (*glitchsim.Engine).Figure10, (*glitchsim.Session).Figure10)
+		var res glitchsim.Fig10Result
+		var err error
+		if sess != nil {
+			res, err = sess.Figure10(req)
+		} else {
+			res, err = s.engine.Figure10(ctx, req)
+		}
 		if err != nil {
 			return nil, err
 		}
-		return Table3Response{Rows: Table3RowsFrom(rows)}, nil
+		return Fig10From(res), nil
 	}
 	return nil, fmt.Errorf("unknown experiment %q", name)
 }

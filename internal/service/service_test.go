@@ -221,6 +221,37 @@ func TestServiceExperimentTable1(t *testing.T) {
 	}
 }
 
+// TestServiceFigure10: the figure10 endpoint answers the sequential
+// before/after shape — the unretimed subject as "before" plus one sweep
+// row per requested target.
+func TestServiceFigure10(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/v1/experiments/figure10", "application/json",
+		strings.NewReader(`{"cycles":40,"targets":[72,24]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decodeBody[Fig10Response](t, resp)
+	if got.Subject != "dirdet8r" {
+		t.Errorf("subject %q, want dirdet8r", got.Subject)
+	}
+	b := got.Before
+	if b.Circuit != 0 || b.TargetPeriod != 0 || b.Latency != 0 || b.FFs != 48 {
+		t.Errorf("before row not the unretimed subject: %+v", b)
+	}
+	if b.TotalMW <= 0 || b.Period <= 0 {
+		t.Errorf("before row missing measurement: %+v", b)
+	}
+	if len(got.Rows) != 2 {
+		t.Fatalf("%d sweep rows, want 2", len(got.Rows))
+	}
+	for i, r := range got.Rows {
+		if r.Circuit != i+1 {
+			t.Errorf("sweep row %d numbered circuit %d", i, r.Circuit)
+		}
+	}
+}
+
 // TestServiceHealthz: /healthz reports ok and live cache statistics.
 func TestServiceHealthz(t *testing.T) {
 	ts := newTestServer(t)

@@ -1,0 +1,242 @@
+package vcd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"glitchsim/internal/logic"
+	"glitchsim/internal/stimulus"
+	"glitchsim/netlist"
+)
+
+// Change records one value change of a signal.
+type Change struct {
+	Time int
+	V    logic.V
+}
+
+// Signal is one scalar VCD variable with its changes in file order
+// (timestamps nondecreasing, Parse enforces this).
+type Signal struct {
+	Name    string
+	Changes []Change
+}
+
+// At returns the signal value at time t: the value of the last change at
+// or before t, or X before the first change.
+func (s *Signal) At(t int) logic.V {
+	i := sort.Search(len(s.Changes), func(i int) bool { return s.Changes[i].Time > t })
+	if i == 0 {
+		return logic.X
+	}
+	return s.Changes[i-1].V
+}
+
+// Dump is a parsed value-change dump.
+type Dump struct {
+	signals map[string]*Signal
+	// FinalTime is the largest timestamp in the dump (the Flush
+	// timestamp for dumps produced by Writer).
+	FinalTime int
+}
+
+// Signal returns the named signal, or nil when the dump has none.
+func (d *Dump) Signal(name string) *Signal { return d.signals[name] }
+
+// Names returns the declared signal names, sorted.
+func (d *Dump) Names() []string {
+	names := make([]string, 0, len(d.signals))
+	for n := range d.signals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Parse reads a VCD file of scalar (1-bit) variables, as produced by
+// Writer or any standard dumper. Malformed input fails with an error
+// naming the offending line — unknown identifier codes, bad value
+// characters, non-monotonic or unparsable timestamps and truncated
+// directives are all reported rather than silently truncating the dump.
+func Parse(r io.Reader) (*Dump, error) {
+	d := &Dump{signals: map[string]*Signal{}}
+	byCode := map[string]*Signal{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+
+	line := 0
+	now := 0
+	headerDone := false
+	// Directive being skipped until its $end ("" when none), with the
+	// line it started on for the truncation error.
+	skipping := ""
+	skipLine := 0
+	// Tokens of a $var directive still awaiting its $end.
+	var varTokens []string
+	varLine := 0
+
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		for _, tok := range fields {
+			switch {
+			case skipping != "":
+				if tok == "$end" {
+					skipping = ""
+				}
+			case varTokens != nil:
+				if tok != "$end" {
+					varTokens = append(varTokens, tok)
+					continue
+				}
+				sig, err := declareVar(varTokens, byCode, d.signals)
+				if err != nil {
+					return nil, fmt.Errorf("vcd: line %d: %v", varLine, err)
+				}
+				d.signals[sig.Name] = sig
+				varTokens = nil
+			case tok == "$var":
+				varTokens = []string{}
+				varLine = line
+			case tok == "$enddefinitions":
+				headerDone = true
+				skipping, skipLine = tok, line
+			case tok == "$date" || tok == "$version" || tok == "$timescale" ||
+				tok == "$comment" || tok == "$scope" || tok == "$upscope":
+				skipping, skipLine = tok, line
+			case tok == "$dumpvars" || tok == "$dumpall" || tok == "$dumpon" || tok == "$dumpoff" || tok == "$end":
+				// Value changes inside dump sections are handled like any
+				// other; the section markers themselves carry no state.
+			case strings.HasPrefix(tok, "#"):
+				t, err := strconv.Atoi(tok[1:])
+				if err != nil {
+					return nil, fmt.Errorf("vcd: line %d: bad timestamp %q", line, tok)
+				}
+				if t < now {
+					return nil, fmt.Errorf("vcd: line %d: timestamp #%d goes backwards (previous #%d)", line, t, now)
+				}
+				now = t
+				if t > d.FinalTime {
+					d.FinalTime = t
+				}
+			case tok[0] == 'b' || tok[0] == 'B' || tok[0] == 'r' || tok[0] == 'R':
+				return nil, fmt.Errorf("vcd: line %d: vector value change %q not supported (scalar dumps only)", line, tok)
+			case !headerDone:
+				return nil, fmt.Errorf("vcd: line %d: value change %q before $enddefinitions", line, tok)
+			default:
+				v, err := valueOf(tok[0])
+				if err != nil {
+					return nil, fmt.Errorf("vcd: line %d: %v in %q", line, err, tok)
+				}
+				code := tok[1:]
+				sig, ok := byCode[code]
+				if !ok {
+					return nil, fmt.Errorf("vcd: line %d: unknown identifier code %q", line, tok)
+				}
+				sig.Changes = append(sig.Changes, Change{Time: now, V: v})
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("vcd: line %d: %v", line, err)
+	}
+	if varTokens != nil {
+		return nil, fmt.Errorf("vcd: line %d: unterminated $var directive", varLine)
+	}
+	if skipping != "" {
+		return nil, fmt.Errorf("vcd: line %d: unterminated %s directive", skipLine, skipping)
+	}
+	if !headerDone {
+		return nil, fmt.Errorf("vcd: line %d: missing $enddefinitions", line)
+	}
+	return d, nil
+}
+
+// declareVar interprets the tokens between $var and $end:
+// type width code name[ index].
+func declareVar(tokens []string, byCode, byName map[string]*Signal) (*Signal, error) {
+	if len(tokens) < 4 {
+		return nil, fmt.Errorf("malformed $var directive (want: type width code name)")
+	}
+	width, err := strconv.Atoi(tokens[1])
+	if err != nil {
+		return nil, fmt.Errorf("bad $var width %q", tokens[1])
+	}
+	if width != 1 {
+		return nil, fmt.Errorf("$var %q has width %d, only scalar (1-bit) variables are supported", tokens[3], width)
+	}
+	code := tokens[2]
+	// A bit select separated by whitespace ("data [3]") belongs to the
+	// name.
+	name := strings.Join(tokens[3:], "")
+	if _, dup := byCode[code]; dup {
+		return nil, fmt.Errorf("duplicate identifier code %q", code)
+	}
+	if _, dup := byName[name]; dup {
+		return nil, fmt.Errorf("duplicate signal name %q", name)
+	}
+	sig := &Signal{Name: name}
+	byCode[code] = sig
+	return sig, nil
+}
+
+func valueOf(c byte) (logic.V, error) {
+	switch c {
+	case '0':
+		return logic.L0, nil
+	case '1':
+		return logic.L1, nil
+	case 'x', 'X', 'z', 'Z':
+		return logic.X, nil
+	}
+	return logic.X, fmt.Errorf("bad value character %q", c)
+}
+
+// Replay builds a stimulus source that drives n's primary inputs with
+// the dump's waveforms: vector k samples every PI signal at time
+// k·cyclePeriod, the start of clock cycle k under the writer's time
+// mapping. It returns the source (cyclic, per stimulus.Sequence) and the
+// number of whole cycles the dump covers. Signal names are matched
+// against the PI net names in the writer's sanitized form first, then
+// verbatim, and every PI must be present.
+func (d *Dump) Replay(n *netlist.Netlist, cyclePeriod int) (stimulus.Source, int, error) {
+	if cyclePeriod < 1 {
+		return nil, 0, fmt.Errorf("vcd: cycle period %d must be positive", cyclePeriod)
+	}
+	sigs := make([]*Signal, len(n.PIs))
+	for i, id := range n.PIs {
+		name := n.Net(id).Name
+		sig := d.signals[sanitize(name)]
+		if sig == nil {
+			sig = d.signals[name]
+		}
+		if sig == nil {
+			return nil, 0, fmt.Errorf("vcd: dump has no signal for primary input %q of circuit %q", name, n.Name)
+		}
+		sigs[i] = sig
+	}
+	cycles := d.FinalTime / cyclePeriod
+	if cycles < 1 {
+		return nil, 0, fmt.Errorf("vcd: dump ends at time %d, shorter than one %d-unit cycle", d.FinalTime, cyclePeriod)
+	}
+	vs := make([]logic.Vector, cycles)
+	cursor := make([]int, len(sigs))
+	for k := range vs {
+		t := k * cyclePeriod
+		v := logic.NewVector(len(sigs))
+		for i, sig := range sigs {
+			for cursor[i] < len(sig.Changes) && sig.Changes[cursor[i]].Time <= t {
+				cursor[i]++
+			}
+			if cursor[i] > 0 {
+				v[i] = sig.Changes[cursor[i]-1].V
+			}
+		}
+		vs[k] = v
+	}
+	return stimulus.NewSequence(vs...), cycles, nil
+}

@@ -1,0 +1,109 @@
+package netlist
+
+import "sort"
+
+// SequentialLevels returns the length of the longest acyclic
+// register-to-register chain in the netlist: the number of DFFs on the
+// longest path PI → DFF → … → DFF where consecutive DFFs are connected
+// through combinational logic. Feedback edges (a DFF reachable from
+// itself, as in an accumulator) do not extend the chain. A purely
+// combinational netlist has 0 levels; a circuit whose every DFF is fed
+// directly from primary inputs has 1.
+//
+// The value is the number of clock cycles needed to flush unknown
+// initial state through a pipeline, which is what Config defaulting uses
+// it for.
+func (n *Netlist) SequentialLevels() int {
+	var dffs []CellID
+	cellToDFF := make([]int, len(n.Cells))
+	for i := range n.Cells {
+		cellToDFF[i] = -1
+		if n.Cells[i].Type == DFF {
+			cellToDFF[i] = len(dffs)
+			dffs = append(dffs, CellID(i))
+		}
+	}
+	if len(dffs) == 0 {
+		return 0
+	}
+
+	// preds[i] lists the DFFs whose Q reaches DFF i's D input through
+	// combinational cells, found by reverse DFS that stops at primary
+	// inputs and DFF outputs.
+	preds := make([][]int, len(dffs))
+	netMark := make([]int, len(n.Nets))
+	predMark := make([]int, len(dffs))
+	var stack []NetID
+	for di, cid := range dffs {
+		epoch := di + 1
+		stack = append(stack[:0], n.Cells[cid].In[0])
+		for len(stack) > 0 {
+			net := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if netMark[net] == epoch {
+				continue
+			}
+			netMark[net] = epoch
+			d := n.Nets[net].Driver
+			if d == NoCell {
+				continue
+			}
+			if n.Cells[d].Type == DFF {
+				if p := cellToDFF[d]; predMark[p] != epoch {
+					predMark[p] = epoch
+					preds[di] = append(preds[di], p)
+				}
+				continue
+			}
+			stack = append(stack, n.Cells[d].In...)
+		}
+		sort.Ints(preds[di])
+	}
+
+	// Longest path over the DFF dependency graph by DFS, ignoring back
+	// edges (edges into a node still on the stack) so feedback loops
+	// terminate. Iteration order is fixed, so the result is
+	// deterministic for a given netlist.
+	const (
+		white = iota
+		gray
+		black
+	)
+	state := make([]uint8, len(dffs))
+	level := make([]int, len(dffs))
+	type frame struct{ node, next int }
+	var frames []frame
+	worst := 0
+	for root := range dffs {
+		if state[root] != white {
+			continue
+		}
+		state[root] = gray
+		frames = append(frames[:0], frame{root, 0})
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.next < len(preds[f.node]) {
+				p := preds[f.node][f.next]
+				f.next++
+				if state[p] == white {
+					state[p] = gray
+					frames = append(frames, frame{p, 0})
+				}
+				continue
+			}
+			lvl := 1
+			for _, p := range preds[f.node] {
+				if state[p] == black && level[p]+1 > lvl {
+					lvl = level[p] + 1
+				}
+			}
+			level[f.node] = lvl
+			state[f.node] = black
+			if lvl > worst {
+				worst = lvl
+			}
+			frames = frames[:len(frames)-1]
+		}
+	}
+	return worst
+}

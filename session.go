@@ -212,10 +212,30 @@ func (s *Session) Table3(req ExperimentRequest) ([]Table3Row, error) {
 	return s.powerSweepSession(req, (*Engine).table3Targets)
 }
 
-// Figure10 runs the Figure 10 sweep, emitting an EventRow per finished
-// sweep point.
-func (s *Session) Figure10(req ExperimentRequest) ([]Table3Row, error) {
-	return s.powerSweepSession(req, (*Engine).figure10Targets)
+// Figure10 runs the Figure 10 experiment: the unretimed subject is
+// measured first and emitted as EventRow 0, then the retimed sweep
+// points follow at Index i+1 (completion order). Total counts the
+// before row plus every sweep point.
+func (s *Session) Figure10(req ExperimentRequest) (Fig10Result, error) {
+	plan, err := s.e.figure10Targets(req)
+	if err != nil {
+		return Fig10Result{}, err
+	}
+	total := len(plan.targets) + 1
+	before, err := s.e.measureUnretimed(s.ctx, plan.base, plan.dm, req)
+	if err != nil {
+		return Fig10Result{}, err
+	}
+	b := before
+	s.emit(Event{Kind: EventRow, Index: 0, Total: total, Row: &b})
+	points, err := s.e.powerSweep(s.ctx, plan.base, plan.dm, plan.targets, plan.maxLatency, req, func(i int, row *Table3Row) {
+		r := *row
+		s.emit(Event{Kind: EventRow, Index: i + 1, Total: total, Row: &r})
+	})
+	if err != nil {
+		return Fig10Result{}, err
+	}
+	return Fig10Result{Subject: plan.base.Name, Before: before, Points: points}, nil
 }
 
 // powerSweepSession shares the retime-and-measure sweep between the
