@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +33,8 @@ func cmdSim(args []string) error {
 	top := fs.Int("top", 10, "list the N most glitching nets")
 	stim := fs.String("stimulus", "", "replay primary-input waveforms from a VCD file instead of random stimulus")
 	stimPeriod := fs.Int("stimulus-period", 0, "VCD time units per clock cycle when replaying (0 = logic depth + 2, the vcd subcommand's period)")
+	budgetEvents := fs.Uint64("budget-events", 0, "abort after N kernel events, reporting the partial result (0 = unlimited)")
+	budgetWall := fs.Duration("budget-wall", 0, "abort after the given wall-clock time, reporting the partial result (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -42,6 +45,7 @@ func cmdSim(args []string) error {
 	cfg := glitchsim.Config{
 		Cycles: *cycles, Seed: *seed,
 		Delay: delayFlag(*dsum, *dcarry, *typical), Inertial: *inertial,
+		Budget: glitchsim.Budget{Events: *budgetEvents, WallClock: *budgetWall},
 	}
 	if *stim != "" {
 		f, err := os.Open(*stim)
@@ -75,7 +79,12 @@ func cmdSim(args []string) error {
 	}
 	counter, err := glitchsim.MeasureDetailed(n, cfg)
 	if err != nil {
-		return err
+		// A budget trip still carries the partial counter: report it,
+		// flagged, instead of discarding the completed work.
+		if counter == nil || !errors.Is(err, glitchsim.ErrBudgetExceeded) {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "note: %v; reporting the partial result\n", err)
 	}
 	if jsonOut() {
 		return emitJSON(service.MeasureResponse{

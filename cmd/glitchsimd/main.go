@@ -7,8 +7,9 @@
 // Usage:
 //
 //	glitchsimd [-addr :8347] [-workers N] [-cache N] [-lanes N] [-uploads N]
-//	           [-job-workers N] [-job-queue N] [-job-timeout D] [-store DIR]
-//	           [-grace D] [-pprof]
+//	           [-uploads-dir DIR] [-job-workers N] [-job-queue N] [-job-timeout D]
+//	           [-store DIR] [-budget-events N] [-budget-wall D] [-budget-memory N]
+//	           [-max-events N] [-shed-events N] [-grace D] [-pprof]
 //
 // Examples:
 //
@@ -47,6 +48,12 @@ func main() {
 	cache := flag.Int("cache", glitchsim.DefaultCacheSize, "compiled-netlist cache entries (0 disables caching)")
 	lanes := flag.Int("lanes", 0, "word-parallel stimulus lanes per measurement (1 = scalar kernel, 0 = 64)")
 	uploads := flag.Int("uploads", service.DefaultUploadCapacity, "uploaded circuits retained (LRU; 0 disables /v1/circuits uploads)")
+	uploadsDir := flag.String("uploads-dir", "", "directory persisting circuit uploads across restarts (empty = in-memory only)")
+	budgetEvents := flag.Uint64("budget-events", 0, "default per-measurement kernel event budget (0 = unlimited)")
+	budgetWall := flag.Duration("budget-wall", 0, "default per-measurement wall-clock budget (0 = unlimited)")
+	budgetMemory := flag.Uint64("budget-memory", 0, "default per-measurement estimated-memory budget in bytes (0 = unlimited)")
+	maxEvents := flag.Uint64("max-events", 0, "reject measurements whose estimated event cost exceeds N (422; 0 = no ceiling)")
+	shedEvents := flag.Uint64("shed-events", 0, "shed measurements above N estimated events while the engine is saturated (429; 0 = never shed)")
 	jobWorkers := flag.Int("job-workers", 0, "async job workers (0 = default)")
 	jobQueue := flag.Int("job-queue", 0, "async job queue depth before 429 (0 = default)")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job deadline across retries (0 = default, negative disables)")
@@ -69,11 +76,24 @@ func main() {
 		}
 		jobOpts.Store = store
 	}
-	svc := service.New(engine,
+	opts := []service.Option{
 		service.WithUploadCapacity(*uploads),
 		service.WithJobOptions(jobOpts),
 		service.WithLogf(log.Printf),
-	)
+		service.WithDefaultBudget(glitchsim.Budget{
+			Events:      *budgetEvents,
+			MemoryBytes: *budgetMemory,
+			WallClock:   *budgetWall,
+		}),
+		service.WithLimits(service.Limits{
+			MaxEstimatedEvents:  *maxEvents,
+			ShedEstimatedEvents: *shedEvents,
+		}),
+	}
+	if *uploadsDir != "" {
+		opts = append(opts, service.WithUploadDir(*uploadsDir))
+	}
+	svc := service.New(engine, opts...)
 	var handler http.Handler = svc
 	if *pprofOn {
 		// Profiling is opt-in: the endpoints expose internals (heap and

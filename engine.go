@@ -354,21 +354,28 @@ type ExperimentRequest struct {
 // ---------------------------------------------------------------------------
 // Core measurement entry points.
 
-// measureNetlist is the single-measurement core: compile (cached),
-// claim an engine slot, simulate.
+// measureNetlist is the single-measurement core: admit (the memory
+// budget is checked against the cost estimate before anything is
+// compiled), compile (cached), claim an engine slot, simulate.
 func (e *Engine) measureNetlist(ctx context.Context, nl *netlist.Netlist, cfg Config) (*core.Counter, error) {
+	cfg = e.fillDefaults(cfg)
+	if err := e.admitMemory(nl, cfg); err != nil {
+		return nil, err
+	}
 	c := e.compiled(nl)
 	if err := e.acquire(ctx); err != nil {
 		return nil, err
 	}
 	defer e.release()
-	cfg = e.fillDefaults(cfg)
 	return measureCompiled(ctx, c, cfg, e.laneCount(cfg))
 }
 
 // MeasureDetailed simulates the request and returns the attached
 // activity counter with per-net statistics. Cancellation of ctx aborts
-// the simulation promptly, returning ctx's error.
+// the simulation promptly, returning ctx's error. On a budget trip
+// (errors.Is(err, ErrBudgetExceeded)) the partial counter is returned
+// WITH the error: its statistics are well defined through the cycle
+// boundary recorded in the *BudgetError.
 func (e *Engine) MeasureDetailed(ctx context.Context, req MeasureRequest) (*core.Counter, error) {
 	nl, err := e.requestNetlist(req.Netlist, req.Circuit)
 	if err != nil {
@@ -377,7 +384,10 @@ func (e *Engine) MeasureDetailed(ctx context.Context, req MeasureRequest) (*core
 	return e.measureNetlist(ctx, nl, req.Config)
 }
 
-// Measure runs MeasureDetailed and summarizes the totals.
+// Measure runs MeasureDetailed and summarizes the totals. On a budget
+// trip (errors.Is(err, ErrBudgetExceeded)) the returned Activity holds
+// the partial statistics through the last completed cycle boundary,
+// alongside the error.
 func (e *Engine) Measure(ctx context.Context, req MeasureRequest) (Activity, error) {
 	nl, err := e.requestNetlist(req.Netlist, req.Circuit)
 	if err != nil {
@@ -385,6 +395,9 @@ func (e *Engine) Measure(ctx context.Context, req MeasureRequest) (Activity, err
 	}
 	counter, err := e.measureNetlist(ctx, nl, req.Config)
 	if err != nil {
+		if counter != nil {
+			return summarize(nl.Name, counter), err
+		}
 		return Activity{}, err
 	}
 	return summarize(nl.Name, counter), nil
@@ -448,10 +461,19 @@ func (e *Engine) measureMany(ctx context.Context, jobs []MeasureJob, workers int
 	// Resolve each distinct netlist once, up front and serially: Compile
 	// panics on invalid netlists (as Measure does) and the panic should
 	// surface on the caller's goroutine. The cache makes this a lookup
-	// for circuits the engine has seen before.
+	// for circuits the engine has seen before. Memory-budget admission
+	// happens here too, before the job's netlist is ever compiled.
 	compiled := make(map[*netlist.Netlist]*sim.Compiled, len(jobs))
 	for i := range jobs {
-		if nl := jobs[i].Netlist; nl != nil && compiled[nl] == nil {
+		nl := jobs[i].Netlist
+		if nl == nil || results[i].Err != nil {
+			continue
+		}
+		if err := e.admitMemory(nl, e.fillDefaults(jobs[i].Config)); err != nil {
+			results[i].Err = err
+			continue
+		}
+		if compiled[nl] == nil {
 			compiled[nl] = e.compiled(nl)
 		}
 	}

@@ -14,7 +14,9 @@ package glitchsim
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"glitchsim/internal/circuits"
 	"glitchsim/internal/core"
@@ -106,6 +108,12 @@ type Config struct {
 	// numbers exactly. Engine.SelectedKernel reports the resulting
 	// kernel choice.
 	Lanes int
+	// Budget bounds the measurement's resource consumption; the zero
+	// value is unlimited. Event and wall-clock trips abort the run with
+	// a *BudgetError AND return the partial counter accumulated through
+	// the last completed cycle boundary; the memory bound rejects the
+	// request at admission, before compilation. See Budget.
+	Budget Budget
 }
 
 func (c Config) withDefaults(n *netlist.Netlist) Config {
@@ -177,14 +185,16 @@ func measureCompiled(ctx context.Context, c *sim.Compiled, cfg Config, lanes int
 // measureStream measures one stimulus stream on the scalar kernel: the
 // historical single-stream measurement, and the per-lane building block
 // of the scalar fallback in measureLanes. cfg must have its defaults
-// resolved.
+// resolved. On a budget trip the partial counter is returned WITH the
+// error: its statistics cover every cycle completed before the trip (a
+// trip during warm-up yields a zero-cycle counter).
 func measureStream(ctx context.Context, c *sim.Compiled, cfg Config) (*core.Counter, error) {
 	n := c.Netlist()
 	mode := sim.Transport
 	if cfg.Inertial {
 		mode = sim.Inertial
 	}
-	opts := sim.Options{Delay: cfg.Delay, Mode: mode}
+	opts := sim.Options{Delay: cfg.Delay, Mode: mode, Budget: cfg.Budget.simBudget(time.Now())}
 	if ctx.Done() != nil {
 		opts.Cancel = ctx.Err
 	}
@@ -198,6 +208,9 @@ func measureStream(ctx context.Context, c *sim.Compiled, cfg Config) (*core.Coun
 			return nil, err
 		}
 		if err := s.Step(cfg.Source.Next()); err != nil {
+			if errors.Is(err, sim.ErrBudgetExceeded) {
+				return core.NewCounter(n), err
+			}
 			return nil, err
 		}
 	}
@@ -208,6 +221,9 @@ func measureStream(ctx context.Context, c *sim.Compiled, cfg Config) (*core.Coun
 			return nil, err
 		}
 		if err := s.Step(cfg.Source.Next()); err != nil {
+			if errors.Is(err, sim.ErrBudgetExceeded) {
+				return counter, err
+			}
 			return nil, err
 		}
 	}

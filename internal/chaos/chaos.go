@@ -1,0 +1,459 @@
+// Package chaos drives randomized fault-heavy traffic at a live
+// glitchsim service and validates every observable outcome against the
+// service's typed failure taxonomy: whatever mix of oversized uploads,
+// budget-exhausted measurements, oscillating delay models, mid-run
+// disconnects, job floods and daemon restarts the schedule produces,
+// every HTTP response must be well-formed — 2xx with the documented
+// payload, or an error envelope carrying a known machine-readable code.
+// A wedged handler, a leaked goroutine, an untyped 500 or a torn upload
+// after a restart is a bug, and the TestChaos* suite fails on it.
+//
+// The harness is deliberately dependency-free and deterministic per
+// seed: worker w of a run seeded s draws from rand.New(s + w), so a
+// failing schedule replays exactly.
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"glitchsim/internal/registry"
+	"glitchsim/internal/service"
+)
+
+// Op names one traffic pattern the harness mixes into a run.
+type Op string
+
+const (
+	OpHealthz        Op = "healthz"         // GET /healthz -> 200
+	OpMeasure        Op = "measure"         // well-formed measure -> 200
+	OpBudget         Op = "budget"          // budget-exhausting measure -> 422 budget_exceeded
+	OpOscillation    Op = "oscillation"     // guard-tripping delay model -> 422 oscillation
+	OpOversizedBody  Op = "oversized"       // >4MiB upload -> 413 payload_too_large
+	OpUploadMeasure  Op = "upload-measure"  // upload then measure by fingerprint -> 200
+	OpUnknownCircuit Op = "unknown-circuit" // bogus reference -> 404 unknown_circuit
+	OpCancelMidRun   Op = "cancel"          // client disconnects mid-measure
+	OpJobSubmit      Op = "job-submit"      // async submit -> 202 | 429 queue_full | 503 draining
+	OpRestart        Op = "restart"         // kill/restart the daemon, then liveness
+)
+
+// knownCodes is the documented error-code enum; any error envelope
+// carrying a code outside it fails the run.
+var knownCodes = map[string]bool{
+	service.CodeBadRequest: true, service.CodeMethodNotAllowed: true,
+	service.CodePayloadTooLarge: true, service.CodeUnknownCircuit: true,
+	service.CodeUnknownJob: true, service.CodeNotFound: true,
+	service.CodeBudgetExceeded: true, service.CodeOscillation: true,
+	service.CodeCostExceeded: true, service.CodeOverloaded: true,
+	service.CodeQueueFull: true, service.CodeDraining: true,
+	service.CodeUploadsDisabled: true, service.CodeJobsDisabled: true,
+	service.CodeJobFailed: true, service.CodeJobTimedOut: true,
+	service.CodeJobCanceled: true, service.CodeJobNotFinished: true,
+	service.CodeJobFinished: true, service.CodeInternal: true,
+}
+
+// Result summarizes one Run: per-op and per-status counts, the error
+// codes observed, and every validation failure (empty on a clean run).
+type Result struct {
+	Ops      map[Op]int
+	Statuses map[int]int
+	Codes    map[string]int
+	Failures []string
+}
+
+// Harness drives one service instance. Safe for concurrent workers; a
+// restart takes the write lock, so no request is ever in flight across
+// the kill (in-flight work is cancelled server-side by the shutdown,
+// not torn mid-response at the client).
+type Harness struct {
+	mu      sync.RWMutex // guards base; RLock held across each exchange
+	base    string
+	client  *http.Client
+	restart func() string
+
+	seed     int64
+	fixtures []string // JSON netlist sources for upload ops
+
+	resMu sync.Mutex
+	res   Result
+
+	fpMu sync.Mutex
+	fps  []string // fingerprints uploaded during the run
+}
+
+// New builds a harness against the service at baseURL. The same seed
+// replays the same per-worker schedules.
+func New(baseURL string, seed int64) (*Harness, error) {
+	h := &Harness{
+		base:   baseURL,
+		client: &http.Client{Timeout: 30 * time.Second},
+		seed:   seed,
+		res: Result{
+			Ops:      map[Op]int{},
+			Statuses: map[int]int{},
+			Codes:    map[string]int{},
+		},
+	}
+	for _, name := range []string{"rca4", "rca8", "wallace8"} {
+		n, err := registry.Build(name)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := n.WriteJSON(&buf); err != nil {
+			return nil, err
+		}
+		h.fixtures = append(h.fixtures, buf.String())
+	}
+	return h, nil
+}
+
+// SetRestart arms the restart op: fn must stop the serving daemon,
+// start a replacement, and return its base URL.
+func (h *Harness) SetRestart(fn func() string) { h.restart = fn }
+
+// Close releases the harness's idle keep-alive connections so a
+// goroutine-leak check does not mistake pool state for a leak.
+func (h *Harness) Close() { h.client.CloseIdleConnections() }
+
+// Fingerprints returns the circuit fingerprints uploaded during the
+// run, for post-run durability assertions.
+func (h *Harness) Fingerprints() []string {
+	h.fpMu.Lock()
+	defer h.fpMu.Unlock()
+	return append([]string(nil), h.fps...)
+}
+
+// Run executes workers concurrent schedules of opsEach operations each
+// and returns the aggregated result. Context cancellation stops the
+// schedules early (without flagging a failure).
+func (h *Harness) Run(ctx context.Context, workers, opsEach int) Result {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(h.seed + int64(w)))
+			for i := 0; i < opsEach; i++ {
+				if ctx.Err() != nil {
+					return
+				}
+				op := h.pick(rng)
+				err := h.execute(ctx, op, rng)
+				h.record(op, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	h.resMu.Lock()
+	defer h.resMu.Unlock()
+	out := h.res
+	h.res = Result{Ops: map[Op]int{}, Statuses: map[int]int{}, Codes: map[string]int{}}
+	return out
+}
+
+// pick draws the next op from the weighted mix.
+func (h *Harness) pick(rng *rand.Rand) Op {
+	type weighted struct {
+		op Op
+		w  int
+	}
+	mix := []weighted{
+		{OpHealthz, 2}, {OpMeasure, 4}, {OpBudget, 3}, {OpOscillation, 2},
+		{OpOversizedBody, 1}, {OpUploadMeasure, 3}, {OpUnknownCircuit, 2},
+		{OpCancelMidRun, 2}, {OpJobSubmit, 3},
+	}
+	if h.restart != nil {
+		mix = append(mix, weighted{OpRestart, 1})
+	}
+	total := 0
+	for _, m := range mix {
+		total += m.w
+	}
+	n := rng.Intn(total)
+	for _, m := range mix {
+		if n < m.w {
+			return m.op
+		}
+		n -= m.w
+	}
+	return OpHealthz
+}
+
+func (h *Harness) record(op Op, err error) {
+	h.resMu.Lock()
+	defer h.resMu.Unlock()
+	h.res.Ops[op]++
+	if err != nil && len(h.res.Failures) < 32 {
+		h.res.Failures = append(h.res.Failures, fmt.Sprintf("%s: %v", op, err))
+	}
+}
+
+// exchange performs one HTTP exchange under the read lock (so restarts
+// never interleave with an in-flight request), fully reading the body.
+func (h *Harness) exchange(ctx context.Context, method, path, contentType string, body []byte) (int, http.Header, []byte, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, h.base+path, rd)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("reading body: %w", err)
+	}
+	h.resMu.Lock()
+	h.res.Statuses[resp.StatusCode]++
+	h.resMu.Unlock()
+	return resp.StatusCode, resp.Header, raw, nil
+}
+
+// validate checks one response against the taxonomy: the status must be
+// one of want, and any non-2xx body must be an envelope with a known
+// code. It returns the decoded envelope code ("" on success bodies).
+func (h *Harness) validate(status int, raw []byte, want ...int) (string, error) {
+	code := ""
+	if status >= 400 {
+		var e service.ErrorResponse
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return "", fmt.Errorf("status %d with undecodable error body %q: %w", status, truncate(raw), err)
+		}
+		if e.Code == "" || e.Error == "" {
+			return "", fmt.Errorf("status %d with untyped error body %q", status, truncate(raw))
+		}
+		if !knownCodes[e.Code] {
+			return "", fmt.Errorf("status %d with unknown error code %q", status, e.Code)
+		}
+		code = e.Code
+		h.resMu.Lock()
+		h.res.Codes[code]++
+		h.resMu.Unlock()
+	}
+	for _, w := range want {
+		if status == w {
+			return code, nil
+		}
+	}
+	return code, fmt.Errorf("status %d (code %q, body %q), want one of %v", status, code, truncate(raw), want)
+}
+
+func truncate(raw []byte) string {
+	s := strings.TrimSpace(string(raw))
+	if len(s) > 200 {
+		s = s[:200] + "..."
+	}
+	return s
+}
+
+// execute runs one operation, returning a validation error if the
+// service's behaviour was outside the contract.
+func (h *Harness) execute(ctx context.Context, op Op, rng *rand.Rand) error {
+	switch op {
+	case OpHealthz:
+		status, _, raw, err := h.exchange(ctx, http.MethodGet, "/healthz", "", nil)
+		if err != nil {
+			return err
+		}
+		if _, err := h.validate(status, raw, http.StatusOK); err != nil {
+			return err
+		}
+		var hz struct {
+			Status string `json:"status"`
+		}
+		if err := json.Unmarshal(raw, &hz); err != nil || hz.Status != "ok" {
+			return fmt.Errorf("healthz body %q not ok", truncate(raw))
+		}
+		return nil
+
+	case OpMeasure:
+		body := fmt.Sprintf(`{"circuit":"rca16","cycles":%d,"seed":%d}`, 20+rng.Intn(60), 1+rng.Intn(1000))
+		status, _, raw, err := h.exchange(ctx, http.MethodPost, "/v1/measure", "application/json", []byte(body))
+		if err != nil {
+			return err
+		}
+		if _, err := h.validate(status, raw, http.StatusOK); err != nil {
+			return err
+		}
+		var mr service.MeasureResponse
+		if err := json.Unmarshal(raw, &mr); err != nil {
+			return fmt.Errorf("measure body %q: %w", truncate(raw), err)
+		}
+		if mr.Kernel == "" || mr.Activity.Cycles == 0 {
+			return fmt.Errorf("measure reply incomplete: %q", truncate(raw))
+		}
+		return nil
+
+	case OpBudget:
+		body := fmt.Sprintf(`{"circuit":"array16","cycles":500,"budget_events":%d}`, 256+rng.Intn(768))
+		status, _, raw, err := h.exchange(ctx, http.MethodPost, "/v1/measure", "application/json", []byte(body))
+		if err != nil {
+			return err
+		}
+		code, err := h.validate(status, raw, http.StatusUnprocessableEntity)
+		if err != nil {
+			return err
+		}
+		if code != service.CodeBudgetExceeded {
+			return fmt.Errorf("budget trip answered code %q", code)
+		}
+		return nil
+
+	case OpOscillation:
+		body := `{"circuit":"rca8","cycles":4,"dsum":70000,"dcarry":70000}`
+		status, _, raw, err := h.exchange(ctx, http.MethodPost, "/v1/measure", "application/json", []byte(body))
+		if err != nil {
+			return err
+		}
+		code, err := h.validate(status, raw, http.StatusUnprocessableEntity)
+		if err != nil {
+			return err
+		}
+		if code != service.CodeOscillation {
+			return fmt.Errorf("oscillation answered code %q", code)
+		}
+		return nil
+
+	case OpOversizedBody:
+		big := bytes.Repeat([]byte{'x'}, (4<<20)+1024)
+		status, _, raw, err := h.exchange(ctx, http.MethodPost, "/v1/circuits?format=json", "application/json", big)
+		if err != nil {
+			return err
+		}
+		code, err := h.validate(status, raw, http.StatusRequestEntityTooLarge)
+		if err != nil {
+			return err
+		}
+		if code != service.CodePayloadTooLarge {
+			return fmt.Errorf("oversized upload answered code %q", code)
+		}
+		return nil
+
+	case OpUploadMeasure:
+		src := h.fixtures[rng.Intn(len(h.fixtures))]
+		env, _ := json.Marshal(service.UploadRequest{Format: "json", Source: src})
+		status, _, raw, err := h.exchange(ctx, http.MethodPost, "/v1/circuits", "application/json", env)
+		if err != nil {
+			return err
+		}
+		if _, err := h.validate(status, raw, http.StatusOK); err != nil {
+			return err
+		}
+		var info service.CircuitInfo
+		if err := json.Unmarshal(raw, &info); err != nil || info.Fingerprint == "" {
+			return fmt.Errorf("upload reply %q lacks fingerprint", truncate(raw))
+		}
+		h.fpMu.Lock()
+		h.fps = append(h.fps, info.Fingerprint)
+		h.fpMu.Unlock()
+		body := fmt.Sprintf(`{"circuit":%q,"cycles":%d}`, info.Fingerprint, 10+rng.Intn(40))
+		status, _, raw, err = h.exchange(ctx, http.MethodPost, "/v1/measure", "application/json", []byte(body))
+		if err != nil {
+			return err
+		}
+		_, err = h.validate(status, raw, http.StatusOK)
+		return err
+
+	case OpUnknownCircuit:
+		body := fmt.Sprintf(`{"circuit":"nonesuch-%d","cycles":10}`, rng.Int63())
+		status, _, raw, err := h.exchange(ctx, http.MethodPost, "/v1/measure", "application/json", []byte(body))
+		if err != nil {
+			return err
+		}
+		code, err := h.validate(status, raw, http.StatusNotFound)
+		if err != nil {
+			return err
+		}
+		if code != service.CodeUnknownCircuit {
+			return fmt.Errorf("unknown circuit answered code %q", code)
+		}
+		return nil
+
+	case OpCancelMidRun:
+		// Disconnect while a large measurement runs: the only acceptable
+		// outcomes are a transport-level cancellation (the server writes
+		// nothing to a gone client) or a completed, valid response.
+		cctx, cancel := context.WithTimeout(ctx, time.Duration(1+rng.Intn(15))*time.Millisecond)
+		defer cancel()
+		status, _, raw, err := h.exchange(cctx, http.MethodPost, "/v1/measure", "application/json",
+			[]byte(`{"circuit":"array16","cycles":200000}`))
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				return nil
+			}
+			return fmt.Errorf("cancelled request failed oddly: %w", err)
+		}
+		_, err = h.validate(status, raw, http.StatusOK, http.StatusUnprocessableEntity,
+			http.StatusTooManyRequests)
+		return err
+
+	case OpJobSubmit:
+		body := fmt.Sprintf(`{"kind":"measure","measure":{"circuit":"rca8","cycles":%d}}`, 10+rng.Intn(40))
+		status, _, raw, err := h.exchange(ctx, http.MethodPost, "/v1/jobs", "application/json", []byte(body))
+		if err != nil {
+			return err
+		}
+		code, err := h.validate(status, raw, http.StatusAccepted,
+			http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusInternalServerError)
+		if err != nil {
+			return err
+		}
+		switch status {
+		case http.StatusAccepted:
+			var job service.JobDTO
+			if err := json.Unmarshal(raw, &job); err != nil || job.ID == "" {
+				return fmt.Errorf("job submit reply %q lacks id", truncate(raw))
+			}
+			// Poll the status endpoint once; any well-formed reply is fine.
+			st, _, raw, err := h.exchange(ctx, http.MethodGet, "/v1/jobs/"+job.ID, "", nil)
+			if err != nil {
+				return err
+			}
+			_, err = h.validate(st, raw, http.StatusOK, http.StatusNotFound)
+			return err
+		case http.StatusTooManyRequests:
+			if code != service.CodeQueueFull && code != service.CodeOverloaded {
+				return fmt.Errorf("shed job submit answered code %q", code)
+			}
+		case http.StatusServiceUnavailable:
+			if code != service.CodeDraining && code != service.CodeJobsDisabled {
+				return fmt.Errorf("unavailable job submit answered code %q", code)
+			}
+		case http.StatusInternalServerError:
+			// Injected panics and faults surface here — typed is enough.
+		}
+		return nil
+
+	case OpRestart:
+		h.mu.Lock()
+		h.base = h.restart()
+		h.mu.Unlock()
+		status, _, raw, err := h.exchange(ctx, http.MethodGet, "/healthz", "", nil)
+		if err != nil {
+			return fmt.Errorf("restarted daemon unreachable: %w", err)
+		}
+		_, err = h.validate(status, raw, http.StatusOK)
+		return err
+	}
+	return fmt.Errorf("unknown op %q", op)
+}

@@ -1,0 +1,281 @@
+package chaos
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"glitchsim"
+	"glitchsim/internal/jobs"
+	"glitchsim/internal/service"
+	"glitchsim/internal/testutil"
+)
+
+// The chaos suite boots real daemons (service.Server over httptest) and
+// lets the Harness abuse them. Scale is tuned to stay well under ~30s;
+// -short shrinks it further for the race-enabled CI job.
+
+func chaosScale() (workers, opsEach int) {
+	if testing.Short() {
+		return 4, 8
+	}
+	return 8, 25
+}
+
+// daemon is one live service instance the tests can kill and replace.
+type daemon struct {
+	srv *service.Server
+	ts  *httptest.Server
+}
+
+func startDaemon(t *testing.T, opts []service.Option, jopts jobs.Options) *daemon {
+	t.Helper()
+	e := glitchsim.NewEngine(glitchsim.WithMaxConcurrency(4))
+	if jopts.Retry.MaxAttempts == 0 {
+		jopts.Retry = jobs.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+	}
+	opts = append(opts, service.WithJobOptions(jopts))
+	s := service.New(e, opts...)
+	if s.Jobs() == nil {
+		t.Fatal("job subsystem failed to start")
+	}
+	return &daemon{srv: s, ts: httptest.NewServer(s)}
+}
+
+// stop kills the daemon the way a deploy would: stop accepting, then
+// drain the job manager with a bounded grace period.
+func (d *daemon) stop(t *testing.T) {
+	t.Helper()
+	d.ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := d.srv.Drain(ctx); err != nil {
+		t.Errorf("drain: %v", err)
+	}
+}
+
+// flakyInjector fails a deterministic slice of job attempts: every 5th
+// intercepted attempt panics, every 7th reports a transient error. The
+// suite's contract is that neither class may wedge the daemon or leak
+// an untyped response.
+func flakyInjector() jobs.FaultInjector {
+	var n atomic.Int64
+	return jobs.InjectorFunc(func(rec jobs.Record, attempt int) error {
+		switch i := n.Add(1); {
+		case i%5 == 0:
+			panic(fmt.Sprintf("chaos: injected panic (job %s attempt %d)", rec.ID, attempt))
+		case i%7 == 0:
+			return jobs.Transient(fmt.Errorf("chaos: injected transient fault"))
+		}
+		return nil
+	})
+}
+
+func requireClean(t *testing.T, res Result) {
+	t.Helper()
+	for _, f := range res.Failures {
+		t.Errorf("contract violation: %s", f)
+	}
+	t.Logf("ops=%v statuses=%v codes=%v", res.Ops, res.Statuses, res.Codes)
+}
+
+// TestChaosMixedTraffic storms one daemon with the full op mix — good
+// measures, budget trips, oscillating delay models, oversized bodies,
+// uploads, bogus references, mid-run disconnects and a flaky job
+// pipeline — and requires every single response to be typed, and every
+// goroutine to be gone afterwards.
+func TestChaosMixedTraffic(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	d := startDaemon(t,
+		[]service.Option{service.WithUploadDir(t.TempDir())},
+		jobs.Options{Workers: 2, QueueDepth: 8, Injector: flakyInjector()})
+	t.Cleanup(func() { d.stop(t) })
+
+	h, err := New(d.ts.URL, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(h.Close)
+
+	workers, opsEach := chaosScale()
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Second)
+	defer cancel()
+	res := h.Run(ctx, workers, opsEach)
+	requireClean(t, res)
+	if ctx.Err() != nil {
+		t.Fatalf("chaos run hit the %s deadline — daemon wedged?", "25s")
+	}
+	if !testing.Short() {
+		for _, op := range []Op{OpMeasure, OpBudget, OpUploadMeasure, OpJobSubmit} {
+			if res.Ops[op] == 0 {
+				t.Errorf("op %s never ran — schedule degenerate", op)
+			}
+		}
+		if res.Codes[service.CodeBudgetExceeded] == 0 {
+			t.Error("no budget_exceeded observed across the run")
+		}
+	}
+
+	// The daemon must come out of the storm healthy.
+	resp, err := http.Get(d.ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after chaos: %d", resp.StatusCode)
+	}
+}
+
+// TestChaosRestartUploadsSurvive is the durability acceptance test:
+// with randomized kill/restart cycles folded into the traffic mix and
+// both stores (circuits, jobs) on disk, every fingerprint ever uploaded
+// must still be measurable after the final restart.
+func TestChaosRestartUploadsSurvive(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	uploadDir := t.TempDir()
+	jobDir := t.TempDir()
+	boot := func() *daemon {
+		store, err := jobs.NewFileStore(jobDir)
+		if err != nil {
+			t.Fatalf("job store: %v", err)
+		}
+		return startDaemon(t,
+			[]service.Option{service.WithUploadDir(uploadDir)},
+			jobs.Options{Workers: 2, QueueDepth: 8, Store: store})
+	}
+	d := boot()
+	t.Cleanup(func() { d.stop(t) })
+
+	h, err := New(d.ts.URL, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(h.Close)
+	var restarts atomic.Int64
+	h.SetRestart(func() string {
+		restarts.Add(1)
+		d.stop(t)
+		d = boot()
+		return d.ts.URL
+	})
+
+	// Seed every fixture before the storm so the durability assertion
+	// covers all of them regardless of which upload ops the schedule
+	// happens to draw.
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Second)
+	defer cancel()
+	for i := range h.fixtures {
+		if err := h.execute(ctx, OpUploadMeasure, rand.New(rand.NewSource(int64(100+i)))); err != nil {
+			t.Fatalf("seeding upload %d: %v", i, err)
+		}
+	}
+
+	workers, opsEach := chaosScale()
+	res := h.Run(ctx, workers, opsEach)
+	requireClean(t, res)
+
+	// Force one final kill/restart, then require every fingerprint the
+	// run uploaded to still resolve and measure on the fresh daemon.
+	h.mu.Lock()
+	h.base = h.restart()
+	h.mu.Unlock()
+	fps := map[string]bool{}
+	for _, fp := range h.Fingerprints() {
+		fps[fp] = true
+	}
+	if len(fps) == 0 {
+		t.Fatal("no uploads recorded — schedule degenerate")
+	}
+	for fp := range fps {
+		body := fmt.Sprintf(`{"circuit":%q,"cycles":10}`, fp)
+		status, _, raw, err := h.exchange(ctx, http.MethodPost, "/v1/measure", "application/json", []byte(body))
+		if err != nil {
+			t.Fatalf("measuring %s after restart: %v", fp, err)
+		}
+		if status != http.StatusOK {
+			t.Errorf("fingerprint %s did not survive restart: %d %s", fp, status, raw)
+		}
+	}
+	t.Logf("%d restarts, %d distinct fingerprints survived", restarts.Add(1), len(fps))
+}
+
+// TestChaosPanickyJobsDoNotWedge drives every job through an injector
+// that panics on its first attempt: each job must reach a terminal,
+// well-formed state (retried to success or failed with the recovered
+// stack on record), and the daemon must keep serving throughout.
+func TestChaosPanickyJobsDoNotWedge(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	d := startDaemon(t, nil, jobs.Options{
+		Workers:    2,
+		QueueDepth: 16,
+		Injector: jobs.InjectorFunc(func(rec jobs.Record, attempt int) error {
+			if attempt == 1 {
+				panic("chaos: first-attempt panic for job " + rec.ID)
+			}
+			return nil
+		}),
+	})
+	t.Cleanup(func() { d.stop(t) })
+
+	const njobs = 8
+	ids := make([]string, 0, njobs)
+	for i := 0; i < njobs; i++ {
+		body := fmt.Sprintf(`{"kind":"measure","measure":{"circuit":"rca8","cycles":%d}}`, 10+i)
+		resp, err := http.Post(d.ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var job service.JobDTO
+		err = json.NewDecoder(resp.Body).Decode(&job)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d err %v", i, resp.StatusCode, err)
+		}
+		ids = append(ids, job.ID)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for _, id := range ids {
+		for {
+			resp, err := http.Get(d.ts.URL + "/v1/jobs/" + id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var job service.JobDTO
+			err = json.NewDecoder(resp.Body).Decode(&job)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch job.State {
+			case string(jobs.StateSucceeded):
+			case string(jobs.StateFailed):
+				if job.Stack == "" {
+					t.Errorf("job %s failed without a recovered stack", id)
+				}
+			default:
+				if time.Now().After(deadline) {
+					t.Fatalf("job %s wedged in state %q", id, job.State)
+				}
+				time.Sleep(20 * time.Millisecond)
+				continue
+			}
+			break
+		}
+	}
+	resp, err := http.Get(d.ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after panics: %d", resp.StatusCode)
+	}
+}

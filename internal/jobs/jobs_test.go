@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"glitchsim/internal/testutil"
 )
 
 // waitState polls until the job reaches state (or the deadline).
@@ -423,8 +425,10 @@ func TestDrainRejectsNewWork(t *testing.T) {
 }
 
 // TestDrainWaitsForRunning pins the graceful path: a running job that
-// finishes within the grace period completes normally.
+// finishes within the grace period completes normally — and the drained
+// manager leaves no goroutines behind.
 func TestDrainWaitsForRunning(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	started := make(chan string, 1)
 	release := make(chan struct{})
 	m, err := NewManager(gateExec(started, release), Options{Workers: 1})

@@ -90,10 +90,25 @@ type FileStore struct {
 	mu  sync.Mutex
 }
 
-// NewFileStore opens (creating if needed) the store directory.
+// NewFileStore opens (creating if needed) the store directory and
+// sweeps temp files left by writes a crash interrupted: a dot-prefixed
+// ".<id>.tmp-*" file is a Put whose rename never happened, so its
+// content was never promised to a reader — deleting it is the correct
+// recovery (the previous complete version of the record, if any, is
+// still in place).
 func NewFileStore(dir string) (*FileStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("jobs: creating store directory: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: scanning store directory: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasPrefix(name, ".") && strings.Contains(name, ".tmp-") {
+			_ = os.Remove(filepath.Join(dir, name))
+		}
 	}
 	return &FileStore{dir: dir}, nil
 }

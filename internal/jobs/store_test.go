@@ -101,6 +101,116 @@ func TestJobsFileStoreSkipsCorrupt(t *testing.T) {
 	}
 }
 
+// TestRecoverStaleTempFiles: temp files left by a Put a crash
+// interrupted (the rename never happened) are swept when the store
+// reopens, and the previous complete version of the record still
+// serves. This is the crash-mid-write half of the atomic-rename
+// contract.
+func TestRecoverStaleTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{ID: "cccccccccccccccc", State: StateQueued, Kind: "measure", CreatedAt: time.Now().UTC()}
+	if err := st.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-overwrite: a partially written temp file for
+	// the same record, plus one for a record that never completed at all.
+	for _, name := range []string{".cccccccccccccccc.tmp-123456", ".dddddddddddddddd.tmp-987654"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(`{"id": "torn`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st2, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if bytes.Contains([]byte(e.Name()), []byte(".tmp-")) {
+			t.Errorf("stale temp file %s survived reopen", e.Name())
+		}
+	}
+	got, ok, err := st2.Get(rec.ID)
+	if err != nil || !ok {
+		t.Fatalf("Get after sweep: ok=%v err=%v", ok, err)
+	}
+	if got.ID != rec.ID || got.State != rec.State {
+		t.Errorf("record after sweep = %+v, want %+v", got, rec)
+	}
+	recs, err := st2.List()
+	if err != nil {
+		t.Fatalf("List after sweep: %v", err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("List after sweep = %d records, want 1", len(recs))
+	}
+}
+
+// TestRecoverTruncatedRecord: a record file truncated mid-JSON (damage
+// outside the store's atomic-write control) is skipped by List with an
+// error, reported missing by Get, and does not block recovery of the
+// healthy records — and the manager side of recovery (NewManager over
+// the store) still starts.
+func TestRecoverTruncatedRecord(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy := Record{ID: "aaaaaaaaaaaaaaaa", State: StateSucceeded, Kind: "measure",
+		Result: json.RawMessage(`{"ok":true}`), CreatedAt: time.Now().UTC()}
+	if err := st.Put(healthy); err != nil {
+		t.Fatal(err)
+	}
+	torn := Record{ID: "bbbbbbbbbbbbbbbb", State: StateQueued, Kind: "measure", CreatedAt: time.Now().UTC()}
+	if err := st.Put(torn); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, torn.ID+".json")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st2.Get(torn.ID); err == nil {
+		t.Error("Get on a truncated record reported no error")
+	}
+	recs, err := st2.List()
+	if err == nil {
+		t.Error("List over a truncated record reported no error")
+	}
+	if len(recs) != 1 || recs[0].ID != healthy.ID {
+		t.Fatalf("List = %+v, want just the healthy record", recs)
+	}
+
+	// Manager recovery over the damaged store: starts, serves the
+	// healthy terminal record.
+	mgr, err := NewManager(ExecutorFunc(func(context.Context, Record, func(Event)) (json.RawMessage, error) {
+		return json.RawMessage(`{}`), nil
+	}), Options{Store: st2})
+	if err != nil {
+		t.Fatalf("NewManager over damaged store: %v", err)
+	}
+	defer mgr.Drain(context.Background())
+	if rec, err := mgr.Get(healthy.ID); err != nil || rec.State != StateSucceeded {
+		t.Errorf("recovered record = %+v err=%v, want succeeded", rec, err)
+	}
+}
+
 // TestDrainCheckpointAndRestartRecovery is the full durability
 // scenario of the acceptance criteria: with jobs queued AND running, a
 // drain whose grace period expires checkpoints the running job back to

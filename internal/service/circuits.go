@@ -52,21 +52,36 @@ type upload struct {
 }
 
 // uploadStore is the bounded fingerprint-keyed LRU of uploaded
-// circuits. Safe for concurrent use.
+// circuits, optionally backed by a durable on-disk store (disk non-nil,
+// see WithUploadDir): puts write through to disk, misses fall back to
+// it, and LRU eviction only drops the in-memory copy. Safe for
+// concurrent use; disk calls happen outside the store's own lock.
 type uploadStore struct {
 	mu   sync.Mutex
 	cap  int
 	lru  *list.List // of *upload; front = most recently used
 	byFP map[string]*list.Element
+	disk *circuitDisk
 }
 
 func newUploadStore(capacity int) *uploadStore {
 	return &uploadStore{cap: capacity, lru: list.New(), byFP: map[string]*list.Element{}}
 }
 
-// put stores (or refreshes) a circuit and returns its handle. The
-// least recently used upload is evicted past the capacity bound.
+// put stores (or refreshes) a circuit, writes it through to the durable
+// store, and returns its handle. The least recently used upload is
+// evicted past the capacity bound (from memory only — never from disk).
 func (u *uploadStore) put(n *netlist.Netlist) CircuitInfo {
+	info := u.putMem(n)
+	if u.disk != nil {
+		u.disk.save(n, info)
+	}
+	return info
+}
+
+// putMem is the memory-only half of put: the durable store's lazy
+// reloads use it to avoid rewriting what was just read from disk.
+func (u *uploadStore) putMem(n *netlist.Netlist) CircuitInfo {
 	info := CircuitInfoFrom(n)
 	u.mu.Lock()
 	defer u.mu.Unlock()
@@ -84,38 +99,67 @@ func (u *uploadStore) put(n *netlist.Netlist) CircuitInfo {
 }
 
 // byFingerprint returns the upload with the given fingerprint,
-// refreshing its recency.
+// refreshing its recency. A memory miss falls back to the durable
+// store, reloading the circuit into the LRU — this is how uploads from
+// before a restart (or evicted under memory pressure) resolve.
 func (u *uploadStore) byFingerprint(fp string) (*netlist.Netlist, bool) {
 	u.mu.Lock()
-	defer u.mu.Unlock()
 	if el, ok := u.byFP[fp]; ok {
 		u.lru.MoveToFront(el)
-		return el.Value.(*upload).n, true
+		n := el.Value.(*upload).n
+		u.mu.Unlock()
+		return n, true
 	}
-	return nil, false
-}
-
-// byName returns the most recently used upload whose module name
-// matches.
-func (u *uploadStore) byName(name string) (*netlist.Netlist, bool) {
-	u.mu.Lock()
-	defer u.mu.Unlock()
-	for el := u.lru.Front(); el != nil; el = el.Next() {
-		if up := el.Value.(*upload); up.info.Name == name {
-			u.lru.MoveToFront(el)
-			return up.n, true
+	u.mu.Unlock()
+	if u.disk != nil {
+		if n, ok := u.disk.load(fp); ok {
+			u.putMem(n)
+			return n, true
 		}
 	}
 	return nil, false
 }
 
-// snapshot returns the upload handles, most recently used first.
+// byName returns the most recently used upload whose module name
+// matches, falling back to the durable store.
+func (u *uploadStore) byName(name string) (*netlist.Netlist, bool) {
+	u.mu.Lock()
+	for el := u.lru.Front(); el != nil; el = el.Next() {
+		if up := el.Value.(*upload); up.info.Name == name {
+			u.lru.MoveToFront(el)
+			n := up.n
+			u.mu.Unlock()
+			return n, true
+		}
+	}
+	u.mu.Unlock()
+	if u.disk != nil {
+		if fp, ok := u.disk.fingerprintByName(name); ok {
+			return u.byFingerprint(fp)
+		}
+	}
+	return nil, false
+}
+
+// snapshot returns the upload handles: in-memory entries most recently
+// used first, then durable-only entries (persisted but not currently
+// resident).
 func (u *uploadStore) snapshot() []CircuitInfo {
 	u.mu.Lock()
-	defer u.mu.Unlock()
 	out := make([]CircuitInfo, 0, u.lru.Len())
+	seen := make(map[string]bool, u.lru.Len())
 	for el := u.lru.Front(); el != nil; el = el.Next() {
-		out = append(out, el.Value.(*upload).info)
+		info := el.Value.(*upload).info
+		out = append(out, info)
+		seen[info.Fingerprint] = true
+	}
+	u.mu.Unlock()
+	if u.disk != nil {
+		for _, info := range u.disk.snapshot() {
+			if !seen[info.Fingerprint] {
+				out = append(out, info)
+			}
+		}
 	}
 	return out
 }
@@ -186,7 +230,7 @@ func (s *Server) handleCircuits(w http.ResponseWriter, r *http.Request) {
 	case http.MethodPost:
 		s.handleUpload(w, r)
 	default:
-		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or POST"))
+		s.writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, fmt.Errorf("use GET or POST"))
 	}
 }
 
@@ -200,7 +244,7 @@ const maxUploadBytes = 4 << 20
 // with the parser's message — line-numbered for Verilog.
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	if s.uploads.cap <= 0 {
-		s.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("circuit uploads are disabled"))
+		s.writeError(w, http.StatusServiceUnavailable, CodeUploadsDisabled, fmt.Errorf("circuit uploads are disabled"))
 		return
 	}
 	format := r.URL.Query().Get("format")
@@ -208,7 +252,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	if format != "" {
 		body, err := readBody(w, r)
 		if err != nil {
-			s.writeError(w, http.StatusBadRequest, err)
+			s.writeBodyError(w, err)
 			return
 		}
 		src = body
@@ -219,7 +263,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUploadBytes))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
-			s.writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err))
+			s.writeBodyError(w, fmt.Errorf("invalid JSON body: %w", err))
 			return
 		}
 		format = req.Format
@@ -233,11 +277,11 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	case "json":
 		n, err = netlist.ReadJSON(bytes.NewReader(src))
 	default:
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("format must be \"verilog\" or \"json\", got %q", format))
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("format must be \"verilog\" or \"json\", got %q", format))
 		return
 	}
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
 	s.writeOK(w, s.uploads.put(n))

@@ -252,7 +252,17 @@ type UploadRequest struct {
 
 // ErrorResponse is the JSON body of every non-2xx reply.
 type ErrorResponse struct {
+	// Code is the stable machine-readable failure class (the Code*
+	// constants: "budget_exceeded", "oscillation", "queue_full",
+	// "unknown_circuit", ...). Clients branch on Code; Error is for
+	// humans and its wording is not part of the API.
+	Code  string `json:"code"`
 	Error string `json:"error"`
+	// Detail carries the failure class's structured payload, when it has
+	// one: budget trips report resource/limit/used/cycles_completed,
+	// oscillation reports cycle/guard/nets, cost rejections report the
+	// estimate that tripped.
+	Detail map[string]any `json:"detail,omitempty"`
 	// RequestID echoes the X-Request-Id of the failed request when the
 	// error was produced by the panic-recovery middleware, so a client
 	// report can be matched to the server's log line.

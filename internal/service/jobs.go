@@ -181,7 +181,7 @@ func (s *Server) requireJobs(w http.ResponseWriter) bool {
 	if s.jobsErr != nil {
 		err = fmt.Errorf("job subsystem unavailable: %w", s.jobsErr)
 	}
-	s.writeError(w, http.StatusServiceUnavailable, err)
+	s.writeError(w, http.StatusServiceUnavailable, CodeJobsDisabled, err)
 	return false
 }
 
@@ -201,7 +201,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		}
 		s.writeOK(w, out)
 	default:
-		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or POST"))
+		s.writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, fmt.Errorf("use GET or POST"))
 	}
 }
 
@@ -210,11 +210,11 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&p); err != nil {
-		s.writeError(w, statusForBodyError(err), fmt.Errorf("invalid JSON body: %w", err))
+		s.writeBodyError(w, fmt.Errorf("invalid JSON body: %w", err))
 		return
 	}
 	if !jobKinds[p.Kind] {
-		s.writeError(w, http.StatusBadRequest,
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest,
 			fmt.Errorf("unknown job kind %q (one of: measure, table1, table2, table3, figure10)", p.Kind))
 		return
 	}
@@ -238,7 +238,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	switch p.Kind {
 	case "measure":
 		if p.Measure == nil || p.Measure.Circuit == "" {
-			s.writeError(w, http.StatusBadRequest, fmt.Errorf(`kind "measure" needs measure.circuit`))
+			s.writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf(`kind "measure" needs measure.circuit`))
 			return
 		}
 		p.Measure.Stream = false
@@ -247,7 +247,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	case "table1", "table2":
 		if p.Experiment != nil && p.Experiment.Circuit != "" {
-			s.writeError(w, http.StatusBadRequest,
+			s.writeError(w, http.StatusBadRequest, CodeBadRequest,
 				fmt.Errorf("experiment %s measures a fixed circuit set and takes no circuit", p.Kind))
 			return
 		}
@@ -262,7 +262,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 
 	payload, err := json.Marshal(&p)
 	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, err)
+		s.writeError(w, http.StatusInternalServerError, CodeInternal, err)
 		return
 	}
 	rec, err := s.jobs.Submit(jobs.Submission{
@@ -275,14 +275,14 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
 		w.Header().Set("Retry-After", s.retryAfter())
-		s.writeError(w, http.StatusTooManyRequests, fmt.Errorf("job queue full: %w", err))
+		s.writeError(w, http.StatusTooManyRequests, CodeQueueFull, fmt.Errorf("job queue full: %w", err))
 		return
 	case errors.Is(err, jobs.ErrDraining):
 		w.Header().Set("Retry-After", "5")
-		s.writeError(w, http.StatusServiceUnavailable, err)
+		s.writeError(w, http.StatusServiceUnavailable, CodeDraining, err)
 		return
 	case err != nil:
-		s.writeError(w, http.StatusInternalServerError, err)
+		s.writeError(w, http.StatusInternalServerError, CodeInternal, err)
 		return
 	}
 	w.Header().Set("Location", "/v1/jobs/"+rec.ID)
@@ -314,7 +314,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
 	id, sub, _ := strings.Cut(rest, "/")
 	if id == "" {
-		s.writeError(w, http.StatusNotFound, fmt.Errorf("missing job id"))
+		s.writeError(w, http.StatusNotFound, CodeUnknownJob, fmt.Errorf("missing job id"))
 		return
 	}
 	switch {
@@ -323,25 +323,25 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	case sub == "" && r.Method == http.MethodDelete:
 		s.handleJobCancel(w, id)
 	case sub == "":
-		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or DELETE"))
+		s.writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, fmt.Errorf("use GET or DELETE"))
 	case sub == "result" && r.Method == http.MethodGet:
 		s.handleJobResult(w, id)
 	case sub == "events" && r.Method == http.MethodGet:
 		s.handleJobEvents(w, r, id)
 	case sub == "result" || sub == "events":
-		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		s.writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, fmt.Errorf("use GET"))
 	default:
-		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown job endpoint %q", sub))
+		s.writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("unknown job endpoint %q", sub))
 	}
 }
 
 // writeJobError maps manager lookup failures onto status codes.
 func (s *Server) writeJobError(w http.ResponseWriter, err error) {
 	if errors.Is(err, jobs.ErrUnknownJob) {
-		s.writeError(w, http.StatusNotFound, err)
+		s.writeError(w, http.StatusNotFound, CodeUnknownJob, err)
 		return
 	}
-	s.writeError(w, http.StatusInternalServerError, err)
+	s.writeError(w, http.StatusInternalServerError, CodeInternal, err)
 }
 
 func (s *Server) handleJobStatus(w http.ResponseWriter, id string) {
@@ -368,14 +368,14 @@ func (s *Server) handleJobResult(w http.ResponseWriter, id string) {
 		w.Header().Set("Content-Type", "application/json")
 		_, _ = w.Write(append(rec.Result, '\n'))
 	case jobs.StateFailed:
-		s.writeError(w, http.StatusInternalServerError, fmt.Errorf("job failed: %s", rec.Error))
+		s.writeError(w, http.StatusInternalServerError, CodeJobFailed, fmt.Errorf("job failed: %s", rec.Error))
 	case jobs.StateTimedOut:
-		s.writeError(w, http.StatusGatewayTimeout, fmt.Errorf("job timed out: %s", rec.Error))
+		s.writeError(w, http.StatusGatewayTimeout, CodeJobTimedOut, fmt.Errorf("job timed out: %s", rec.Error))
 	case jobs.StateCanceled:
-		s.writeError(w, http.StatusConflict, fmt.Errorf("job was canceled"))
+		s.writeError(w, http.StatusConflict, CodeJobCanceled, fmt.Errorf("job was canceled"))
 	default:
 		w.Header().Set("Retry-After", "1")
-		s.writeError(w, http.StatusConflict, fmt.Errorf("job not finished (state %q)", rec.State))
+		s.writeError(w, http.StatusConflict, CodeJobNotFinished, fmt.Errorf("job not finished (state %q)", rec.State))
 	}
 }
 
@@ -383,7 +383,7 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, id string) {
 	rec, err := s.jobs.Cancel(id)
 	switch {
 	case errors.Is(err, jobs.ErrFinished):
-		s.writeError(w, http.StatusConflict, fmt.Errorf("job already finished (state %q)", rec.State))
+		s.writeError(w, http.StatusConflict, CodeJobFinished, fmt.Errorf("job already finished (state %q)", rec.State))
 	case err != nil:
 		s.writeJobError(w, err)
 	default:

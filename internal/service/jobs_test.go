@@ -16,6 +16,7 @@ import (
 	"glitchsim"
 	"glitchsim/internal/jobs"
 	"glitchsim/internal/logic"
+	"glitchsim/internal/testutil"
 	"glitchsim/netlist"
 )
 
@@ -85,6 +86,7 @@ func pollJob(t *testing.T, ts *httptest.Server, id string) JobDTO {
 // end over HTTP, with the async result matching the synchronous
 // endpoint byte for byte.
 func TestJobsServiceLifecycle(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	_, ts := newJobServer(t, glitchsim.NewEngine(), jobs.Options{})
 
 	body := `{"kind":"measure","measure":{"circuit":"rca8","cycles":100,"seeds":[1,2,3]}}`

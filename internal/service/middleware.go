@@ -118,7 +118,7 @@ func (s *Server) withMiddleware(next http.HandlerFunc) http.HandlerFunc {
 				s.logf("service: panic serving %s %s rid=%s: %v\n%s",
 					r.Method, r.URL.Path, id, v, debug.Stack())
 				if sw.status == 0 {
-					s.writeError(sw, http.StatusInternalServerError,
+					s.writeError(sw, http.StatusInternalServerError, CodeInternal,
 						errors.New("internal error (see server log)"))
 				}
 			}

@@ -52,14 +52,17 @@ import (
 // Server serves the glitchsim HTTP API from one shared Engine. It
 // implements http.Handler.
 type Server struct {
-	engine  *glitchsim.Engine
-	mux     *http.ServeMux
-	start   time.Time
-	uploads *uploadStore
-	logf    func(format string, args ...any)
-	jobOpts *jobs.Options
-	jobs    *jobs.Manager
-	jobsErr error
+	engine        *glitchsim.Engine
+	mux           *http.ServeMux
+	start         time.Time
+	uploads       *uploadStore
+	uploadDir     string
+	logf          func(format string, args ...any)
+	jobOpts       *jobs.Options
+	jobs          *jobs.Manager
+	jobsErr       error
+	defaultBudget glitchsim.Budget
+	limits        Limits
 }
 
 // WithLogf routes the server's operational log lines (access log, job
@@ -81,6 +84,7 @@ func New(e *glitchsim.Engine, opts ...Option) *Server {
 	for _, o := range opts {
 		o(s)
 	}
+	s.initUploadDisk()
 	s.initJobs()
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/circuits", s.handleCircuits)
@@ -113,6 +117,12 @@ type healthzResponse struct {
 		Misses    uint64 `json:"misses"`
 		Evictions uint64 `json:"evictions"`
 	} `json:"cache"`
+	// Engine reports simulation-slot occupancy: active == capacity means
+	// the engine is saturated and expensive requests may be shed (429).
+	Engine struct {
+		Active   int `json:"active"`
+		Capacity int `json:"capacity"`
+	} `json:"engine"`
 	Jobs *healthzJobs `json:"jobs,omitempty"`
 }
 
@@ -127,7 +137,7 @@ type healthzJobs struct {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
-		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		s.writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, fmt.Errorf("use GET"))
 		return
 	}
 	var resp healthzResponse
@@ -141,6 +151,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp.Cache.Hits = cs.Hits
 	resp.Cache.Misses = cs.Misses
 	resp.Cache.Evictions = cs.Evictions
+	resp.Engine.Active, resp.Engine.Capacity = s.engine.Load()
 	if s.jobs != nil {
 		st := s.jobs.Stats()
 		resp.Jobs = &healthzJobs{
@@ -184,6 +195,24 @@ type MeasureParams struct {
 	Power bool `json:"power,omitempty"`
 	// Stream switches the reply to NDJSON progress events.
 	Stream bool `json:"stream,omitempty"`
+	// BudgetEvents bounds the measurement's kernel event count; a trip
+	// answers 422 code "budget_exceeded". 0 keeps the server's default
+	// budget (WithDefaultBudget), which may itself be unlimited.
+	BudgetEvents uint64 `json:"budget_events,omitempty"`
+	// BudgetMemoryBytes bounds the estimated memory footprint, enforced
+	// at admission before compilation.
+	BudgetMemoryBytes uint64 `json:"budget_memory_bytes,omitempty"`
+	// BudgetWallMS bounds the measurement's wall-clock milliseconds.
+	BudgetWallMS int `json:"budget_wall_ms,omitempty"`
+}
+
+// budget resolves the request's wire budget fields.
+func (p *MeasureParams) budget() glitchsim.Budget {
+	return glitchsim.Budget{
+		Events:      p.BudgetEvents,
+		MemoryBytes: p.BudgetMemoryBytes,
+		WallClock:   time.Duration(p.BudgetWallMS) * time.Millisecond,
+	}
 }
 
 func (p *MeasureParams) config() glitchsim.Config {
@@ -200,6 +229,7 @@ func (p *MeasureParams) config() glitchsim.Config {
 	}
 	cfg.Cycles = explicitZero(p.Cycles)
 	cfg.Warmup = explicitZero(p.Warmup)
+	cfg.Budget = p.budget()
 	return cfg
 }
 
@@ -222,7 +252,7 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if p.Circuit == "" {
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("missing circuit (available: %s)", registry.NameList()))
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("missing circuit (available: %s)", registry.NameList()))
 		return
 	}
 	nl, err := s.resolveCircuit(p.Circuit)
@@ -232,6 +262,9 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx := r.Context()
 	cfg := p.config()
+	if !s.admitMeasure(w, nl, cfg) {
+		return
+	}
 
 	if p.Stream {
 		s.streamResponse(w, r, func(sess *glitchsim.Session) (any, error) {
@@ -251,6 +284,9 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 // streaming (sess non-nil, emitting per-seed progress) or directly on
 // the engine.
 func (s *Server) measure(ctx context.Context, sess *glitchsim.Session, nl *netlist.Netlist, cfg glitchsim.Config, p *MeasureParams) (*MeasureResponse, error) {
+	if cfg.Budget.IsZero() {
+		cfg.Budget = s.defaultBudget
+	}
 	// Kernel selection is deterministic per (circuit, config, engine
 	// defaults), so the reply can name the kernel without threading it
 	// out of the measurement itself. Seed sweeps run every seed on the
@@ -339,7 +375,7 @@ func (s *Server) experimentHandler(name string) http.HandlerFunc {
 		req := glitchsim.ExperimentRequest{Cycles: p.Cycles, Seed: p.Seed, Targets: p.Targets}
 		if p.Circuit != "" {
 			if name == "table1" || name == "table2" {
-				s.writeError(w, http.StatusBadRequest,
+				s.writeError(w, http.StatusBadRequest, CodeBadRequest,
 					fmt.Errorf("experiment %s measures a fixed circuit set and takes no circuit", name))
 				return
 			}
@@ -475,7 +511,7 @@ func (s *Server) decodeParams(w http.ResponseWriter, r *http.Request, v any) boo
 	switch r.Method {
 	case http.MethodGet:
 		if err := paramsFromQuery(r.URL.Query(), v); err != nil {
-			s.writeError(w, http.StatusBadRequest, err)
+			s.writeError(w, http.StatusBadRequest, CodeBadRequest, err)
 			return false
 		}
 		return true
@@ -483,12 +519,12 @@ func (s *Server) decodeParams(w http.ResponseWriter, r *http.Request, v any) boo
 		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(v); err != nil {
-			s.writeError(w, statusForBodyError(err), fmt.Errorf("invalid JSON body: %w", err))
+			s.writeBodyError(w, fmt.Errorf("invalid JSON body: %w", err))
 			return false
 		}
 		return true
 	default:
-		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or POST"))
+		s.writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, fmt.Errorf("use GET or POST"))
 		return false
 	}
 }
@@ -506,35 +542,6 @@ func statusForBodyError(err error) int {
 func (s *Server) writeOK(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = WriteJSON(w, v)
-}
-
-func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = WriteJSON(w, ErrorResponse{Error: err.Error(), RequestID: requestIDHeader(w)})
-}
-
-// writeResolveError maps circuit-resolution failures onto status codes:
-// an unknown circuit reference is the client naming something that is
-// not there (404, with the resolvable identifiers in the message);
-// anything else is a bad request.
-func (s *Server) writeResolveError(w http.ResponseWriter, err error) {
-	var unknown *unknownCircuitError
-	if errors.As(err, &unknown) {
-		s.writeError(w, http.StatusNotFound, err)
-		return
-	}
-	s.writeError(w, http.StatusBadRequest, err)
-}
-
-// writeEngineError maps engine failures onto status codes. A cancelled
-// request context means the client went away: there is no one to answer,
-// so nothing is written.
-func (s *Server) writeEngineError(w http.ResponseWriter, r *http.Request, err error) {
-	if errors.Is(err, context.Canceled) && r.Context().Err() != nil {
-		return
-	}
-	s.writeError(w, http.StatusInternalServerError, err)
 }
 
 // paramsFromQuery fills the params struct from URL query values using
@@ -576,6 +583,17 @@ func paramsFromQuery(q url.Values, v any) error {
 			return err
 		} else if n != nil {
 			p.Lanes = *n
+		}
+		if p.BudgetEvents, err = parseUint(q, "budget_events"); err != nil {
+			return err
+		}
+		if p.BudgetMemoryBytes, err = parseUint(q, "budget_memory_bytes"); err != nil {
+			return err
+		}
+		if n, err := optInt(q, "budget_wall_ms"); err != nil {
+			return err
+		} else if n != nil {
+			p.BudgetWallMS = *n
 		}
 		p.Typical = boolParam(q, "typical")
 		p.Inertial = boolParam(q, "inertial")

@@ -142,6 +142,11 @@ type Options struct {
 	// reaches a running simulation. It must be cheap and side-effect
 	// free; the measurement layer passes ctx.Err.
 	Cancel func() error
+	// Budget bounds the simulator's resource consumption; the zero value
+	// is unlimited. Budgets ride the same periodic poll as Cancel and
+	// abort Step with a *BudgetError (see Budget for the overshoot
+	// semantics).
+	Budget Budget
 }
 
 // cancelCheckInterval is the number of processed events between two
@@ -213,8 +218,7 @@ type Simulator struct {
 	settle    int    // settle time of the most recent cycle
 	events    uint64 // total events processed
 
-	cancel      func() error // polled periodically; nil = never cancelled
-	cancelCheck uint64       // events at which to poll cancel next
+	poll pollState // periodic cancellation + budget check
 
 	evalIn  []logic.V
 	evalOut [outputsPerCell]logic.V
@@ -262,9 +266,8 @@ func NewFromCompiled(c *Compiled, opts Options) *Simulator {
 		flushEpoch: 1,
 		touchEpoch: make([]int32, nc),
 		evalIn:     make([]logic.V, c.maxIn),
-		cancel:     opts.Cancel,
 	}
-	s.cancelCheck = cancelCheckInterval
+	s.poll.init(opts)
 	copy(s.values, c.initVals)
 	for i := range s.ffQ {
 		s.ffQ[i] = logic.L0
@@ -429,8 +432,9 @@ func (s *Simulator) run() error {
 	for !s.queueEmpty() {
 		t := s.queueNextTime()
 		if t > s.guard {
+			nets := s.hotNets()
 			s.discardInFlight()
-			return fmt.Errorf("sim: cycle %d did not settle by time %d (oscillation or guard too low)", s.cycle, s.guard)
+			return newOscillationError(s.c.n, s.cycle, s.guard, nets)
 		}
 		if flushAt >= 0 && t > flushAt {
 			s.flush(flushAt)
@@ -438,9 +442,8 @@ func (s *Simulator) run() error {
 		flushAt = t
 		s.applyBatch(t)
 		s.evalTouched(t)
-		if s.cancel != nil && s.events >= s.cancelCheck {
-			s.cancelCheck = s.events + cancelCheckInterval
-			if err := s.cancel(); err != nil {
+		if s.poll.due(s.events) {
+			if err := s.poll.poll(s.events, s.cycle); err != nil {
 				s.discardInFlight()
 				return err
 			}
@@ -453,6 +456,21 @@ func (s *Simulator) run() error {
 		s.settle = 0
 	}
 	return nil
+}
+
+// hotNets collects up to maxHotNets nets with events still in flight —
+// the nets feeding the unsettled cascade a guard trip reports.
+func (s *Simulator) hotNets() []netlist.NetID {
+	var nets []netlist.NetID
+	for net, n := range s.pending {
+		if n > 0 {
+			nets = append(nets, netlist.NetID(net))
+			if len(nets) == maxHotNets {
+				break
+			}
+		}
+	}
+	return nets
 }
 
 // discardInFlight clears all pending events and per-cycle bookkeeping so

@@ -147,8 +147,7 @@ type WideSimulator struct {
 	settle   int
 	events   uint64 // word events processed (each spans all lanes)
 
-	cancel      func() error
-	cancelCheck uint64
+	poll pollState // periodic cancellation + budget check
 
 	evalIn  logic.Vector // per-lane scratch for the reference fallback
 	evalOut [outputsPerCell]logic.V
@@ -187,9 +186,8 @@ func NewWide(c *Compiled, opts Options) (*WideSimulator, error) {
 		ffQ:        make([]logic.W, len(c.dffCells)),
 		touchEpoch: make([]int32, nc),
 		evalIn:     make(logic.Vector, c.maxIn),
-		cancel:     opts.Cancel,
 	}
-	s.cancelCheck = cancelCheckInterval
+	s.poll.init(opts)
 	for i, v := range c.initVals {
 		s.values[i] = logic.SplatW(v)
 	}
@@ -260,17 +258,24 @@ func (s *WideSimulator) Step(pi []logic.W) error {
 	t, settle := 0, 0
 	for len(s.next) > 0 {
 		if t > s.guard {
+			nets := make([]netlist.NetID, 0, maxHotNets)
+			for i := range s.next {
+				// A net appears at most once per wave (single driver), so
+				// the pending wave needs no dedup.
+				if nets = append(nets, s.next[i].net); len(nets) == maxHotNets {
+					break
+				}
+			}
 			s.discardInFlight()
-			return fmt.Errorf("sim: cycle %d did not settle by time %d (oscillation or guard too low)", s.cycle, s.guard)
+			return newOscillationError(s.c.n, s.cycle, s.guard, nets)
 		}
 		s.wave, s.next = s.next, s.wave[:0]
 		s.applyWave(t)
 		s.evalTouched()
 		settle = t
 		t += s.d
-		if s.cancel != nil && s.events >= s.cancelCheck {
-			s.cancelCheck = s.events + cancelCheckInterval
-			if err := s.cancel(); err != nil {
+		if s.poll.due(s.events) {
+			if err := s.poll.poll(s.events, s.cycle); err != nil {
 				s.discardInFlight()
 				return err
 			}

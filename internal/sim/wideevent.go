@@ -119,8 +119,7 @@ type WideEventSimulator struct {
 	settle   int
 	events   uint64 // word events processed (each spans all lanes)
 
-	cancel      func() error
-	cancelCheck uint64
+	poll pollState // periodic cancellation + budget check
 
 	evalIn  logic.Vector // per-lane scratch for the reference fallback
 	evalOut [outputsPerCell]logic.V
@@ -160,9 +159,8 @@ func NewWideEvent(c *Compiled, opts Options) *WideEventSimulator {
 		changed:    make([]wideChangeState, nn),
 		touchEpoch: make([]int32, nc),
 		evalIn:     make(logic.Vector, c.maxIn),
-		cancel:     opts.Cancel,
 	}
-	s.cancelCheck = cancelCheckInterval
+	s.poll.init(opts)
 	for i, v := range c.initVals {
 		s.values[i] = logic.SplatW(v)
 	}
@@ -286,8 +284,29 @@ func (s *WideEventSimulator) run() error {
 	for !s.queueEmpty() {
 		t := s.queueNextTime()
 		if t > s.guard {
+			// The batch past the guard holds the nets still toggling; pop
+			// it for the report — everything is discarded right after.
+			var batch []int32
+			if s.cal != nil {
+				batch = s.cal.popBatch(t)
+			} else {
+				batch = s.hq.popBatch(t)
+			}
+			nets := make([]netlist.NetID, 0, maxHotNets)
+		collect:
+			for _, idx := range batch {
+				net := s.arena[idx].net
+				for _, seen := range nets {
+					if seen == net {
+						continue collect
+					}
+				}
+				if nets = append(nets, net); len(nets) == maxHotNets {
+					break
+				}
+			}
 			s.discardInFlight()
-			return fmt.Errorf("sim: cycle %d did not settle by time %d (oscillation or guard too low)", s.cycle, s.guard)
+			return newOscillationError(s.c.n, s.cycle, s.guard, nets)
 		}
 		if flushAt >= 0 && t > flushAt {
 			s.flush(flushAt)
@@ -295,9 +314,8 @@ func (s *WideEventSimulator) run() error {
 		flushAt = t
 		s.applyBatch(t)
 		s.evalTouched(t)
-		if s.cancel != nil && s.events >= s.cancelCheck {
-			s.cancelCheck = s.events + cancelCheckInterval
-			if err := s.cancel(); err != nil {
+		if s.poll.due(s.events) {
+			if err := s.poll.poll(s.events, s.cycle); err != nil {
 				s.discardInFlight()
 				return err
 			}

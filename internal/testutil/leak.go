@@ -1,0 +1,62 @@
+// Package testutil holds small cross-suite test helpers. It is only
+// imported from _test files.
+package testutil
+
+import (
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// VerifyNoLeaks snapshots the goroutine count when called and registers
+// a cleanup that fails the test if the count has not returned to the
+// baseline by the end of it (after a grace period — goroutines wind
+// down asynchronously). Call it FIRST in the test, before starting
+// servers or managers, so its cleanup runs after theirs (cleanups run
+// LIFO) and sees the torn-down state.
+//
+// Hand-rolled on purpose: the repo takes no test dependencies. The
+// check is count-based with a stack dump on failure, which is enough to
+// catch the classes of leak the chaos suite hunts (wedged workers,
+// abandoned session drains, unclosed subscribers).
+func VerifyNoLeaks(t testing.TB) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			// Idle HTTP keep-alive connections hold goroutines that are
+			// pool state, not leaks; release them before counting.
+			http.DefaultClient.CloseIdleConnections()
+			if runtime.NumGoroutine() <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d at baseline, %d after cleanup; stacks:\n%s",
+			base, runtime.NumGoroutine(), summarizeStacks(string(buf[:n])))
+	})
+}
+
+// summarizeStacks trims a full runtime.Stack dump to the goroutine
+// headers plus their top frames, keeping the failure message readable.
+func summarizeStacks(dump string) string {
+	var sb strings.Builder
+	for _, g := range strings.Split(dump, "\n\n") {
+		lines := strings.Split(g, "\n")
+		n := len(lines)
+		if n > 5 {
+			n = 5
+		}
+		sb.WriteString(strings.Join(lines[:n], "\n"))
+		sb.WriteString("\n\n")
+	}
+	return sb.String()
+}

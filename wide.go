@@ -2,8 +2,10 @@ package glitchsim
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"glitchsim/internal/core"
 	"glitchsim/internal/logic"
@@ -249,13 +251,19 @@ func (s *wideScratch) grow(lanes, width int) {
 // (quotas are non-increasing; all lanes share the warm-up length). The
 // folded counter is bit-identical to the per-lane scalar measurements
 // merged in lane order, under every delay model.
+//
+// On a budget trip after k completed measured steps, the partial
+// counter is returned WITH the error and its statistics equal the
+// lane-order merge of scalar runs measuring min(quota_l, k) cycles
+// each: per-lane masks are applied at the start of each step, so every
+// completed step carries exactly the lanes that were still active.
 func measureWide(ctx context.Context, c *sim.Compiled, cfg Config, lanes int) (*core.Counter, error) {
 	n := c.Netlist()
 	mode := sim.Transport
 	if cfg.Inertial {
 		mode = sim.Inertial
 	}
-	opts := sim.Options{Delay: cfg.Delay, Mode: mode}
+	opts := sim.Options{Delay: cfg.Delay, Mode: mode, Budget: cfg.Budget.simBudget(time.Now())}
 	if ctx.Done() != nil {
 		opts.Cancel = ctx.Err
 	}
@@ -276,6 +284,9 @@ func measureWide(ctx context.Context, c *sim.Compiled, cfg Config, lanes int) (*
 			return nil, err
 		}
 		if err := ws.Step(src.NextWide(buf)); err != nil {
+			if errors.Is(err, sim.ErrBudgetExceeded) {
+				return core.NewCounter(n), err
+			}
 			return nil, err
 		}
 	}
@@ -298,6 +309,9 @@ func measureWide(ctx context.Context, c *sim.Compiled, cfg Config, lanes int) (*
 			return nil, err
 		}
 		if err := ws.Step(src.NextWide(buf)); err != nil {
+			if errors.Is(err, sim.ErrBudgetExceeded) {
+				return counter.Counter(), err
+			}
 			return nil, err
 		}
 	}
