@@ -22,6 +22,7 @@ func TestMeasureManyMatchesSerial(t *testing.T) {
 	}
 	want := make([]glitchsim.Activity, len(jobs))
 	for i, j := range jobs {
+		//lint:ignore SA1019 deprecated wrappers keep golden coverage
 		act, err := glitchsim.Measure(j.Netlist, j.Config)
 		if err != nil {
 			t.Fatal(err)
@@ -29,6 +30,7 @@ func TestMeasureManyMatchesSerial(t *testing.T) {
 		want[i] = act
 	}
 	for _, workers := range []int{1, 2, 5, 16} {
+		//lint:ignore SA1019 deprecated wrappers keep golden coverage
 		res := glitchsim.MeasureMany(jobs, workers)
 		if len(res) != len(jobs) {
 			t.Fatalf("workers=%d: %d results for %d jobs", workers, len(res), len(jobs))
@@ -53,6 +55,7 @@ func TestMeasureManyReportsPerJobErrors(t *testing.T) {
 	rca := glitchsim.NewRCA(4)
 	other := glitchsim.NewRCA(6)
 	bad := glitchsim.Config{Cycles: 10, Source: stimulus.NewRandom(3, 1)} // wrong width
+	//lint:ignore SA1019 deprecated wrappers keep golden coverage
 	res := glitchsim.MeasureMany([]glitchsim.MeasureJob{
 		{Netlist: rca, Config: glitchsim.Config{Cycles: 10}},
 		{Netlist: rca, Config: bad},
@@ -77,6 +80,7 @@ func TestMeasureSeedsMergesCounters(t *testing.T) {
 	seeds := []uint64{1, 2, 3, 4}
 	cfg := glitchsim.Config{Cycles: 50}
 
+	//lint:ignore SA1019 deprecated wrappers keep golden coverage
 	agg, err := glitchsim.MeasureSeeds(nl, cfg, seeds, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -86,6 +90,7 @@ func TestMeasureSeedsMergesCounters(t *testing.T) {
 	for _, seed := range seeds {
 		c := cfg
 		c.Seed = seed
+		//lint:ignore SA1019 deprecated wrappers keep golden coverage
 		counter, err := glitchsim.MeasureDetailed(nl, c)
 		if err != nil {
 			t.Fatal(err)
@@ -108,6 +113,7 @@ func TestMeasureSeedsMergesCounters(t *testing.T) {
 		t.Errorf("merged cycles %d, want %d", agg.Cycles(), wantCycles)
 	}
 
+	//lint:ignore SA1019 deprecated wrappers keep golden coverage
 	if _, err := glitchsim.MeasureSeeds(nl, cfg, nil, 1); err == nil {
 		t.Error("MeasureSeeds with no seeds did not fail")
 	}

@@ -24,6 +24,7 @@ func BenchmarkBalanceStudy(b *testing.B) {
 	var rows []glitchsim.BalanceRow
 	for i := 0; i < b.N; i++ {
 		var err error
+		//lint:ignore SA1019 deprecated wrappers keep golden coverage
 		rows, err = glitchsim.BalanceStudy(200, 1)
 		if err != nil {
 			b.Fatal(err)
@@ -43,6 +44,7 @@ func BenchmarkAdderStudy(b *testing.B) {
 	var rows []glitchsim.AdderRow
 	for i := 0; i < b.N; i++ {
 		var err error
+		//lint:ignore SA1019 deprecated wrappers keep golden coverage
 		rows, err = glitchsim.AdderStudy(16, 500, 1)
 		if err != nil {
 			b.Fatal(err)
@@ -58,6 +60,7 @@ func BenchmarkCorrelationStudy(b *testing.B) {
 	var rows []glitchsim.CorrelationRow
 	for i := 0; i < b.N; i++ {
 		var err error
+		//lint:ignore SA1019 deprecated wrappers keep golden coverage
 		rows, err = glitchsim.CorrelationStudy(2000, 99)
 		if err != nil {
 			b.Fatal(err)
@@ -72,6 +75,7 @@ func BenchmarkMultiplierStudy(b *testing.B) {
 	var rows []glitchsim.AdderRow
 	for i := 0; i < b.N; i++ {
 		var err error
+		//lint:ignore SA1019 deprecated wrappers keep golden coverage
 		rows, err = glitchsim.MultiplierStudy(8, 500, 1)
 		if err != nil {
 			b.Fatal(err)
@@ -88,6 +92,7 @@ func BenchmarkEstimatorComparison(b *testing.B) {
 	var res glitchsim.EstimatorComparison
 	for i := 0; i < b.N; i++ {
 		var err error
+		//lint:ignore SA1019 deprecated wrappers keep golden coverage
 		res, err = glitchsim.CompareEstimators(16, 2000, 1)
 		if err != nil {
 			b.Fatal(err)

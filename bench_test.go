@@ -23,6 +23,7 @@ import (
 func BenchmarkFig3WorstCase(b *testing.B) {
 	var last glitchsim.WorstCaseResult
 	for i := 0; i < b.N; i++ {
+		//lint:ignore SA1019 deprecated wrappers keep golden coverage
 		res, err := glitchsim.WorstCase(4)
 		if err != nil {
 			b.Fatal(err)
@@ -39,6 +40,7 @@ func BenchmarkFig3WorstCase(b *testing.B) {
 func BenchmarkFig5RCA(b *testing.B) {
 	var last glitchsim.Fig5Result
 	for i := 0; i < b.N; i++ {
+		//lint:ignore SA1019 deprecated wrappers keep golden coverage
 		res, err := glitchsim.Figure5(16, 4000, 1)
 		if err != nil {
 			b.Fatal(err)
@@ -62,6 +64,7 @@ func BenchmarkTable1(b *testing.B) {
 					if arch == "wallace" {
 						nl = circuits.NewWallaceMultiplier(width, circuits.Cells)
 					}
+					//lint:ignore SA1019 deprecated wrappers keep golden coverage
 					act, err := glitchsim.Measure(nl, glitchsim.Config{Cycles: 500})
 					if err != nil {
 						b.Fatal(err)
@@ -92,6 +95,7 @@ func BenchmarkTable2(b *testing.B) {
 				}
 				var last glitchsim.Activity
 				for i := 0; i < b.N; i++ {
+					//lint:ignore SA1019 deprecated wrappers keep golden coverage
 					act, err := glitchsim.Measure(nl, glitchsim.Config{Cycles: 500, Delay: dm})
 					if err != nil {
 						b.Fatal(err)
@@ -110,6 +114,7 @@ func BenchmarkTable2(b *testing.B) {
 func BenchmarkDirectionDetector(b *testing.B) {
 	var last glitchsim.DirDetResult
 	for i := 0; i < b.N; i++ {
+		//lint:ignore SA1019 deprecated wrappers keep golden coverage
 		res, err := glitchsim.DirectionDetector42(4320, 1)
 		if err != nil {
 			b.Fatal(err)
@@ -128,6 +133,7 @@ func BenchmarkTable3(b *testing.B) {
 	var rows []glitchsim.Table3Row
 	for i := 0; i < b.N; i++ {
 		var err error
+		//lint:ignore SA1019 deprecated wrappers keep golden coverage
 		rows, err = glitchsim.Table3(200, 1)
 		if err != nil {
 			b.Fatal(err)
@@ -145,6 +151,7 @@ func BenchmarkFig10(b *testing.B) {
 	var rows []glitchsim.Table3Row
 	for i := 0; i < b.N; i++ {
 		var err error
+		//lint:ignore SA1019 deprecated wrappers keep golden coverage
 		rows, err = glitchsim.Figure10(nil, 100, 1)
 		if err != nil {
 			b.Fatal(err)
@@ -166,6 +173,7 @@ func BenchmarkFig10(b *testing.B) {
 func BenchmarkAblationInertial(b *testing.B) {
 	var last glitchsim.AblationResult
 	for i := 0; i < b.N; i++ {
+		//lint:ignore SA1019 deprecated wrappers keep golden coverage
 		res, err := glitchsim.AblationInertial(300, 1)
 		if err != nil {
 			b.Fatal(err)
@@ -182,6 +190,7 @@ func BenchmarkAblationInertial(b *testing.B) {
 func BenchmarkAblationZeroDelay(b *testing.B) {
 	var last glitchsim.ZeroDelayComparison
 	for i := 0; i < b.N; i++ {
+		//lint:ignore SA1019 deprecated wrappers keep golden coverage
 		res, err := glitchsim.AblationZeroDelay(16, 2000, 1)
 		if err != nil {
 			b.Fatal(err)
@@ -198,6 +207,7 @@ func BenchmarkAblationZeroDelay(b *testing.B) {
 func BenchmarkAblationGranularity(b *testing.B) {
 	var last glitchsim.AblationResult
 	for i := 0; i < b.N; i++ {
+		//lint:ignore SA1019 deprecated wrappers keep golden coverage
 		res, err := glitchsim.AblationGranularity(8, 300, 1)
 		if err != nil {
 			b.Fatal(err)
@@ -230,6 +240,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 			var cycles int
 			var events uint64
 			for i := 0; i < b.N; i++ {
+				//lint:ignore SA1019 deprecated wrappers keep golden coverage
 				act, err := glitchsim.Measure(nl, glitchsim.Config{Cycles: 100, Warmup: 1, Lanes: tc.lanes})
 				if err != nil {
 					b.Fatal(err)
@@ -258,6 +269,7 @@ func BenchmarkMeasureLanes(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
+				//lint:ignore SA1019 deprecated wrappers keep golden coverage
 				if _, err := glitchsim.Measure(nl, glitchsim.Config{Cycles: 500, Lanes: lanes}); err != nil {
 					b.Fatal(err)
 				}
@@ -296,6 +308,7 @@ func BenchmarkMeasureLanesNonUniform(b *testing.B) {
 			if l < cycles%lanes {
 				quota++
 			}
+			//lint:ignore SA1019 deprecated wrappers keep golden coverage
 			counter, err := glitchsim.MeasureDetailed(nl, glitchsim.Config{
 				Cycles: quota, Seed: seed, Delay: dm, Lanes: 1,
 			})
@@ -311,6 +324,7 @@ func BenchmarkMeasureLanesNonUniform(b *testing.B) {
 		return glitchsim.ActivityFromCounter(nl.Name, agg), nil
 	}
 
+	//lint:ignore SA1019 deprecated wrappers keep golden coverage
 	wide, err := glitchsim.Measure(nl, glitchsim.Config{Cycles: cycles, Seed: baseSeed, Delay: dm, Lanes: lanes})
 	if err != nil {
 		b.Fatal(err)
@@ -342,6 +356,7 @@ func BenchmarkMeasureLanesNonUniform(b *testing.B) {
 		b.ResetTimer()
 		var events uint64
 		for i := 0; i < b.N; i++ {
+			//lint:ignore SA1019 deprecated wrappers keep golden coverage
 			act, err := glitchsim.Measure(nl, glitchsim.Config{Cycles: cycles, Seed: baseSeed, Delay: dm, Lanes: lanes})
 			if err != nil {
 				b.Fatal(err)
@@ -380,6 +395,7 @@ func BenchmarkSequential(b *testing.B) {
 			if l < cycles%lanes {
 				quota++
 			}
+			//lint:ignore SA1019 deprecated wrappers keep golden coverage
 			counter, err := glitchsim.MeasureDetailed(nl, glitchsim.Config{
 				Cycles: quota, Seed: seed, Lanes: 1,
 			})
@@ -395,6 +411,7 @@ func BenchmarkSequential(b *testing.B) {
 		return glitchsim.ActivityFromCounter(nl.Name, agg), nil
 	}
 
+	//lint:ignore SA1019 deprecated wrappers keep golden coverage
 	wide, err := glitchsim.Measure(nl, glitchsim.Config{Cycles: cycles, Seed: baseSeed, Lanes: lanes})
 	if err != nil {
 		b.Fatal(err)
@@ -426,6 +443,7 @@ func BenchmarkSequential(b *testing.B) {
 		b.ResetTimer()
 		var events uint64
 		for i := 0; i < b.N; i++ {
+			//lint:ignore SA1019 deprecated wrappers keep golden coverage
 			act, err := glitchsim.Measure(nl, glitchsim.Config{Cycles: cycles, Seed: baseSeed, Lanes: lanes})
 			if err != nil {
 				b.Fatal(err)
@@ -452,6 +470,7 @@ func BenchmarkMeasureMany(b *testing.B) {
 	b.ResetTimer()
 	var cycles int
 	for i := 0; i < b.N; i++ {
+		//lint:ignore SA1019 deprecated wrappers keep golden coverage
 		for _, r := range glitchsim.MeasureMany(jobs, 0) {
 			if r.Err != nil {
 				b.Fatal(r.Err)

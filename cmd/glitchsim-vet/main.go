@@ -1,0 +1,96 @@
+// glitchsim-vet is the project's static-invariant multichecker: the
+// internal/analysis suite (hotpathalloc, kernelpoll, typederr, ctxbg)
+// packaged as a `go vet -vettool=` plugin.
+//
+// Two invocation modes:
+//
+//	go vet -vettool=$(which glitchsim-vet) ./...   # unit-checker protocol
+//	glitchsim-vet ./...                            # convenience: re-execs go vet
+//
+// In the first mode the go command drives the tool once per package,
+// passing a *.cfg file describing the compilation unit (files, import
+// map, export data); diagnostics go to stderr as file:line:col:
+// message and a non-empty set exits 2, which go vet turns into a
+// failure. The second mode simply re-invokes `go vet -vettool=<self>`
+// with the given package patterns, so CI and developers don't need to
+// spell the protocol.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"glitchsim/internal/analysis"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	// Protocol handshake flags, sent by the go command before any
+	// compilation unit: -V=full identifies the tool build (its output
+	// keys the vet cache), -flags reports the analyzer flags we accept.
+	for _, arg := range args {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			printVersion()
+			return
+		case arg == "-flags" || arg == "--flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		exitCode, err := runUnit(args[0], analysis.All())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "glitchsim-vet: %v\n", err)
+			os.Exit(1)
+		}
+		os.Exit(exitCode)
+	}
+
+	// Convenience mode: glitchsim-vet [packages] re-execs go vet with
+	// this binary as the vettool.
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "glitchsim-vet: locating self: %v\n", err)
+		os.Exit(1)
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "glitchsim-vet: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// printVersion emits the version line the go command requires from a
+// vettool: `<name> version devel comments-go-here buildID=<hex>`. The
+// buildID is a content hash of the executable, so rebuilding the tool
+// (new analyzers, changed rules) invalidates go vet's result cache.
+func printVersion() {
+	name, hash := "glitchsim-vet", "unknown"
+	if exe, err := os.Executable(); err == nil {
+		name = filepath.Base(exe)
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				hash = fmt.Sprintf("%x", h.Sum(nil))
+			}
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%s\n", name, hash)
+}

@@ -21,7 +21,8 @@ func cmdWorstCase(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	res, err := glitchsim.WorstCase(*n)
+	res, err := glitchsim.DefaultEngine().WorstCase(context.Background(),
+		glitchsim.ExperimentRequest{Width: *n})
 	if err != nil {
 		return err
 	}
@@ -48,7 +49,8 @@ func cmdFig5(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	res, err := glitchsim.Figure5(*n, *cycles, *seed)
+	res, err := glitchsim.DefaultEngine().Figure5(context.Background(),
+		glitchsim.ExperimentRequest{Width: *n, Cycles: *cycles, Seed: *seed})
 	if err != nil {
 		return err
 	}
@@ -101,7 +103,8 @@ func cmdTable1(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rows, err := glitchsim.Table1(*cycles, *seed)
+	rows, err := glitchsim.DefaultEngine().Table1(context.Background(),
+		glitchsim.ExperimentRequest{Cycles: *cycles, Seed: *seed})
 	if err != nil {
 		return err
 	}
@@ -120,7 +123,8 @@ func cmdTable2(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rows, err := glitchsim.Table2(*cycles, *seed)
+	rows, err := glitchsim.DefaultEngine().Table2(context.Background(),
+		glitchsim.ExperimentRequest{Cycles: *cycles, Seed: *seed})
 	if err != nil {
 		return err
 	}
@@ -139,7 +143,8 @@ func cmdDirDet(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	res, err := glitchsim.DirectionDetector42(*cycles, *seed)
+	res, err := glitchsim.DefaultEngine().DirectionDetector42(context.Background(),
+		glitchsim.ExperimentRequest{Cycles: *cycles, Seed: *seed})
 	if err != nil {
 		return err
 	}
@@ -172,7 +177,8 @@ func cmdTable3(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rows, err := glitchsim.Table3(*cycles, *seed)
+	rows, err := glitchsim.DefaultEngine().Table3(context.Background(),
+		glitchsim.ExperimentRequest{Cycles: *cycles, Seed: *seed})
 	if err != nil {
 		return err
 	}
@@ -224,13 +230,16 @@ func cmdAblate(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	inert, err := glitchsim.AblationInertial(*cycles, *seed)
+	ctx := context.Background()
+	inert, err := glitchsim.DefaultEngine().AblationInertial(ctx,
+		glitchsim.ExperimentRequest{Cycles: *cycles, Seed: *seed})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("A1 transport vs inertial (dirdet8, typical delays):\n  transport: %v\n  inertial:  %v\n\n", inert.A, inert.B)
 
-	zd, err := glitchsim.AblationZeroDelay(16, *cycles*4, *seed)
+	zd, err := glitchsim.DefaultEngine().AblationZeroDelay(ctx,
+		glitchsim.ExperimentRequest{Width: 16, Cycles: *cycles * 4, Seed: *seed})
 	if err != nil {
 		return err
 	}
@@ -239,13 +248,15 @@ func cmdAblate(args []string) error {
 		zd.EstimatedPerCycle, zd.MeasuredPerCycle, zd.UsefulPerCycle)
 	fmt.Printf("  glitch-blind underestimate factor: %.2f\n\n", zd.Underestimate())
 
-	gran, err := glitchsim.AblationGranularity(8, *cycles, *seed)
+	gran, err := glitchsim.DefaultEngine().AblationGranularity(ctx,
+		glitchsim.ExperimentRequest{Width: 8, Cycles: *cycles, Seed: *seed})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("A4 FA-cell vs gate-level granularity (rca8):\n  cells: %v\n  gates: %v\n\n", gran.A, gran.B)
 
-	gray, err := glitchsim.GraySweep(*cycles)
+	gray, err := glitchsim.DefaultEngine().GraySweep(ctx,
+		glitchsim.ExperimentRequest{Cycles: *cycles})
 	if err != nil {
 		return err
 	}
@@ -254,7 +265,8 @@ func cmdAblate(args []string) error {
 		fmt.Printf("  %v\n", g)
 	}
 
-	seeds, err := glitchsim.SeedSweep(*cycles, []uint64{1, 2, 3, 4, 5})
+	seeds, err := glitchsim.DefaultEngine().SeedSweep(ctx,
+		glitchsim.ExperimentRequest{Cycles: *cycles, Seeds: []uint64{1, 2, 3, 4, 5}})
 	if err != nil {
 		return err
 	}

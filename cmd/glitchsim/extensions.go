@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -16,7 +17,8 @@ func cmdBalance(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rows, err := glitchsim.BalanceStudy(*cycles, *seed)
+	rows, err := glitchsim.DefaultEngine().BalanceStudy(context.Background(),
+		glitchsim.ExperimentRequest{Cycles: *cycles, Seed: *seed})
 	if err != nil {
 		return err
 	}
@@ -40,7 +42,8 @@ func cmdAdders(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rows, err := glitchsim.AdderStudy(*width, *cycles, *seed)
+	rows, err := glitchsim.DefaultEngine().AdderStudy(context.Background(),
+		glitchsim.ExperimentRequest{Width: *width, Cycles: *cycles, Seed: *seed})
 	if err != nil {
 		return err
 	}
@@ -60,7 +63,8 @@ func cmdCorr(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rows, err := glitchsim.CorrelationStudy(*cycles, *seed)
+	rows, err := glitchsim.DefaultEngine().CorrelationStudy(context.Background(),
+		glitchsim.ExperimentRequest{Cycles: *cycles, Seed: *seed})
 	if err != nil {
 		return err
 	}
@@ -122,7 +126,8 @@ func cmdMults(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rows, err := glitchsim.MultiplierStudy(*width, *cycles, *seed)
+	rows, err := glitchsim.DefaultEngine().MultiplierStudy(context.Background(),
+		glitchsim.ExperimentRequest{Width: *width, Cycles: *cycles, Seed: *seed})
 	if err != nil {
 		return err
 	}

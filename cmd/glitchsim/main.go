@@ -20,6 +20,7 @@
 //	retime     retime/pipeline a named circuit and report the result
 //	vcd        dump a VCD waveform of a simulation run
 //	dot        write a Graphviz netlist drawing
+//	lint       netlist lint pass: floating/dead/looping structure
 //	ablate     extra studies: inertial, zero-delay, granularity, stimulus
 //	all        run every paper experiment in sequence
 package main
@@ -50,6 +51,7 @@ var commands = map[string]func(args []string) error{
 	"mults":     cmdMults,
 	"corr":      cmdCorr,
 	"verilog":   cmdVerilog,
+	"lint":      cmdLint,
 	"stats":     cmdStats,
 	"power":     cmdPower,
 	"json":      cmdJSON,
@@ -141,6 +143,8 @@ tools (every -circuit flag below also accepts -verilog file.v or
   corr        signal-correlation decay through the direction detector
   verilog     export a circuit as structural Verilog (-circuit, -out)
   json        export a circuit as JSON (-circuit, -out)
+  lint        netlist lint: floating inputs, dead cells, loops, fanout
+              profile (-circuit; nonzero exit on warnings)
   stats       per-bus signal statistics of a circuit
   power       power breakdown + hottest nets of a circuit
 

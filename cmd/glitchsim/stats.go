@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -64,7 +65,10 @@ func cmdPower(args []string) error {
 		return err
 	}
 	tech := glitchsim.DefaultTech()
-	counter, err := glitchsim.MeasureDetailed(n, glitchsim.Config{Cycles: *cycles, Seed: *seed})
+	counter, err := glitchsim.DefaultEngine().MeasureDetailed(context.Background(), glitchsim.MeasureRequest{
+		Circuit: glitchsim.CircuitFromNetlist(n),
+		Config:  glitchsim.Config{Cycles: *cycles, Seed: *seed},
+	})
 	if err != nil {
 		return err
 	}

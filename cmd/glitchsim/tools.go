@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -70,14 +71,15 @@ func cmdSim(args []string) error {
 			fmt.Fprintf(os.Stderr, "note: %s covers %d cycles, replay wraps around to fill %d\n", *stim, have, *cycles)
 		}
 	}
-	kernel, err := glitchsim.DefaultEngine().SelectedKernel(glitchsim.MeasureRequest{Netlist: n, Config: cfg})
+	kernel, err := glitchsim.DefaultEngine().SelectedKernel(glitchsim.MeasureRequest{Circuit: glitchsim.CircuitFromNetlist(n), Config: cfg})
 	if err != nil {
 		return err
 	}
 	if !jsonOut() {
 		fmt.Print(n.Summary())
 	}
-	counter, err := glitchsim.MeasureDetailed(n, cfg)
+	counter, err := glitchsim.DefaultEngine().MeasureDetailed(context.Background(),
+		glitchsim.MeasureRequest{Circuit: glitchsim.CircuitFromNetlist(n), Config: cfg})
 	if err != nil {
 		// A budget trip still carries the partial counter: report it,
 		// flagged, instead of discarding the completed work.
@@ -135,25 +137,37 @@ func cmdRetime(args []string) error {
 	}
 	fmt.Printf("retimed %s: period %d, latency +%d cycles, %d flipflops (was %d)\n\n",
 		n.Name, res.Period, res.Latency, res.Registers, n.NumDFFs())
-	before, err := glitchsim.Measure(n, glitchsim.Config{Cycles: *cycles, Seed: *seed})
+	ctx := context.Background()
+	engine := glitchsim.DefaultEngine()
+	before, err := engine.Measure(ctx, glitchsim.MeasureRequest{
+		Circuit: glitchsim.CircuitFromNetlist(n),
+		Config:  glitchsim.Config{Cycles: *cycles, Seed: *seed},
+	})
 	if err != nil {
 		return err
 	}
-	after, err := glitchsim.Measure(res.Netlist, glitchsim.Config{
-		Cycles: *cycles, Seed: *seed, Warmup: res.Latency + 16,
+	after, err := engine.Measure(ctx, glitchsim.MeasureRequest{
+		Circuit: glitchsim.CircuitFromNetlist(res.Netlist),
+		Config:  glitchsim.Config{Cycles: *cycles, Seed: *seed, Warmup: res.Latency + 16},
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("before: %v\nafter:  %v\n", before, after)
 	tech := glitchsim.DefaultTech()
-	bdB, _, err := glitchsim.MeasurePower(n, glitchsim.Config{Cycles: *cycles, Seed: *seed}, tech)
+	bdB, _, err := engine.MeasurePower(ctx, glitchsim.MeasureRequest{
+		Circuit: glitchsim.CircuitFromNetlist(n),
+		Config:  glitchsim.Config{Cycles: *cycles, Seed: *seed},
+		Tech:    &tech,
+	})
 	if err != nil {
 		return err
 	}
-	bdA, _, err := glitchsim.MeasurePower(res.Netlist, glitchsim.Config{
-		Cycles: *cycles, Seed: *seed, Warmup: res.Latency + 16,
-	}, tech)
+	bdA, _, err := engine.MeasurePower(ctx, glitchsim.MeasureRequest{
+		Circuit: glitchsim.CircuitFromNetlist(res.Netlist),
+		Config:  glitchsim.Config{Cycles: *cycles, Seed: *seed, Warmup: res.Latency + 16},
+		Tech:    &tech,
+	})
 	if err != nil {
 		return err
 	}

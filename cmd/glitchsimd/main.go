@@ -79,6 +79,7 @@ func main() {
 	opts := []service.Option{
 		service.WithUploadCapacity(*uploads),
 		service.WithJobOptions(jobOpts),
+		service.WithBaseContext(context.Background()),
 		service.WithLogf(log.Printf),
 		service.WithDefaultBudget(glitchsim.Budget{
 			Events:      *budgetEvents,

@@ -86,6 +86,7 @@ func TestEngineDelayModelOption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	//lint:ignore SA1019 deprecated wrappers keep golden coverage
 	explicit, err := glitchsim.Measure(nl, glitchsim.Config{Cycles: 100, Delay: delay.Typical()})
 	if err != nil {
 		t.Fatal(err)
@@ -113,6 +114,7 @@ func TestEngineGoldenEquivalence(t *testing.T) {
 	e := glitchsim.NewEngine()
 
 	// Measure.
+	//lint:ignore SA1019 deprecated wrappers keep golden coverage
 	wrapped, err := glitchsim.Measure(glitchsim.NewRCA(8), glitchsim.Config{Cycles: 80, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
@@ -129,6 +131,7 @@ func TestEngineGoldenEquivalence(t *testing.T) {
 
 	// MeasureSeeds.
 	seeds := []uint64{1, 2, 3}
+	//lint:ignore SA1019 deprecated wrappers keep golden coverage
 	aggWrapped, err := glitchsim.MeasureSeeds(glitchsim.NewArrayMultiplier(4), glitchsim.Config{Cycles: 30}, seeds, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -144,6 +147,7 @@ func TestEngineGoldenEquivalence(t *testing.T) {
 	}
 
 	// Table1 experiment rows.
+	//lint:ignore SA1019 deprecated wrappers keep golden coverage
 	rowsWrapped, err := glitchsim.Table1(30, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -163,6 +167,7 @@ func TestEngineGoldenEquivalence(t *testing.T) {
 
 	// MeasurePower with an explicit tech.
 	tech := glitchsim.DefaultTech()
+	//lint:ignore SA1019 deprecated wrappers keep golden coverage
 	bdW, actW, err := glitchsim.MeasurePower(glitchsim.NewDirectionDetector(8, true), glitchsim.Config{Cycles: 50}, tech)
 	if err != nil {
 		t.Fatal(err)

@@ -7,6 +7,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -35,11 +36,13 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg := glitchsim.Config{Cycles: 500, Seed: 7}
-	orig, err := glitchsim.Measure(mult, cfg)
+	engine := glitchsim.DefaultEngine()
+	ctx := context.Background()
+	orig, err := engine.Measure(ctx, glitchsim.MeasureRequest{Circuit: glitchsim.CircuitFromNetlist(mult), Config: cfg})
 	if err != nil {
 		log.Fatal(err)
 	}
-	imported, err := glitchsim.Measure(back, cfg)
+	imported, err := engine.Measure(ctx, glitchsim.MeasureRequest{Circuit: glitchsim.CircuitFromNetlist(back), Config: cfg})
 	if err != nil {
 		log.Fatal(err)
 	}

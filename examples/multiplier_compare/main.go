@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,13 +18,18 @@ import (
 
 func main() {
 	const cycles = 500 // the paper's Table 1 run length
+	engine := glitchsim.DefaultEngine()
+	ctx := context.Background()
 
 	fmt.Println("=== Table 1: architecture comparison, unit delay ===")
 	tb := report.NewTable("", "architecture", "size", "cells", "depth", "total", "useful", "useless", "L/F")
 	for _, width := range []int{4, 8, 12, 16} {
 		for _, arch := range []string{"array", "wallace"} {
 			n := build(arch, width)
-			act, err := glitchsim.Measure(n, glitchsim.Config{Cycles: cycles})
+			act, err := engine.Measure(ctx, glitchsim.MeasureRequest{
+				Circuit: glitchsim.CircuitFromNetlist(n),
+				Config:  glitchsim.Config{Cycles: cycles},
+			})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -39,7 +45,10 @@ func main() {
 	for _, arch := range []string{"array", "wallace"} {
 		n := build(arch, 8)
 		for _, dm := range []delay.Model{delay.Unit(), delay.FullAdderRatio(2, 1)} {
-			act, err := glitchsim.Measure(n, glitchsim.Config{Cycles: cycles, Delay: dm})
+			act, err := engine.Measure(ctx, glitchsim.MeasureRequest{
+				Circuit: glitchsim.CircuitFromNetlist(n),
+				Config:  glitchsim.Config{Cycles: cycles, Delay: dm},
+			})
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,9 +24,9 @@ func main() {
 	// 2. Simulate it with unit gate delays under random stimulus and
 	// count transitions, classifying each cycle's count by the parity
 	// rule: odd -> one useful + rest useless, even -> all useless.
-	activity, err := glitchsim.Measure(adder, glitchsim.Config{
-		Cycles: cycles,
-		Seed:   2025,
+	activity, err := glitchsim.DefaultEngine().Measure(context.Background(), glitchsim.MeasureRequest{
+		Circuit: glitchsim.CircuitFromNetlist(adder),
+		Config:  glitchsim.Config{Cycles: cycles, Seed: 2025},
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,10 +25,12 @@ func main() {
 	_ = cp
 
 	fmt.Println("sweeping retiming target periods (paper Table 3 / Figure 10)...")
-	rows, err := glitchsim.Figure10(nil, 150, 7)
+	res, err := glitchsim.DefaultEngine().Figure10(context.Background(),
+		glitchsim.ExperimentRequest{Cycles: 150, Seed: 7})
 	if err != nil {
 		log.Fatal(err)
 	}
+	rows := res.Points
 
 	tb := report.NewTable("power vs pipelining depth",
 		"period", "latency", "#ff", "logic mW", "ff mW", "clock mW", "total mW", "L/F")

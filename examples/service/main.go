@@ -27,7 +27,7 @@ func main() {
 	// One Engine shared by every request the server will see: one
 	// compiled-netlist cache, one worker-pool configuration.
 	engine := glitchsim.NewEngine(glitchsim.WithCacheSize(32))
-	srv := &http.Server{Handler: service.New(engine)}
+	srv := &http.Server{Handler: service.New(engine, service.WithBaseContext(context.Background()))}
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -71,9 +72,12 @@ func main() {
 	fmt.Printf("\nwrote demo.vcd (%d cycles, %d time units per cycle)\n", cycles, period)
 
 	// 3. Quantify what the waveform shows.
-	act, err := glitchsim.Measure(n, glitchsim.Config{
-		Cycles: 1000,
-		Source: stimulus.NewRandom(n.InputWidth(), 42),
+	act, err := glitchsim.DefaultEngine().Measure(context.Background(), glitchsim.MeasureRequest{
+		Circuit: glitchsim.CircuitFromNetlist(n),
+		Config: glitchsim.Config{
+			Cycles: 1000,
+			Source: stimulus.NewRandom(n.InputWidth(), 42),
+		},
 	})
 	if err != nil {
 		log.Fatal(err)

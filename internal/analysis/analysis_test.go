@@ -1,0 +1,41 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"glitchsim/internal/analysis"
+	"glitchsim/internal/analysis/analysistest"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.HotPathAlloc, "hotpathalloc")
+}
+
+func TestKernelPoll(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.KernelPoll, "kernelpoll")
+}
+
+func TestTypedErr(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.TypedErr, "service")
+}
+
+func TestCtxBG(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.CtxBG, "ctxbg", "ctxbgmain")
+}
+
+func TestSuite(t *testing.T) {
+	all := analysis.All()
+	if len(all) != 4 {
+		t.Fatalf("All() returned %d analyzers, want 4", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}

@@ -1,0 +1,245 @@
+// Package analysistest runs an analysis.Analyzer over fixture packages
+// and checks its diagnostics against // want expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest without the dependency.
+//
+// Fixtures live under <testdata>/src/<importpath>/ as ordinary Go
+// files. A line that should be flagged carries a trailing comment:
+//
+//	fmt.Sprintf("x") // want `call to fmt\.Sprintf allocates`
+//
+// The pattern is a Go string literal (quoted or backquoted) holding a
+// regular expression that must match a diagnostic reported on that
+// line; several patterns on one line expect several diagnostics. Lines
+// without a want comment must produce no diagnostics.
+//
+// Standard-library imports are typechecked from GOROOT source
+// (importer "source" — no export data or network needed); imports that
+// resolve under <testdata>/src are loaded recursively, so fixtures can
+// ship stub dependencies (e.g. a local "http" package standing in for
+// net/http).
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"glitchsim/internal/analysis"
+)
+
+// Run loads each fixture package under dir/src and applies a to it,
+// failing t on any mismatch between reported diagnostics and // want
+// expectations.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := newLoader(filepath.Join(dir, "src"))
+	for _, path := range pkgPaths {
+		t.Run(path, func(t *testing.T) {
+			t.Helper()
+			res, err := l.load(path)
+			if err != nil {
+				t.Fatalf("loading fixture %s: %v", path, err)
+			}
+			var diags []analysis.Diagnostic
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      l.fset,
+				Files:     res.files,
+				Pkg:       res.pkg,
+				TypesInfo: res.info,
+				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				t.Fatalf("analyzer %s: %v", a.Name, err)
+			}
+			check(t, l.fset, res.files, diags)
+		})
+	}
+}
+
+// check matches diagnostics against want expectations.
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*expectation{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, exp := range parseWants(t, fset, c) {
+					k := key{exp.file, exp.line}
+					wants[k] = append(wants[k], exp)
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		matched := false
+		for _, exp := range wants[k] {
+			if !exp.matched && exp.re.MatchString(d.Message) {
+				exp.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	var unmatched []string
+	for _, exps := range wants {
+		for _, exp := range exps {
+			if !exp.matched {
+				unmatched = append(unmatched, fmt.Sprintf("%s:%d: no diagnostic matching %q", filepath.Base(exp.file), exp.line, exp.re))
+			}
+		}
+	}
+	sort.Strings(unmatched)
+	for _, msg := range unmatched {
+		t.Errorf("%s", msg)
+	}
+}
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantRE extracts the expectation list from a comment: everything
+// after the `want` keyword.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// patRE matches one Go string literal: interpreted or raw.
+var patRE = regexp.MustCompile("^\\s*(\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)")
+
+// parseWants extracts the expectations from one comment.
+func parseWants(t *testing.T, fset *token.FileSet, c *ast.Comment) []*expectation {
+	t.Helper()
+	m := wantRE.FindStringSubmatch(c.Text)
+	if m == nil {
+		return nil
+	}
+	pos := fset.Position(c.Pos())
+	rest := m[1]
+	var out []*expectation
+	for {
+		pm := patRE.FindStringSubmatch(rest)
+		if pm == nil {
+			break
+		}
+		rest = rest[len(pm[0]):]
+		lit := pm[1]
+		var pat string
+		if strings.HasPrefix(lit, "`") {
+			pat = lit[1 : len(lit)-1]
+		} else {
+			var err error
+			pat, err = strconv.Unquote(lit)
+			if err != nil {
+				t.Fatalf("%s: bad want pattern %s: %v", pos, lit, err)
+			}
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+		}
+		out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s: want comment with no string literal pattern", pos)
+	}
+	return out
+}
+
+// loader typechecks fixture packages, chaining fixture-local imports
+// (under srcDir) with standard-library imports compiled from GOROOT
+// source.
+type loader struct {
+	fset   *token.FileSet
+	srcDir string
+	std    types.Importer
+	pkgs   map[string]*loaded
+}
+
+type loaded struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+	err   error
+}
+
+func newLoader(srcDir string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:   fset,
+		srcDir: srcDir,
+		std:    importer.ForCompiler(fset, "source", nil),
+		pkgs:   map[string]*loaded{},
+	}
+}
+
+// Import implements types.Importer for the fixture typechecker.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if dirExists(filepath.Join(l.srcDir, filepath.FromSlash(path))) {
+		res, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return res.pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+func dirExists(dir string) bool {
+	st, err := os.Stat(dir)
+	return err == nil && st.IsDir()
+}
+
+// load parses and typechecks one fixture package (memoized).
+func (l *loader) load(path string) (*loaded, error) {
+	if res, ok := l.pkgs[path]; ok {
+		return res, res.err
+	}
+	res := &loaded{}
+	l.pkgs[path] = res // pre-register: import cycles fail in Import, not loop
+	dir := filepath.Join(l.srcDir, filepath.FromSlash(path))
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		res.err = fmt.Errorf("no fixture files in %s", dir)
+		return res, res.err
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			res.err = err
+			return res, res.err
+		}
+		res.files = append(res.files, f)
+	}
+	res.info = &types.Info{
+		Types:     map[ast.Expr]types.TypeAndValue{},
+		Defs:      map[*ast.Ident]types.Object{},
+		Uses:      map[*ast.Ident]types.Object{},
+		Implicits: map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: l}
+	res.pkg, res.err = conf.Check(path, l.fset, res.files, res.info)
+	return res, res.err
+}

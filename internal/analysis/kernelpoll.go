@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// KernelPoll enforces the budget/cancellation contract on kernel
+// loops: inside a //glitchsim:hotpath function, any `for` loop that
+// can run unbounded — no post statement, i.e. `for { ... }` or
+// `for cond { ... }` — must contain a call to the pollState methods
+// poll or due somewhere in its body. Counted loops (three-clause for,
+// range) are bounded by construction and exempt.
+//
+// This is how a future kernel cannot silently lose budget enforcement:
+// the moment its event loop stops consulting pollState, the build
+// fails.
+var KernelPoll = &Analyzer{
+	Name: "kernelpoll",
+	Doc:  "unbounded loops in //glitchsim:hotpath functions must poll pollState (poll/due)",
+	Run:  runKernelPoll,
+}
+
+func runKernelPoll(pass *Pass) error {
+	for _, fn := range hotPathFuncs(pass) {
+		if fn.Body == nil {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok || loop.Post != nil {
+				return true
+			}
+			if !callsPoll(loop.Body) {
+				pass.Reportf(loop.Pos(), "unbounded loop in hotpath function %s does not poll cancellation/budget state (call poll or due)", fn.Name.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// callsPoll reports whether body contains a call whose callee is named
+// poll or due (the pollState surface).
+func callsPoll(body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var name string
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		}
+		if name == "poll" || name == "due" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,19 @@
+// Package context is a fixture stub standing in for the standard
+// context package, so the ctxbg fixtures typecheck without compiling
+// the real dependency tree from source.
+package context
+
+// Context is a minimal stand-in for context.Context.
+type Context interface {
+	Done() <-chan struct{}
+}
+
+type emptyCtx struct{}
+
+func (emptyCtx) Done() <-chan struct{} { return nil }
+
+// Background returns a root context.
+func Background() Context { return emptyCtx{} }
+
+// TODO returns a root context.
+func TODO() Context { return emptyCtx{} }

@@ -1,0 +1,8 @@
+package ctxbg
+
+import "context"
+
+// testRoot is in a _test.go file: tests own their root contexts.
+func testRoot() context.Context {
+	return context.Background()
+}

@@ -1,0 +1,9 @@
+// Fixture: package main owns its root context; ctxbg must stay silent.
+package main
+
+import "context"
+
+func main() {
+	_ = context.Background()
+	_ = context.TODO()
+}

@@ -1,0 +1,20 @@
+// Package http is a fixture stub standing in for net/http: just enough
+// surface for the typederr fixtures to typecheck without compiling the
+// real net/http from source.
+package http
+
+// ResponseWriter mirrors net/http.ResponseWriter.
+type ResponseWriter interface {
+	Write([]byte) (int, error)
+	WriteHeader(statusCode int)
+}
+
+// Error replies to the request with the given error message and status
+// code, like net/http.Error.
+func Error(w ResponseWriter, error string, code int) {}
+
+const (
+	StatusOK         = 200
+	StatusBadRequest = 400
+	StatusTeapot     = 418
+)

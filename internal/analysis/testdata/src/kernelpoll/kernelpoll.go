@@ -1,0 +1,73 @@
+// Fixture for the kernelpoll analyzer: unbounded loops in hotpath
+// functions must consult the pollState surface (poll/due).
+package kernelpoll
+
+type state struct{ budget int }
+
+func (p *state) poll(ev uint64, cyc int) bool { return p.budget > 0 }
+func (p *state) due(ev uint64) bool           { return ev%64 == 0 }
+
+type kern struct {
+	poll  state
+	queue []int
+}
+
+//glitchsim:hotpath
+func (k *kern) runGood() {
+	for len(k.queue) > 0 {
+		if k.poll.due(1) && !k.poll.poll(1, 0) {
+			return
+		}
+		k.queue = k.queue[:len(k.queue)-1]
+	}
+}
+
+//glitchsim:hotpath
+func (k *kern) runBad() {
+	for len(k.queue) > 0 { // want `unbounded loop in hotpath function runBad does not poll cancellation/budget state`
+		k.queue = k.queue[:len(k.queue)-1]
+	}
+}
+
+//glitchsim:hotpath
+func (k *kern) spinBad() {
+	for { // want `unbounded loop in hotpath function spinBad does not poll cancellation/budget state`
+		if len(k.queue) == 0 {
+			return
+		}
+		k.queue = k.queue[:0]
+	}
+}
+
+// countedOK: three-clause and range loops are bounded by construction.
+//
+//glitchsim:hotpath
+func (k *kern) countedOK(n int) {
+	for i := 0; i < n; i++ {
+		k.queue = k.queue[:0]
+	}
+	for range k.queue {
+	}
+}
+
+// nestedOK: the poll call sits in an inner loop; the outer loop still
+// reaches it every iteration.
+//
+//glitchsim:hotpath
+func (k *kern) nestedOK() {
+	for len(k.queue) > 0 {
+		for len(k.queue) > 0 {
+			if !k.poll.poll(1, 0) {
+				return
+			}
+			k.queue = k.queue[:len(k.queue)-1]
+		}
+	}
+}
+
+// cold is not annotated: unbounded loops are fine here.
+func cold(k *kern) {
+	for len(k.queue) > 0 {
+		k.queue = k.queue[:0]
+	}
+}

@@ -1,0 +1,53 @@
+// Fixture for the typederr analyzer. The package is named "service" so
+// the analyzer treats it as internal/service; the http import resolves
+// to the fixture stub.
+package service
+
+import "http"
+
+// ErrorResponse mirrors the service error envelope.
+type ErrorResponse struct {
+	Code    string
+	Message string
+}
+
+func bad1(w http.ResponseWriter) {
+	http.Error(w, "nope", http.StatusBadRequest) // want `http\.Error bypasses the error taxonomy`
+}
+
+func bad2(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusTeapot) // want `WriteHeader\(418\) bypasses the error taxonomy`
+}
+
+func bad3() ErrorResponse {
+	return ErrorResponse{Message: "boom"} // want `ErrorResponse without a Code field bypasses the error taxonomy`
+}
+
+func bad4() ErrorResponse {
+	return ErrorResponse{Code: "", Message: "boom"} // want `ErrorResponse with empty Code bypasses the error taxonomy`
+}
+
+// writeError is a taxonomy helper: the code parameter exempts its
+// direct WriteHeader call.
+func writeError(w http.ResponseWriter, status int, code string, msg string) {
+	w.WriteHeader(status)
+	_ = ErrorResponse{Code: code, Message: msg}
+}
+
+func ok(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusOK) // 2xx: fine
+	w.WriteHeader(200)
+	_ = ErrorResponse{Code: "bad_request", Message: "msg"}
+	writeError(w, 400, "bad_request", "msg")
+}
+
+// statusWriter embeds ResponseWriter: its WriteHeader pass-through is
+// exempt.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) report() {
+	sw.WriteHeader(500)
+}

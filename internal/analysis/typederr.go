@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// TypedErr enforces the service error taxonomy: in packages named
+// "service", every error response must flow through the Code* helpers
+// of internal/service/errors.go. It reports:
+//
+//   - calls to http.Error (a naked text/plain reply with no machine
+//     code);
+//   - WriteHeader with a constant status >= 300 outside the taxonomy
+//     helpers themselves (a function is a helper when it takes a
+//     parameter named `code`, or is a method on a type that embeds
+//     http.ResponseWriter — a pass-through wrapper like statusWriter);
+//   - ErrorResponse composite literals without a non-empty Code field.
+var TypedErr = &Analyzer{
+	Name: "typederr",
+	Doc:  "service error responses must carry a Code from the error taxonomy",
+	Run:  runTypedErr,
+}
+
+func runTypedErr(pass *Pass) error {
+	if pass.Pkg.Name() != "service" {
+		return nil
+	}
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			exempt := writeHeaderExempt(info, fn)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if pkg, name := calleePkgPath(info, n); name == "Error" && isHTTPPath(pkg) {
+						pass.Reportf(n.Pos(), "http.Error bypasses the error taxonomy; use writeError with a Code* constant")
+					}
+					if !exempt {
+						checkWriteHeader(pass, n)
+					}
+				case *ast.CompositeLit:
+					checkErrorResponseLit(pass, n)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isHTTPPath matches the net/http package in both real builds and
+// analysistest fixtures (which substitute a local stub named "http").
+func isHTTPPath(pkg string) bool {
+	return pkg == "net/http" || pkg == "http" || strings.HasSuffix(pkg, "/http")
+}
+
+// writeHeaderExempt reports whether fn is allowed to call WriteHeader
+// with an error status directly: it is one of the taxonomy helpers
+// (takes a parameter named "code") or a response-writer wrapper (method
+// on a type embedding http.ResponseWriter).
+func writeHeaderExempt(info *types.Info, fn *ast.FuncDecl) bool {
+	if fn.Type.Params != nil {
+		for _, f := range fn.Type.Params.List {
+			for _, name := range f.Names {
+				if name.Name == "code" {
+					return true
+				}
+			}
+		}
+	}
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return false
+	}
+	t := info.TypeOf(fn.Recv.List[0].Type)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Embedded() && strings.HasSuffix(types.TypeString(f.Type(), nil), "ResponseWriter") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkWriteHeader flags WriteHeader(<constant >= 300>).
+func checkWriteHeader(pass *Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "WriteHeader" || len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return
+	}
+	if status, ok := constant.Int64Val(tv.Value); ok && status >= 300 {
+		pass.Reportf(call.Pos(), "WriteHeader(%d) bypasses the error taxonomy; use writeError with a Code* constant", status)
+	}
+}
+
+// checkErrorResponseLit flags ErrorResponse{...} literals whose Code
+// field is missing or the empty string.
+func checkErrorResponseLit(pass *Pass, lit *ast.CompositeLit) {
+	t := pass.TypesInfo.TypeOf(lit)
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "ErrorResponse" {
+		return
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "Code" {
+			continue
+		}
+		if tv, ok := pass.TypesInfo.Types[kv.Value]; ok && tv.Value != nil &&
+			tv.Value.Kind() == constant.String && constant.StringVal(tv.Value) == "" {
+			pass.Reportf(lit.Pos(), "ErrorResponse with empty Code bypasses the error taxonomy")
+		}
+		return // Code present and non-empty (or non-constant): fine
+	}
+	pass.Reportf(lit.Pos(), "ErrorResponse without a Code field bypasses the error taxonomy")
+}

@@ -41,7 +41,7 @@ func startDaemon(t *testing.T, opts []service.Option, jopts jobs.Options) *daemo
 	if jopts.Retry.MaxAttempts == 0 {
 		jopts.Retry = jobs.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
 	}
-	opts = append(opts, service.WithJobOptions(jopts))
+	opts = append(opts, service.WithJobOptions(jopts), service.WithBaseContext(context.Background()))
 	s := service.New(e, opts...)
 	if s.Jobs() == nil {
 		t.Fatal("job subsystem failed to start")

@@ -29,6 +29,22 @@ func RippleSub(b *netlist.Builder, style Style, x, y []netlist.NetID) (diff []ne
 	return diff, b.Not(cout)
 }
 
+// RippleSubDiff builds only the difference bits of x − y for callers
+// with no use for the borrow flag: the most significant position
+// instantiates just the sum logic, so no dead borrow cone is built.
+func RippleSubDiff(b *netlist.Builder, style Style, x, y []netlist.NetID) []netlist.NetID {
+	mustSameWidth("RippleSubDiff", x, y)
+	ny := NotBus(b, y)
+	diff := make([]netlist.NetID, len(x))
+	carry := b.Const(1)
+	last := len(x) - 1
+	for i := 0; i < last; i++ {
+		diff[i], carry = FullAdd(b, style, x[i], ny[i], carry)
+	}
+	diff[last] = FullAddSum(b, style, x[last], ny[last], carry)
+	return diff
+}
+
 // Incrementer builds x+1 from half adders, returning the incremented bus
 // and the overflow carry.
 func Incrementer(b *netlist.Builder, style Style, x []netlist.NetID) (out []netlist.NetID, cout netlist.NetID) {

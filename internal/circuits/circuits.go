@@ -47,6 +47,17 @@ func FullAdd(b *netlist.Builder, style Style, x, y, cin netlist.NetID) (sum, cou
 	return sum, cout
 }
 
+// FullAddSum instantiates only the sum output of a full adder: gate
+// style omits the carry cone (two ANDs and an OR) entirely, compound
+// style reuses the fa cell and leaves its carry net unread.
+func FullAddSum(b *netlist.Builder, style Style, x, y, cin netlist.NetID) netlist.NetID {
+	if style == Cells {
+		sum, _ := b.FullAdder(x, y, cin)
+		return sum
+	}
+	return b.Xor(b.Xor(x, y), cin)
+}
+
 // HalfAdd instantiates a half adder in the given style and returns
 // (sum, carry-out).
 func HalfAdd(b *netlist.Builder, style Style, x, y netlist.NetID) (sum, cout netlist.NetID) {

@@ -49,6 +49,6 @@ func MinMax(b *netlist.Builder, x, y []netlist.NetID) (min, max []netlist.NetID,
 func AbsDiff(b *netlist.Builder, style Style, x, y []netlist.NetID) []netlist.NetID {
 	mustSameWidth("AbsDiff", x, y)
 	dxy, borrow := RippleSub(b, style, x, y)
-	dyx, _ := RippleSub(b, style, y, x)
+	dyx := RippleSubDiff(b, style, y, x)
 	return Mux2Bus(b, dxy, dyx, borrow)
 }

@@ -75,10 +75,14 @@ func NewDirectionDetector(cfg DirDetConfig) *netlist.Netlist {
 	b.NameBus("d1", d1)
 	b.NameBus("d2", d2)
 
-	// Find min/max over {d0,d1,d2}: three comparator/select stages.
+	// Find min/max over {d0,d1,d2}: three comparator/select stages. The
+	// second-stage units each need only one half of the min/max pair, so
+	// only that select bus is instantiated.
 	min01, max01, d0gt1 := MinMax(b, d0, d1)
-	minAll, _, min01gt2 := MinMax(b, min01, d2)
-	_, maxAll, maxStageGt := MinMax(b, max01, d2)
+	min01gt2 := GreaterThan(b, min01, d2)
+	minAll := Mux2Bus(b, min01, d2, min01gt2)
+	maxStageGt := GreaterThan(b, max01, d2)
+	maxAll := Mux2Bus(b, d2, max01, maxStageGt)
 
 	// One-hot is_min flags: min is d2 when min01 > d2; otherwise d1 when
 	// d0 > d1, else d0.

@@ -57,11 +57,11 @@ func WallaceMultiply(b *netlist.Builder, style Style, x, y []netlist.NetID) []ne
 	n := len(x)
 	pp := partialProducts(b, x, y)
 
-	// cols[k] holds the bits of weight 2^k awaiting reduction. One spare
-	// column beyond bit 2n−1 absorbs structural carries out of the top
-	// column; since x·y < 2^{2n}, any bit landing there is provably
-	// constant 0 and is dropped from the product.
-	cols := make([][]netlist.NetID, 2*n+1)
+	// cols[k] holds the bits of weight 2^k awaiting reduction. Since
+	// x·y < 2^{2n}, any carry out of the top column is provably constant
+	// 0, so it is dropped at the source rather than reduced in a spare
+	// column nothing reads.
+	cols := make([][]netlist.NetID, 2*n)
 	for i := range y {
 		for j := range x {
 			cols[i+j] = append(cols[i+j], pp[i][j])

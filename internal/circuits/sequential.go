@@ -36,7 +36,10 @@ func PipelinedArrayMultiply(b *netlist.Builder, style Style, x, y []netlist.NetI
 	stage, rows := 0, 0
 	for i := 1; i < n; i++ {
 		if rows == rowsPerStage {
-			acc = b.RegisterBus(acc)
+			// acc[0] is a finished product bit, already captured into
+			// product[] before the cut and aligned by its own DFF chain;
+			// only acc[1:] is read past the register bank.
+			copy(acc[1:], b.RegisterBus(acc[1:]))
 			topCarry = b.DFF(topCarry)
 			xd = b.RegisterBus(xd)
 			for k := i; k < n; k++ {
@@ -105,13 +108,15 @@ func NewAccumulator(width int, gated bool) *netlist.Netlist {
 	// The register outputs feed back into the adder (and the hold mux),
 	// but do not exist yet while those cells are built: read a placeholder
 	// constant first and Rewire to the real Q nets afterwards, the same
-	// construction retime.Apply uses.
+	// construction retime.Apply uses. The constant doubles as the ripple
+	// carry-in, so it stays connected once every placeholder read has
+	// been rewired to a Q net.
 	placeholder := b.Const(0)
 	sum := make([]netlist.NetID, width)
 	d := make([]netlist.NetID, width)
 	faCells := make([]netlist.CellID, width)
 	muxCells := make([]netlist.CellID, width)
-	carry := b.Const(0)
+	carry := placeholder
 	for i := range sum {
 		faCells[i] = netlist.CellID(b.NumCells())
 		sum[i], carry = b.FullAdder(x[i], placeholder, carry)

@@ -70,7 +70,7 @@ func drainNow(t *testing.T, m *Manager) {
 // TestJobsSucceed covers the happy path: submit, run, result payload,
 // progress accounting and the recorded event tail.
 func TestJobsSucceed(t *testing.T) {
-	m, err := NewManager(okExec(), Options{Workers: 1})
+	m, err := NewManager(okExec(), Options{BaseContext: context.Background(), Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +112,7 @@ func TestJobsSucceed(t *testing.T) {
 func TestJobsQueueFull(t *testing.T) {
 	started := make(chan string, 1)
 	release := make(chan struct{})
-	m, err := NewManager(gateExec(started, release), Options{Workers: 1, QueueDepth: 2})
+	m, err := NewManager(gateExec(started, release), Options{BaseContext: context.Background(), Workers: 1, QueueDepth: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func TestJobsRetryThenSucceed(t *testing.T) {
 		{Err: Transient(errors.New("engine busy"))},
 		{Err: Transient(errors.New("engine busy"))},
 	}}
-	m, err := NewManager(okExec(), Options{
+	m, err := NewManager(okExec(), Options{BaseContext: context.Background(),
 		Workers:  1,
 		Injector: faults,
 		Retry:    RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond},
@@ -184,7 +184,7 @@ func TestJobsRetryThenSucceed(t *testing.T) {
 // fails the job once the attempt budget is spent.
 func TestJobsRetryBudgetExhausted(t *testing.T) {
 	boom := Transient(errors.New("still busy"))
-	m, err := NewManager(okExec(), Options{
+	m, err := NewManager(okExec(), Options{BaseContext: context.Background(),
 		Workers:  1,
 		Injector: InjectorFunc(func(Record, int) error { return boom }),
 		Retry:    RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
@@ -209,7 +209,7 @@ func TestJobsRetryBudgetExhausted(t *testing.T) {
 func TestJobsNonTransientFailsImmediately(t *testing.T) {
 	m, err := NewManager(ExecutorFunc(func(ctx context.Context, rec Record, emit func(Event)) (json.RawMessage, error) {
 		return nil, errors.New("bad request payload")
-	}), Options{Workers: 1})
+	}), Options{BaseContext: context.Background(), Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +227,7 @@ func TestJobsNonTransientFailsImmediately(t *testing.T) {
 func TestJobsDeadlineTimesOut(t *testing.T) {
 	release := make(chan struct{})
 	defer close(release)
-	m, err := NewManager(gateExec(nil, release), Options{Workers: 1, Timeout: 30 * time.Millisecond})
+	m, err := NewManager(gateExec(nil, release), Options{BaseContext: context.Background(), Workers: 1, Timeout: 30 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +248,7 @@ func TestJobsDeadlineTimesOut(t *testing.T) {
 func TestJobsPerJobTimeoutShortensDefault(t *testing.T) {
 	release := make(chan struct{})
 	defer close(release)
-	m, err := NewManager(gateExec(nil, release), Options{Workers: 1, Timeout: time.Hour})
+	m, err := NewManager(gateExec(nil, release), Options{BaseContext: context.Background(), Workers: 1, Timeout: time.Hour})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +266,7 @@ func TestJobsPerJobTimeoutShortensDefault(t *testing.T) {
 // pool keeps serving subsequent jobs.
 func TestRecoverWorkerPanic(t *testing.T) {
 	var fired atomic.Bool
-	m, err := NewManager(okExec(), Options{
+	m, err := NewManager(okExec(), Options{BaseContext: context.Background(),
 		Workers: 1,
 		Injector: InjectorFunc(func(rec Record, attempt int) error {
 			if fired.CompareAndSwap(false, true) {
@@ -303,7 +303,7 @@ func TestJobsCancelMidRun(t *testing.T) {
 	started := make(chan string, 1)
 	release := make(chan struct{})
 	defer close(release)
-	m, err := NewManager(gateExec(started, release), Options{Workers: 1})
+	m, err := NewManager(gateExec(started, release), Options{BaseContext: context.Background(), Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +328,7 @@ func TestJobsCancelMidRun(t *testing.T) {
 func TestJobsCancelQueued(t *testing.T) {
 	started := make(chan string, 1)
 	release := make(chan struct{})
-	m, err := NewManager(gateExec(started, release), Options{Workers: 1, QueueDepth: 4})
+	m, err := NewManager(gateExec(started, release), Options{BaseContext: context.Background(), Workers: 1, QueueDepth: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,7 +350,7 @@ func TestJobsCancelQueued(t *testing.T) {
 
 // TestJobsUnknownID pins the not-found surface.
 func TestJobsUnknownID(t *testing.T) {
-	m, err := NewManager(okExec(), Options{Workers: 1})
+	m, err := NewManager(okExec(), Options{BaseContext: context.Background(), Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -372,7 +372,7 @@ func TestJobsUnknownID(t *testing.T) {
 func TestJobsSubscribe(t *testing.T) {
 	started := make(chan string, 1)
 	release := make(chan struct{})
-	m, err := NewManager(gateExec(started, release), Options{Workers: 1})
+	m, err := NewManager(gateExec(started, release), Options{BaseContext: context.Background(), Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -414,7 +414,7 @@ func TestJobsSubscribe(t *testing.T) {
 // TestDrainRejectsNewWork pins that Submit answers ErrDraining once a
 // drain has begun.
 func TestDrainRejectsNewWork(t *testing.T) {
-	m, err := NewManager(okExec(), Options{Workers: 1})
+	m, err := NewManager(okExec(), Options{BaseContext: context.Background(), Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -431,7 +431,7 @@ func TestDrainWaitsForRunning(t *testing.T) {
 	testutil.VerifyNoLeaks(t)
 	started := make(chan string, 1)
 	release := make(chan struct{})
-	m, err := NewManager(gateExec(started, release), Options{Workers: 1})
+	m, err := NewManager(gateExec(started, release), Options{BaseContext: context.Background(), Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -57,6 +57,13 @@ func (p RetryPolicy) backoff(attempt int) time.Duration {
 
 // Options configures a Manager.
 type Options struct {
+	// BaseContext is the root context every job attempt derives from;
+	// canceling it cancels all running jobs. It is required — pass
+	// context.Background() (or a signal-bound context) from the process
+	// entry point. The manager never mints its own root, so the
+	// caller's cancellation stays plumbed end to end (the ctxbg
+	// analyzer in internal/analysis enforces this repo-wide).
+	BaseContext context.Context
 	// Workers is the number of concurrent job executors (default 2).
 	// Each worker runs one job at a time; within a job, the Executor
 	// may fan out further (the Engine's own pool and concurrency bound
@@ -141,6 +148,9 @@ type Manager struct {
 func NewManager(exec Executor, opts Options) (*Manager, error) {
 	if exec == nil {
 		return nil, errors.New("jobs: NewManager needs an executor")
+	}
+	if opts.BaseContext == nil {
+		return nil, errors.New("jobs: Options.BaseContext is required (pass context.Background() from the entry point)")
 	}
 	opts = opts.withDefaults()
 	m := &Manager{
@@ -427,7 +437,7 @@ func (m *Manager) run(j *job) {
 		m.mu.Unlock()
 		return
 	}
-	ctx, cancel := context.WithCancelCause(context.Background())
+	ctx, cancel := context.WithCancelCause(m.opts.BaseContext)
 	stopTimer := func() {}
 	if j.rec.Timeout > 0 {
 		var tctx context.Context

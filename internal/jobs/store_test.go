@@ -201,7 +201,7 @@ func TestRecoverTruncatedRecord(t *testing.T) {
 	// healthy terminal record.
 	mgr, err := NewManager(ExecutorFunc(func(context.Context, Record, func(Event)) (json.RawMessage, error) {
 		return json.RawMessage(`{}`), nil
-	}), Options{Store: st2})
+	}), Options{BaseContext: context.Background(), Store: st2})
 	if err != nil {
 		t.Fatalf("NewManager over damaged store: %v", err)
 	}
@@ -245,7 +245,7 @@ func TestDrainCheckpointAndRestartRecovery(t *testing.T) {
 			return nil, ctx.Err()
 		}
 	})
-	m1, err := NewManager(exec, Options{Workers: 1, QueueDepth: 4, Store: st})
+	m1, err := NewManager(exec, Options{BaseContext: context.Background(), Workers: 1, QueueDepth: 4, Store: st})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,7 +277,7 @@ func TestDrainCheckpointAndRestartRecovery(t *testing.T) {
 	}
 
 	// Phase 2: a fresh manager over the same directory.
-	m2, err := NewManager(okExec(), Options{Workers: 2, QueueDepth: 4, Store: st})
+	m2, err := NewManager(okExec(), Options{BaseContext: context.Background(), Workers: 2, QueueDepth: 4, Store: st})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +311,7 @@ func TestRecoverRunningAsQueued(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	m, err := NewManager(okExec(), Options{Workers: 1, Store: st})
+	m, err := NewManager(okExec(), Options{BaseContext: context.Background(), Workers: 1, Store: st})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,7 +333,7 @@ func TestRecoverOverflowingQueue(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	m, err := NewManager(okExec(), Options{Workers: 2, QueueDepth: 2, Store: st})
+	m, err := NewManager(okExec(), Options{BaseContext: context.Background(), Workers: 2, QueueDepth: 2, Store: st})
 	if err != nil {
 		t.Fatal(err)
 	}

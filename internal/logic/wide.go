@@ -32,6 +32,8 @@ type W struct {
 var AllX = W{}
 
 // SplatW returns the W holding v in every lane.
+//
+//glitchsim:hotpath
 func SplatW(v V) W {
 	switch v {
 	case L0:
@@ -44,6 +46,8 @@ func SplatW(v V) W {
 }
 
 // Lane extracts the value of one lane.
+//
+//glitchsim:hotpath
 func (w W) Lane(l int) V {
 	bit := uint64(1) << uint(l)
 	switch {
@@ -57,6 +61,8 @@ func (w W) Lane(l int) V {
 }
 
 // SetLane stores v into one lane.
+//
+//glitchsim:hotpath
 func (w *W) SetLane(l int, v V) {
 	bit := uint64(1) << uint(l)
 	w.Zero &^= bit
@@ -70,17 +76,23 @@ func (w *W) SetLane(l int, v V) {
 }
 
 // KnownMask returns the lanes holding a strong (binary) level.
+//
+//glitchsim:hotpath
 func (w W) KnownMask() uint64 { return w.Zero | w.One }
 
 // DiffMask returns the mask of lanes whose level differs between a and
 // b. Valid words never set both rails of one lane, so a lane's level
 // differs exactly when either of its rail bits does — including
 // transitions from or to X.
+//
+//glitchsim:hotpath
 func DiffMask(a, b W) uint64 { return (a.Zero ^ b.Zero) | (a.One ^ b.One) }
 
 // Merge returns w with the lanes selected by mask replaced by v's: the
 // masked-update primitive of the word-parallel event kernel, where a
 // scheduled event commits only the lanes its mask covers.
+//
+//glitchsim:hotpath
 func (w W) Merge(v W, mask uint64) W {
 	return W{
 		Zero: (w.Zero &^ mask) | (v.Zero & mask),
@@ -98,29 +110,41 @@ func (w W) String() string {
 }
 
 // NotW is the lane-wise Not: the rails swap.
+//
+//glitchsim:hotpath
 func NotW(a W) W { return W{Zero: a.One, One: a.Zero} }
 
 // AndW is the lane-wise And: any 0 forces 0, both 1 gives 1, X otherwise.
+//
+//glitchsim:hotpath
 func AndW(a, b W) W {
 	return W{Zero: a.Zero | b.Zero, One: a.One & b.One}
 }
 
 // NandW is the lane-wise Nand.
+//
+//glitchsim:hotpath
 func NandW(a, b W) W {
 	return W{Zero: a.One & b.One, One: a.Zero | b.Zero}
 }
 
 // OrW is the lane-wise Or: any 1 forces 1, both 0 gives 0, X otherwise.
+//
+//glitchsim:hotpath
 func OrW(a, b W) W {
 	return W{Zero: a.Zero & b.Zero, One: a.One | b.One}
 }
 
 // NorW is the lane-wise Nor.
+//
+//glitchsim:hotpath
 func NorW(a, b W) W {
 	return W{Zero: a.One | b.One, One: a.Zero & b.Zero}
 }
 
 // XorW is the lane-wise Xor: X if either input is X.
+//
+//glitchsim:hotpath
 func XorW(a, b W) W {
 	k := (a.Zero | a.One) & (b.Zero | b.One)
 	v := a.One ^ b.One
@@ -128,6 +152,8 @@ func XorW(a, b W) W {
 }
 
 // XnorW is the lane-wise Xnor.
+//
+//glitchsim:hotpath
 func XnorW(a, b W) W {
 	k := (a.Zero | a.One) & (b.Zero | b.One)
 	v := a.One ^ b.One
@@ -136,6 +162,8 @@ func XnorW(a, b W) W {
 
 // MuxW is the lane-wise Mux(sel, a, b): a when sel=0, b when sel=1, and
 // for X selects the agreeing strong level of a and b if any.
+//
+//glitchsim:hotpath
 func MuxW(sel, a, b W) W {
 	return W{
 		Zero: (sel.Zero & a.Zero) | (sel.One & b.Zero) | (a.Zero & b.Zero),
@@ -145,6 +173,8 @@ func MuxW(sel, a, b W) W {
 
 // Maj3W is the lane-wise three-input majority (the carry function); the
 // majority identity holds rail-wise under Kleene semantics.
+//
+//glitchsim:hotpath
 func Maj3W(a, b, c W) W {
 	return W{
 		Zero: (a.Zero & b.Zero) | (a.Zero & c.Zero) | (b.Zero & c.Zero),
@@ -153,12 +183,16 @@ func Maj3W(a, b, c W) W {
 }
 
 // HalfAddW is the lane-wise half adder.
+//
+//glitchsim:hotpath
 func HalfAddW(a, b W) (sum, carry W) {
 	return XorW(a, b), AndW(a, b)
 }
 
 // FullAddW is the lane-wise full adder: three-input parity for the sum
 // (X if any input is X) and majority for the carry.
+//
+//glitchsim:hotpath
 func FullAddW(a, b, cin W) (sum, cout W) {
 	k := (a.Zero | a.One) & (b.Zero | b.One) & (cin.Zero | cin.One)
 	v := a.One ^ b.One ^ cin.One

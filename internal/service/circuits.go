@@ -284,7 +284,17 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
-	s.writeOK(w, s.uploads.put(n))
+	// Lint before storing: warning-severity findings (floating inputs,
+	// dead cones, undriven nets) ride along in the reply so the client
+	// learns immediately that the netlist is probably not what its
+	// source meant, without the upload being rejected.
+	var warnings []netlist.Finding
+	for _, f := range n.Lint() {
+		if f.Severity == netlist.SeverityWarning {
+			warnings = append(warnings, f)
+		}
+	}
+	s.writeOK(w, UploadResponse{CircuitInfo: s.uploads.put(n), Warnings: warnings})
 }
 
 func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {

@@ -133,6 +133,54 @@ func TestServiceCircuitUploadJSONRaw(t *testing.T) {
 	}
 }
 
+// TestServiceUploadLintWarnings: uploading a circuit with a floating
+// primary input succeeds (stored, measurable) but the reply carries the
+// netlist lint warning naming the net; a clean upload has no warnings
+// field at all.
+func TestServiceUploadLintWarnings(t *testing.T) {
+	ts := newTestServer(t)
+
+	b := netlist.NewBuilder("floaty")
+	a := b.Input("a")
+	b.Input("loose")
+	b.Output("o", b.Not(a))
+	var sb strings.Builder
+	if err := b.MustBuild().WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	resp := uploadEnvelope(t, ts, "json", sb.String())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload with floating input rejected: status %d", resp.StatusCode)
+	}
+	up := decodeBody[UploadResponse](t, resp)
+	if len(up.Warnings) != 1 {
+		t.Fatalf("want one lint warning, got %+v", up.Warnings)
+	}
+	w := up.Warnings[0]
+	if w.Kind != netlist.KindUnusedInput || w.Severity != netlist.SeverityWarning {
+		t.Errorf("warning %+v, want an unused-input warning", w)
+	}
+	if len(w.Nets) != 1 || w.Nets[0] != "loose" {
+		t.Errorf("warning %+v does not name the floating input", w)
+	}
+	// The stored circuit is still measurable by its fingerprint.
+	mresp, err := http.Post(ts.URL+"/v1/measure", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"circuit":%q,"cycles":10,"seed":1}`, up.Fingerprint)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mresp.StatusCode != http.StatusOK {
+		t.Errorf("measuring warned upload: status %d", mresp.StatusCode)
+	}
+	mresp.Body.Close()
+
+	src, _ := verilogSource(t, "rca8")
+	clean := decodeBody[UploadResponse](t, uploadEnvelope(t, ts, "verilog", src))
+	if len(clean.Warnings) != 0 {
+		t.Errorf("clean upload carries warnings: %+v", clean.Warnings)
+	}
+}
+
 // TestServiceUploadErrors: malformed sources answer 400 with the
 // parser's line-numbered message; bad formats answer 400; unknown
 // fingerprints answer 404 listing the resolvable identifiers.

@@ -233,6 +233,17 @@ func CircuitInfoFrom(n *netlist.Netlist) CircuitInfo {
 	}
 }
 
+// UploadResponse is the POST /v1/circuits reply: the stored circuit's
+// handle plus any lint findings of warning severity (floating inputs,
+// undriven nets, dead cells, combinational loops). Warnings do not
+// reject the upload — the circuit is stored and measurable — but they
+// usually mean the source does not describe what its author intended.
+type UploadResponse struct {
+	CircuitInfo
+	// Warnings holds the warning-severity netlist.Lint findings, if any.
+	Warnings []netlist.Finding `json:"warnings,omitempty"`
+}
+
 // CircuitsResponse is the GET /v1/circuits reply.
 type CircuitsResponse struct {
 	// Builtin lists the registry circuit names.

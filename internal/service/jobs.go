@@ -55,6 +55,9 @@ func (s *Server) initJobs() {
 	if opts.Logf == nil {
 		opts.Logf = s.logf
 	}
+	if opts.BaseContext == nil {
+		opts.BaseContext = s.baseCtx // nil without WithBaseContext: manager refuses, jobs 503
+	}
 	mgr, err := jobs.NewManager(jobs.ExecutorFunc(s.executeJob), opts)
 	if err != nil {
 		s.jobsErr = err

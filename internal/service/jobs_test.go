@@ -25,7 +25,7 @@ var fastRetry = jobs.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, Ma
 
 func newJobServer(t *testing.T, e *glitchsim.Engine, opts jobs.Options) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(e, WithJobOptions(opts))
+	s := New(e, WithJobOptions(opts), WithBaseContext(context.Background()))
 	if s.Jobs() == nil {
 		t.Fatal("job subsystem failed to start")
 	}
@@ -430,7 +430,7 @@ func TestDrainServiceCheckpointRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	e1 := glitchsim.NewEngine(glitchsim.WithMaxConcurrency(1))
-	s1 := New(e1, WithJobOptions(jobs.Options{Workers: 1, Store: store1}))
+	s1 := New(e1, WithJobOptions(jobs.Options{Workers: 1, Store: store1}), WithBaseContext(context.Background()))
 	ts1 := httptest.NewServer(s1)
 	release := holdEngineSlot(t, e1)
 
@@ -474,7 +474,7 @@ func TestDrainServiceCheckpointRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2 := New(glitchsim.NewEngine(), WithJobOptions(jobs.Options{Workers: 2, Store: store2}))
+	s2 := New(glitchsim.NewEngine(), WithJobOptions(jobs.Options{Workers: 2, Store: store2}), WithBaseContext(context.Background()))
 	ts2 := httptest.NewServer(s2)
 	defer ts2.Close()
 	defer func() {

@@ -55,6 +55,7 @@ type Server struct {
 	engine        *glitchsim.Engine
 	mux           *http.ServeMux
 	start         time.Time
+	baseCtx       context.Context
 	uploads       *uploadStore
 	uploadDir     string
 	logf          func(format string, args ...any)
@@ -70,6 +71,17 @@ type Server struct {
 // default discards them.
 func WithLogf(logf func(format string, args ...any)) Option {
 	return func(s *Server) { s.logf = logf }
+}
+
+// WithBaseContext sets the root context for background work the server
+// owns — async job attempts derive from it, so canceling it cancels
+// every running job. The process entry point supplies it (typically its
+// signal-bound context, or context.Background()); without it the job
+// subsystem stays disabled and the /v1/jobs endpoints answer 503. The
+// server deliberately never mints its own root context (the ctxbg
+// analyzer enforces this), so cancellation stays the caller's decision.
+func WithBaseContext(ctx context.Context) Option {
+	return func(s *Server) { s.baseCtx = ctx }
 }
 
 // New returns a Server sharing the given Engine across all requests.

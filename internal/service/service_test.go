@@ -3,6 +3,7 @@ package service
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -16,7 +17,7 @@ import (
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(New(glitchsim.NewEngine()))
+	ts := httptest.NewServer(New(glitchsim.NewEngine(), WithBaseContext(context.Background())))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -45,7 +46,10 @@ func TestServiceMeasureSmoke(t *testing.T) {
 	}
 	got := decodeBody[MeasureResponse](t, resp)
 
-	want, err := glitchsim.Measure(glitchsim.NewRCA(8), glitchsim.Config{Cycles: 100, Seed: 7})
+	want, err := glitchsim.DefaultEngine().Measure(context.Background(), glitchsim.MeasureRequest{
+		Circuit: glitchsim.CircuitFromNetlist(glitchsim.NewRCA(8)),
+		Config:  glitchsim.Config{Cycles: 100, Seed: 7},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,7 +355,10 @@ func TestServiceLanesParam(t *testing.T) {
 	scalar := measure(`{"circuit":"rca8","cycles":100,"seed":7,"lanes":1}`)
 	wide := measure(`{"circuit":"rca8","cycles":100,"seed":7}`)
 
-	want, err := glitchsim.Measure(glitchsim.NewRCA(8), glitchsim.Config{Cycles: 100, Seed: 7, Lanes: 1})
+	want, err := glitchsim.DefaultEngine().Measure(context.Background(), glitchsim.MeasureRequest{
+		Circuit: glitchsim.CircuitFromNetlist(glitchsim.NewRCA(8)),
+		Config:  glitchsim.Config{Cycles: 100, Seed: 7, Lanes: 1},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

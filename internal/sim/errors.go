@@ -146,6 +146,8 @@ func (p *pollState) init(opts Options) {
 // clampToBudget pulls the next poll forward so an event budget is
 // checked as soon as it is reached instead of at the next full interval:
 // overshoot then stays below one event batch rather than one interval.
+//
+//glitchsim:hotpath
 func (p *pollState) clampToBudget(events uint64) {
 	if b := p.budget.Events; b > 0 && b > events && b < p.nextAt {
 		p.nextAt = b
@@ -154,6 +156,8 @@ func (p *pollState) clampToBudget(events uint64) {
 
 // due reports whether the poll should run at the given lifetime event
 // count. Kept separate from poll so the hot loop pays one compare.
+//
+//glitchsim:hotpath
 func (p *pollState) due(events uint64) bool { return p.active && events >= p.nextAt }
 
 // poll runs the cancellation and budget checks; cycle is the kernel's

@@ -45,6 +45,8 @@ func init() {
 
 // evalCell computes a cell's outputs from the current net values,
 // returning the second output only for two-output (HA/FA) cells.
+//
+//glitchsim:hotpath
 func (s *Simulator) evalCell(cid netlist.CellID) (o0, o1 logic.V, twoOut bool) {
 	c := s.c
 	v := s.values

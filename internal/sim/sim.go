@@ -357,6 +357,8 @@ func (s *Simulator) Outputs() logic.Vector { return s.BusValue(s.c.n.POs) }
 // (aligned with the netlist's PIs). It returns an error if the network
 // fails to settle within the configured guard time; the simulator
 // discards all in-flight events before reporting it.
+//
+//glitchsim:hotpath
 func (s *Simulator) Step(pi logic.Vector) error {
 	if len(pi) != len(s.c.n.PIs) {
 		panic(fmt.Sprintf("sim: stimulus width %d, netlist has %d inputs", len(pi), len(s.c.n.PIs)))
@@ -403,6 +405,7 @@ func (s *Simulator) Step(pi logic.Vector) error {
 	return nil
 }
 
+//glitchsim:hotpath
 func (s *Simulator) schedule(t int, net netlist.NetID, v logic.V, key int32) {
 	// Skip no-ops: the value already holds and nothing is in flight.
 	if v == s.values[net] && s.pending[net] == 0 {
@@ -427,6 +430,7 @@ func (s *Simulator) schedule(t int, net netlist.NetID, v logic.V, key int32) {
 	}
 }
 
+//glitchsim:hotpath
 func (s *Simulator) run() error {
 	flushAt := -1
 	for !s.queueEmpty() {
@@ -505,6 +509,8 @@ type changeState struct {
 // applyBatch pops and applies every event at time t, recording per-net
 // initial values (when a monitor is attached) and marking affected
 // combinational cells.
+//
+//glitchsim:hotpath
 func (s *Simulator) applyBatch(t int) {
 	if s.epoch == 1<<31-1 {
 		// The 32-bit epoch stamp is about to wrap: invalidate all stale
@@ -559,6 +565,8 @@ func (s *Simulator) applyBatch(t int) {
 
 // evalTouched re-evaluates every cell whose inputs changed at time t and
 // schedules the resulting output changes.
+//
+//glitchsim:hotpath
 func (s *Simulator) evalTouched(t int) {
 	c := s.c
 	values, pending := s.values, s.pending
@@ -585,6 +593,7 @@ func (s *Simulator) evalTouched(t int) {
 	s.touched = s.touched[:0]
 }
 
+//glitchsim:hotpath
 func (s *Simulator) queueEmpty() bool {
 	switch {
 	case s.wq != nil:
@@ -596,6 +605,7 @@ func (s *Simulator) queueEmpty() bool {
 	}
 }
 
+//glitchsim:hotpath
 func (s *Simulator) queueNextTime() int {
 	switch {
 	case s.wq != nil:
@@ -611,6 +621,8 @@ func (s *Simulator) queueNextTime() int {
 // coalescing path the per-net change records are first folded into the
 // change buffer, dropping zero-width excursions; on the direct path the
 // buffer was already filled as values committed.
+//
+//glitchsim:hotpath
 func (s *Simulator) flush(t int) {
 	if s.coalesce {
 		buf := s.changeBuf[:0]

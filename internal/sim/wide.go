@@ -230,6 +230,8 @@ func (s *WideSimulator) Value(id netlist.NetID) logic.W { return s.values[id] }
 // input, the packed per-lane stimulus bits (aligned with the netlist's
 // PIs). It returns an error if the network fails to settle within the
 // guard time in any lane; all in-flight events are discarded first.
+//
+//glitchsim:hotpath
 func (s *WideSimulator) Step(pi []logic.W) error {
 	if len(pi) != len(s.c.n.PIs) {
 		panic(fmt.Sprintf("sim: stimulus width %d, netlist has %d inputs", len(pi), len(s.c.n.PIs)))
@@ -293,6 +295,8 @@ func (s *WideSimulator) Step(pi []logic.W) error {
 // would change. A net's value cannot change between push and pop (its
 // single driver evaluates at most once per wave), so every queued event
 // is a real change when it applies.
+//
+//glitchsim:hotpath
 func (s *WideSimulator) push(net netlist.NetID, v logic.W) {
 	if v == s.values[net] {
 		return
@@ -302,6 +306,8 @@ func (s *WideSimulator) push(net netlist.NetID, v logic.W) {
 
 // applyWave commits every event of the current wavefront, reports the
 // changes, and marks the fanout cells for re-evaluation.
+//
+//glitchsim:hotpath
 func (s *WideSimulator) applyWave(t int) {
 	if s.epoch == 1<<31-1 {
 		clear(s.touchEpoch)
@@ -336,6 +342,8 @@ func (s *WideSimulator) applyWave(t int) {
 
 // evalTouched re-evaluates every cell with a changed input and schedules
 // the outputs that differ in at least one lane.
+//
+//glitchsim:hotpath
 func (s *WideSimulator) evalTouched() {
 	c := s.c
 	for _, cid := range s.touched {
@@ -368,6 +376,8 @@ func (s *WideSimulator) discardInFlight() {
 // init-cross-checked wide ops in internal/logic. It is the shared eval
 // core of both wide kernels (lockstep and event-driven); evalIn/evalOut
 // are the caller's scratch for the reference fallback.
+//
+//glitchsim:hotpath
 func evalCellWide(c *Compiled, v []logic.W, evalIn *logic.Vector, evalOut *[outputsPerCell]logic.V, cid netlist.CellID) (o0, o1 logic.W, twoOut bool) {
 	in := c.inNets[c.inStart[cid]:c.inStart[cid+1]]
 	switch c.cellType[cid] {

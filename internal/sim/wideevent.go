@@ -213,6 +213,8 @@ func (s *WideEventSimulator) Value(id netlist.NetID) logic.W { return s.values[i
 // input, the packed per-lane stimulus bits (aligned with the netlist's
 // PIs). It returns an error if the network fails to settle within the
 // guard time in any lane; all in-flight events are discarded first.
+//
+//glitchsim:hotpath
 func (s *WideEventSimulator) Step(pi []logic.W) error {
 	if len(pi) != len(s.c.n.PIs) {
 		panic(fmt.Sprintf("sim: stimulus width %d, netlist has %d inputs", len(pi), len(s.c.n.PIs)))
@@ -265,6 +267,8 @@ func (s *WideEventSimulator) Step(pi []logic.W) error {
 // time t and advances the net's projection. mask must be the lanes that
 // differ from the projection (transport) or the re-evaluated lanes to
 // claim (inertial); a zero mask is a no-op.
+//
+//glitchsim:hotpath
 func (s *WideEventSimulator) schedule(t int, net netlist.NetID, v logic.W, mask uint64) {
 	if mask == 0 {
 		return
@@ -279,6 +283,7 @@ func (s *WideEventSimulator) schedule(t int, net netlist.NetID, v logic.W, mask 
 	}
 }
 
+//glitchsim:hotpath
 func (s *WideEventSimulator) run() error {
 	flushAt := -1
 	for !s.queueEmpty() {
@@ -330,6 +335,7 @@ func (s *WideEventSimulator) run() error {
 	return nil
 }
 
+//glitchsim:hotpath
 func (s *WideEventSimulator) queueEmpty() bool {
 	if s.cal != nil {
 		return s.cal.empty()
@@ -337,6 +343,7 @@ func (s *WideEventSimulator) queueEmpty() bool {
 	return s.hq.empty()
 }
 
+//glitchsim:hotpath
 func (s *WideEventSimulator) queueNextTime() int {
 	if s.cal != nil {
 		return s.cal.nextTime()
@@ -348,6 +355,8 @@ func (s *WideEventSimulator) queueNextTime() int {
 // into the packed net values, changes are recorded (directly, or into
 // the per-instant coalescing state when zero delays can split an
 // instant into several batches), and fanout cells are marked.
+//
+//glitchsim:hotpath
 func (s *WideEventSimulator) applyBatch(t int) {
 	if s.epoch == 1<<31-1 {
 		clear(s.touchEpoch)
@@ -403,6 +412,8 @@ func (s *WideEventSimulator) applyBatch(t int) {
 
 // evalTouched re-evaluates every cell with a changed input and schedules
 // the lanes whose outputs will change.
+//
+//glitchsim:hotpath
 func (s *WideEventSimulator) evalTouched(t int) {
 	c := s.c
 	delays := s.dt.delays
@@ -433,6 +444,8 @@ func (s *WideEventSimulator) evalTouched(t int) {
 // whose inputs changed) participate: each claims its net, cancelling the
 // lane from any in-flight event, unless it is already settled at the new
 // value with nothing in flight.
+//
+//glitchsim:hotpath
 func (s *WideEventSimulator) scheduleOutput(t int, net netlist.NetID, v logic.W, em uint64) {
 	if !s.inertial {
 		s.schedule(t, net, v, logic.DiffMask(v, s.sched[net]))
@@ -472,6 +485,8 @@ func (s *WideEventSimulator) scheduleOutput(t int, net netlist.NetID, v logic.W,
 // unlist removes a popped event from its net's in-flight list (inertial
 // mode only; fully cancelled events are removed at cancellation time, so
 // the list is usually one entry).
+//
+//glitchsim:hotpath
 func (s *WideEventSimulator) unlist(net netlist.NetID, idx int32) {
 	list := s.inflight[net]
 	for i, v := range list {
@@ -486,6 +501,8 @@ func (s *WideEventSimulator) unlist(net netlist.NetID, idx int32) {
 // coalescing state (zero-delay models) into per-net initial/final
 // changes and dropping lanes that excursed back to their initial value
 // within the instant.
+//
+//glitchsim:hotpath
 func (s *WideEventSimulator) flush(t int) {
 	if s.coalesce {
 		buf := s.changes[:0]

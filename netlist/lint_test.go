@@ -1,0 +1,180 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// findKind returns the findings of one kind.
+func findKind(fs []Finding, kind string) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Kind == kind {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// TestLintCleanCircuit: a straightforward adder-ish circuit has no
+// warnings — only the fanout/reconvergence profile infos.
+func TestLintCleanCircuit(t *testing.T) {
+	b := NewBuilder("clean")
+	a := b.Input("a")
+	c := b.Input("b")
+	sum, carry := b.HalfAdder(a, c)
+	b.Output("sum", sum)
+	b.Output("carry", carry)
+	n := b.MustBuild()
+
+	fs := n.Lint()
+	if HasWarnings(fs) {
+		t.Fatalf("clean circuit has warnings: %v", fs)
+	}
+	if len(findKind(fs, KindFanout)) != 1 {
+		t.Errorf("want exactly one fanout profile finding, got %v", fs)
+	}
+}
+
+// TestLintUnusedInput: a floating primary input is a warning naming the
+// net.
+func TestLintUnusedInput(t *testing.T) {
+	b := NewBuilder("floating")
+	a := b.Input("a")
+	b.Input("unused")
+	b.Output("o", b.Not(a))
+	n := b.MustBuild()
+
+	fs := findKind(n.Lint(), KindUnusedInput)
+	if len(fs) != 1 || fs[0].Severity != SeverityWarning {
+		t.Fatalf("want one unused-input warning, got %v", fs)
+	}
+	if !strings.Contains(fs[0].Message, "unused") || len(fs[0].Nets) != 1 || fs[0].Nets[0] != "unused" {
+		t.Errorf("finding does not name the floating input: %+v", fs[0])
+	}
+}
+
+// TestLintDeadCone: cells that reach no primary output are dead, and
+// their unread result net dangles.
+func TestLintDeadCone(t *testing.T) {
+	b := NewBuilder("deadcone")
+	a := b.Input("a")
+	c := b.Input("b")
+	b.Output("o", b.Xor(a, c))
+	// A two-cell cone nobody exports.
+	b.And(b.Not(a), c)
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fs := n.Lint()
+	dead := findKind(fs, KindDeadCell)
+	if len(dead) != 1 || dead[0].Severity != SeverityWarning {
+		t.Fatalf("want one dead-cell warning, got %v", fs)
+	}
+	if !strings.Contains(dead[0].Message, "2 cell(s)") {
+		t.Errorf("want both cone cells dead, got %q", dead[0].Message)
+	}
+	if dangling := findKind(fs, KindDanglingNet); len(dangling) != 1 {
+		t.Errorf("want the unread and-output reported dangling, got %v", fs)
+	}
+}
+
+// TestLintReconvergentDiamond: one stem whose branches meet again.
+func TestLintReconvergentDiamond(t *testing.T) {
+	b := NewBuilder("diamond")
+	a := b.Input("a")
+	b.Output("o", b.And(b.Not(a), b.Buf(a)))
+	n := b.MustBuild()
+
+	fs := findKind(n.Lint(), KindReconvergence)
+	if len(fs) != 1 || fs[0].Severity != SeverityInfo {
+		t.Fatalf("want one reconvergence info, got %v", n.Lint())
+	}
+	if !strings.Contains(fs[0].Message, "1 reconvergent fanout stem(s)") {
+		t.Errorf("want one stem counted, got %q", fs[0].Message)
+	}
+}
+
+// TestLintFeedbackLoop: an accumulator's register feeds itself — an
+// info, not a warning (the accum16 built-in is exactly this shape).
+func TestLintFeedbackLoop(t *testing.T) {
+	b := NewBuilder("accum1")
+	in := b.Input("in")
+	q := b.Net("q")
+	sum := b.Xor(in, q)
+	b.AddCellDriving(DFF, "reg", []NetID{sum}, []NetID{q})
+	b.Output("out", q)
+	n := b.MustBuild()
+
+	fs := n.Lint()
+	if HasWarnings(fs) {
+		t.Fatalf("legal feedback must not warn: %v", fs)
+	}
+	fb := findKind(fs, KindFeedbackLoop)
+	if len(fb) != 1 || len(fb[0].Cells) != 1 || fb[0].Cells[0] != "reg" {
+		t.Fatalf("want one feedback-loop info naming reg, got %v", fs)
+	}
+}
+
+// TestLintUndrivenAndCombLoop exercises the checks Validate would
+// reject, on hand-built netlists that bypass the Builder.
+func TestLintUndrivenAndCombLoop(t *testing.T) {
+	undriven := &Netlist{
+		Name: "undriven",
+		Nets: []Net{
+			{ID: 0, Name: "p", Driver: NoCell, Sinks: []Pin{{Cell: 0, Port: 0}}},
+			{ID: 1, Name: "ghost", Driver: NoCell, Sinks: []Pin{{Cell: 0, Port: 1}}},
+			{ID: 2, Name: "o", Driver: 0, DriverPin: 0},
+		},
+		Cells: []Cell{{ID: 0, Type: And, Name: "g", In: []NetID{0, 1}, Out: []NetID{2}}},
+		PIs:   []NetID{0},
+		POs:   []NetID{2},
+	}
+	fs := findKind(undriven.Lint(), KindUndrivenNet)
+	if len(fs) != 1 || fs[0].Severity != SeverityWarning || fs[0].Nets[0] != "ghost" {
+		t.Fatalf("want one undriven-net warning naming ghost, got %v", undriven.Lint())
+	}
+
+	loop := &Netlist{
+		Name: "combloop",
+		Nets: []Net{
+			{ID: 0, Name: "x", Driver: 0, DriverPin: 0, Sinks: []Pin{{Cell: 1, Port: 0}}},
+			{ID: 1, Name: "y", Driver: 1, DriverPin: 0, Sinks: []Pin{{Cell: 0, Port: 0}}},
+			{ID: 2, Name: "p", Driver: NoCell, Sinks: []Pin{{Cell: 0, Port: 1}}},
+		},
+		Cells: []Cell{
+			{ID: 0, Type: And, Name: "g0", In: []NetID{1, 2}, Out: []NetID{0}},
+			{ID: 1, Type: Buf, Name: "g1", In: []NetID{0}, Out: []NetID{1}},
+		},
+		PIs: []NetID{2},
+		POs: []NetID{0},
+	}
+	fs = findKind(loop.Lint(), KindCombLoop)
+	if len(fs) != 1 || fs[0].Severity != SeverityWarning {
+		t.Fatalf("want one comb-loop warning, got %v", loop.Lint())
+	}
+	if len(fs[0].Cells) != 2 {
+		t.Errorf("want both cycle cells named, got %+v", fs[0])
+	}
+}
+
+// TestLintOrdering: warnings sort before infos.
+func TestLintOrdering(t *testing.T) {
+	b := NewBuilder("mixed")
+	a := b.Input("a")
+	b.Input("unused")
+	b.Output("o", b.And(b.Not(a), b.Buf(a)))
+	n := b.MustBuild()
+
+	fs := n.Lint()
+	sawInfo := false
+	for _, f := range fs {
+		if f.Severity == SeverityInfo {
+			sawInfo = true
+		} else if sawInfo {
+			t.Fatalf("warning after info in %v", fs)
+		}
+	}
+}
