@@ -1,0 +1,280 @@
+package glitchsim
+
+// Measurement checkpoint/resume: the root-package face of checkpointed,
+// resumable measurements. A lane-decomposed (word-parallel) measurement
+// configured with Config.CheckpointEvery folds its partial counter at
+// every chunk boundary into a MeasureCheckpoint and hands it to
+// Config.CheckpointSink; a later run configured with Config.Resume
+// continues from that snapshot — same per-lane seed streams fast-
+// forwarded past the completed prefix, same kernel state, same counter
+// totals — so interrupted+resumed statistics are bit-identical to an
+// uninterrupted run.
+//
+// Chunk boundaries are pure observation points: the kernels' dynamic
+// state at a cycle boundary is exactly the settled net values, and the
+// stimulus generator's position is a closed-form function of the cycle
+// index (splitmix64 fast-forward), so taking — or not taking — a
+// checkpoint never perturbs the simulation.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"glitchsim/internal/core"
+	"glitchsim/internal/logic"
+	"glitchsim/internal/sim"
+	"glitchsim/netlist"
+)
+
+// CheckpointVersion is the MeasureCheckpoint format version; resume
+// rejects snapshots written by any other version.
+const CheckpointVersion = 1
+
+// ErrStopAtCheckpoint, returned by a CheckpointSink, asks the
+// measurement to stop cleanly at the chunk boundary the sink was just
+// called for: the partial counter is returned together with a
+// *CheckpointedError. This is how a draining daemon bounds its drain
+// latency to one chunk instead of gambling on a grace period.
+var ErrStopAtCheckpoint = errors.New("glitchsim: stop at checkpoint")
+
+// ErrCheckpointed tags the error a measurement returns after its sink
+// requested a stop: the measurement is not failed, it is parked at the
+// checkpoint the sink just received. errors.Is(err, ErrCheckpointed)
+// matches the concrete *CheckpointedError.
+var ErrCheckpointed = errors.New("glitchsim: measurement stopped at a checkpoint")
+
+// ErrCheckpointMismatch tags every resume validation failure: the
+// snapshot does not belong to this (circuit, configuration) pair, or
+// its payload fails integrity checks. Resuming anyway would produce
+// statistics that are not bit-identical to any honest run, so the
+// measurement refuses.
+var ErrCheckpointMismatch = errors.New("glitchsim: checkpoint does not match the measurement")
+
+// ErrCheckpointUnsupported reports a checkpoint request on a
+// measurement the chunked word-parallel path cannot carry: an explicit
+// stimulus Source, a single-lane run, or a run of at most one cycle.
+// Checkpointing needs the lane-decomposed path because only there is
+// the stimulus position a pure function of the cycle index.
+var ErrCheckpointUnsupported = errors.New("glitchsim: checkpointing requires a lane-decomposed measurement (no explicit Source, Lanes > 1, Cycles > 1)")
+
+// CheckpointedError reports a measurement stopped at a chunk boundary
+// on its sink's request. The partial counter returned alongside covers
+// exactly Cycle measured steps.
+type CheckpointedError struct {
+	// Cycle is the number of completed measured steps (word-parallel
+	// cycles, each advancing every active lane by one vector).
+	Cycle int
+	// Total is the measurement's full step count.
+	Total int
+}
+
+func (e *CheckpointedError) Error() string {
+	return fmt.Sprintf("glitchsim: measurement stopped at checkpoint, cycle %d of %d", e.Cycle, e.Total)
+}
+
+// Is reports ErrCheckpointed so errors.Is works without the concrete
+// type.
+func (e *CheckpointedError) Is(target error) bool { return target == ErrCheckpointed }
+
+// CheckpointMismatchError pinpoints the first field on which a resume
+// snapshot disagrees with the measurement it was offered to.
+type CheckpointMismatchError struct {
+	Field     string
+	Want, Got string
+}
+
+func (e *CheckpointMismatchError) Error() string {
+	return fmt.Sprintf("glitchsim: checkpoint mismatch on %s: checkpoint has %s, measurement wants %s",
+		e.Field, e.Got, e.Want)
+}
+
+// Is reports ErrCheckpointMismatch so errors.Is works without the
+// concrete type.
+func (e *CheckpointMismatchError) Is(target error) bool { return target == ErrCheckpointMismatch }
+
+// CheckpointSink receives the measurement checkpoint taken at each
+// chunk boundary. The snapshot is freshly allocated and owned by the
+// sink. Returning nil continues the measurement; returning
+// ErrStopAtCheckpoint stops it cleanly at this boundary (the sink has
+// the snapshot, the caller gets the partial counter and a
+// *CheckpointedError); any other error aborts the measurement.
+type CheckpointSink func(cp *MeasureCheckpoint) error
+
+// MeasureCheckpoint is one measurement's complete resumable state at a
+// chunk boundary: the identity of the run (circuit fingerprint and the
+// configuration knobs that shape the stimulus and schedule), the packed
+// net values of the word-parallel kernel, and the counter snapshot.
+// It serializes to JSON round-trip-exactly and carries an FNV-64a
+// checksum over its own canonical encoding, so torn or bit-rotted
+// payloads are rejected at resume rather than resumed into garbage.
+type MeasureCheckpoint struct {
+	Version     int    `json:"version"`
+	Fingerprint string `json:"fingerprint"`
+	// Cycle is the number of completed measured steps at the boundary.
+	Cycle int `json:"cycle"`
+	// TotalCycles, Lanes, Seed and Warmup pin the lane decomposition:
+	// per-lane seeds and quotas are pure functions of (Seed, Lanes,
+	// TotalCycles), so equality here means identical streams.
+	TotalCycles int    `json:"total_cycles"`
+	Lanes       int    `json:"lanes"`
+	Seed        uint64 `json:"seed"`
+	Warmup      int    `json:"warmup"`
+	// DelayDigest is the hex FNV-1a digest of the compiled delay table
+	// (sim.DelayTable.Digest); a different delay model changes every
+	// waveform, so resume under one is refused.
+	DelayDigest string `json:"delay_digest"`
+	Inertial    bool   `json:"inertial"`
+	// NetState holds the packed settled net values, 16 little-endian
+	// bytes per net (Zero rail then One rail). JSON carries it base64.
+	NetState []byte `json:"net_state"`
+	// Counter is the folded statistics snapshot at the boundary.
+	Counter *core.CounterSnapshot `json:"counter"`
+	// Checksum is the hex FNV-64a hash of the checkpoint's canonical
+	// JSON encoding with this field empty.
+	Checksum string `json:"checksum"`
+}
+
+// checksum computes the canonical-content hash of the checkpoint.
+func (cp *MeasureCheckpoint) checksum() (string, error) {
+	shadow := *cp
+	shadow.Checksum = ""
+	data, err := json.Marshal(&shadow)
+	if err != nil {
+		return "", fmt.Errorf("glitchsim: encoding checkpoint for checksum: %w", err)
+	}
+	h := fnv.New64a()
+	h.Write(data)
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}
+
+// seal stamps the checkpoint's checksum; every checkpoint handed to a
+// sink is sealed.
+func (cp *MeasureCheckpoint) seal() error {
+	sum, err := cp.checksum()
+	if err != nil {
+		return err
+	}
+	cp.Checksum = sum
+	return nil
+}
+
+// Verify recomputes the checkpoint's checksum and compares. It catches
+// torn writes and bit rot before any field is trusted; resume calls it
+// first.
+func (cp *MeasureCheckpoint) Verify() error {
+	if cp == nil {
+		return &CheckpointMismatchError{Field: "checkpoint", Want: "non-nil", Got: "nil"}
+	}
+	sum, err := cp.checksum()
+	if err != nil {
+		return err
+	}
+	if sum != cp.Checksum {
+		return &CheckpointMismatchError{Field: "checksum", Want: sum, Got: cp.Checksum}
+	}
+	return nil
+}
+
+// matches validates the checkpoint against the measurement about to
+// resume from it. maxQ is the run's step count (the largest lane
+// quota).
+func (cp *MeasureCheckpoint) matches(n *netlist.Netlist, cfg Config, lanes, maxQ int, dt *sim.DelayTable) error {
+	check := func(field, want, got string) error {
+		if want != got {
+			return &CheckpointMismatchError{Field: field, Want: want, Got: got}
+		}
+		return nil
+	}
+	if err := check("version", fmt.Sprint(CheckpointVersion), fmt.Sprint(cp.Version)); err != nil {
+		return err
+	}
+	if err := check("fingerprint", n.Fingerprint(), cp.Fingerprint); err != nil {
+		return err
+	}
+	if err := check("total_cycles", fmt.Sprint(cfg.Cycles), fmt.Sprint(cp.TotalCycles)); err != nil {
+		return err
+	}
+	if err := check("lanes", fmt.Sprint(lanes), fmt.Sprint(cp.Lanes)); err != nil {
+		return err
+	}
+	if err := check("seed", fmt.Sprint(cfg.Seed), fmt.Sprint(cp.Seed)); err != nil {
+		return err
+	}
+	if err := check("warmup", fmt.Sprint(cfg.Warmup), fmt.Sprint(cp.Warmup)); err != nil {
+		return err
+	}
+	if err := check("delay_digest", delayDigest(dt), cp.DelayDigest); err != nil {
+		return err
+	}
+	if err := check("inertial", fmt.Sprint(cfg.Inertial), fmt.Sprint(cp.Inertial)); err != nil {
+		return err
+	}
+	if cp.Cycle < 0 || cp.Cycle > maxQ {
+		return &CheckpointMismatchError{Field: "cycle", Want: fmt.Sprintf("within [0, %d]", maxQ), Got: fmt.Sprint(cp.Cycle)}
+	}
+	if want, got := 16*n.NumNets(), len(cp.NetState); want != got {
+		return &CheckpointMismatchError{Field: "net_state", Want: fmt.Sprintf("%d bytes", want), Got: fmt.Sprintf("%d bytes", got)}
+	}
+	if cp.Counter == nil {
+		return &CheckpointMismatchError{Field: "counter", Want: "non-nil", Got: "nil"}
+	}
+	return nil
+}
+
+// delayDigest renders a delay table's digest in the checkpoint's hex
+// form.
+func delayDigest(dt *sim.DelayTable) string { return fmt.Sprintf("%016x", dt.Digest()) }
+
+// encodeNetState packs kernel net values into the checkpoint's byte
+// form: 16 little-endian bytes per net, Zero rail first.
+func encodeNetState(vals []logic.W) []byte {
+	out := make([]byte, 16*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[16*i:], v.Zero)
+		binary.LittleEndian.PutUint64(out[16*i+8:], v.One)
+	}
+	return out
+}
+
+// decodeNetState unpacks encodeNetState's byte form; length was
+// validated by matches.
+func decodeNetState(b []byte) []logic.W {
+	vals := make([]logic.W, len(b)/16)
+	for i := range vals {
+		vals[i] = logic.W{
+			Zero: binary.LittleEndian.Uint64(b[16*i:]),
+			One:  binary.LittleEndian.Uint64(b[16*i+8:]),
+		}
+	}
+	return vals
+}
+
+// captureCheckpoint folds the running measurement's state at a cycle
+// boundary into a sealed MeasureCheckpoint.
+func captureCheckpoint(ws sim.WideKernel, counter *core.WideCounter, n *netlist.Netlist,
+	cfg Config, lanes, done int, dt *sim.DelayTable) (*MeasureCheckpoint, error) {
+	snap, err := counter.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	cp := &MeasureCheckpoint{
+		Version:     CheckpointVersion,
+		Fingerprint: n.Fingerprint(),
+		Cycle:       done,
+		TotalCycles: cfg.Cycles,
+		Lanes:       lanes,
+		Seed:        cfg.Seed,
+		Warmup:      cfg.Warmup,
+		DelayDigest: delayDigest(dt),
+		Inertial:    cfg.Inertial,
+		NetState:    encodeNetState(ws.ExportState(nil)),
+		Counter:     snap,
+	}
+	if err := cp.seal(); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}

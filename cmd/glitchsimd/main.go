@@ -9,7 +9,8 @@
 //	glitchsimd [-addr :8347] [-workers N] [-cache N] [-lanes N] [-uploads N]
 //	           [-uploads-dir DIR] [-job-workers N] [-job-queue N] [-job-timeout D]
 //	           [-store DIR] [-budget-events N] [-budget-wall D] [-budget-memory N]
-//	           [-max-events N] [-shed-events N] [-grace D] [-pprof]
+//	           [-max-events N] [-shed-events N] [-grace D] [-idle-timeout D]
+//	           [-write-timeout D] [-pprof]
 //
 // Examples:
 //
@@ -59,6 +60,8 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job deadline across retries (0 = default, negative disables)")
 	storeDir := flag.String("store", "", "directory persisting job records across restarts (empty = in-memory only)")
 	grace := flag.Duration("grace", 15*time.Second, "shutdown grace period for in-flight requests and jobs")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive connection idle timeout (0 = no limit)")
+	writeTimeout := flag.Duration("write-timeout", 5*time.Minute, "per-response write deadline; streaming endpoints clear it per request (0 = no limit)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/")
 	flag.Parse()
 
@@ -116,6 +119,15 @@ func main() {
 		Addr:              *addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
+		// IdleTimeout reaps abandoned keep-alive connections; WriteTimeout
+		// bounds how long a stuck client can hold a response open. The
+		// NDJSON streaming endpoints (measure?stream=1, job event follows)
+		// legitimately outlive any fixed write budget, so they clear their
+		// own deadline per request via http.ResponseController — the
+		// server-wide value protects every buffered-reply endpoint without
+		// killing tails mid-follow.
+		IdleTimeout:  *idleTimeout,
+		WriteTimeout: *writeTimeout,
 	}
 
 	errc := make(chan error, 1)

@@ -114,6 +114,28 @@ type Config struct {
 	// the last completed cycle boundary; the memory bound rejects the
 	// request at admission, before compilation. See Budget.
 	Budget Budget
+	// CheckpointEvery, when > 0, runs the measurement in chunks of that
+	// many word-parallel cycles: at every chunk boundary (except the
+	// final one) the partial counter and kernel state fold into a
+	// MeasureCheckpoint handed to CheckpointSink. Chunk boundaries are
+	// pure observation points — they never perturb the simulation, so
+	// checkpointed and plain runs are bit-identical. Requires the
+	// lane-decomposed word-parallel path (no explicit Source, Lanes > 1,
+	// Cycles > 1); other paths fail with ErrCheckpointUnsupported.
+	CheckpointEvery int
+	// CheckpointSink receives each chunk boundary's checkpoint; nil
+	// disables capture (CheckpointEvery then only shapes the loop).
+	// Returning ErrStopAtCheckpoint stops the measurement cleanly at
+	// the boundary — see CheckpointSink's doc.
+	CheckpointSink CheckpointSink
+	// Resume continues a measurement from a previously captured
+	// checkpoint instead of starting at cycle zero: the kernel state,
+	// counter totals and stimulus position are restored, and the
+	// remaining cycles run on the identical per-lane seed streams. The
+	// checkpoint must match this configuration exactly (fingerprint,
+	// cycles, lanes, seed, warm-up, delay model, mode) or the
+	// measurement fails with ErrCheckpointMismatch.
+	Resume *MeasureCheckpoint
 }
 
 func (c Config) withDefaults(n *netlist.Netlist) Config {
@@ -178,6 +200,9 @@ func measureCompiled(ctx context.Context, c *sim.Compiled, cfg Config, lanes int
 	}
 	if split && cfg.Cycles > 1 {
 		return measureLanes(ctx, c, cfg, lanes)
+	}
+	if cfg.CheckpointEvery > 0 || cfg.Resume != nil {
+		return nil, fmt.Errorf("%w: circuit %q would run single-stream", ErrCheckpointUnsupported, n.Name)
 	}
 	return measureStream(ctx, c, cfg)
 }

@@ -207,6 +207,129 @@ func TestChaosRestartUploadsSurvive(t *testing.T) {
 	t.Logf("%d restarts, %d distinct fingerprints survived", restarts.Add(1), len(fps))
 }
 
+// TestChaosKillMidMeasureResume is the zero-lost-work acceptance test:
+// a checkpointing measurement job is killed (drain + full daemon
+// teardown) mid-run, twice, and after each restart over the same job
+// store it must resume from its persisted chunk boundary rather than
+// start over — and the final activity must be bit-identical to a
+// synchronous run of the same measurement.
+func TestChaosKillMidMeasureResume(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	jobDir := t.TempDir()
+	boot := func() *daemon {
+		store, err := jobs.NewFileStore(jobDir)
+		if err != nil {
+			t.Fatalf("job store: %v", err)
+		}
+		return startDaemon(t, nil, jobs.Options{Workers: 1, QueueDepth: 4, Store: store})
+	}
+	d := boot()
+	t.Cleanup(func() { d.stop(t) })
+
+	getJob := func(id string) service.JobDTO {
+		t.Helper()
+		resp, err := http.Get(d.ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var job service.JobDTO
+		err = json.NewDecoder(resp.Body).Decode(&job)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("get job %s: status %d err %v", id, resp.StatusCode, err)
+		}
+		return job
+	}
+
+	// Lanes=8 over 4000 cycles gives 500 chunk boundaries; a checkpoint
+	// every 4 keeps the kill window wide open (125 durable snapshots,
+	// each an fsync) without slowing the run past the suite budget.
+	const measure = `{"circuit":"wallace8","cycles":4000,"lanes":8,"seed":11,"checkpoint_every":4}`
+	resp, err := http.Post(d.ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"kind":"measure","measure":`+measure+`}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job service.JobDTO
+	err = json.NewDecoder(resp.Body).Decode(&job)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d err %v", resp.StatusCode, err)
+	}
+	id := job.ID
+
+	deadline := time.Now().Add(30 * time.Second)
+	kills, lastCheckpoint := 0, 0
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("kill/restart cycle wedged: %d kills, checkpoint at %d", kills, lastCheckpoint)
+		}
+		j := getJob(id)
+		if j.State == string(jobs.StateSucceeded) {
+			if kills == 0 {
+				t.Fatal("job finished before the first kill — measurement too short for the chaos window")
+			}
+			break
+		}
+		if j.State == string(jobs.StateFailed) {
+			t.Fatalf("job failed mid-chaos: %s", j.Error)
+		}
+		// Kill only once fresh progress is durably checkpointed, so each
+		// restart provably resumes past the previous one.
+		if kills < 2 && j.CheckpointCycle > lastCheckpoint {
+			lastCheckpoint = j.CheckpointCycle
+			d.stop(t)
+			d = boot()
+			kills++
+			recovered := getJob(id)
+			if recovered.CheckpointCycle < lastCheckpoint {
+				t.Fatalf("kill %d lost work: checkpoint %d on disk, had reached %d",
+					kills, recovered.CheckpointCycle, lastCheckpoint)
+			}
+			continue
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	final := getJob(id)
+	if final.ResumedFromCycle == 0 {
+		t.Fatal("job succeeded with resumed_from_cycle = 0 — it restarted from scratch instead of resuming")
+	}
+	if final.CheckpointCycle != 0 {
+		t.Fatalf("terminal job still carries checkpoint_cycle %d", final.CheckpointCycle)
+	}
+	t.Logf("%d kills, last checkpoint at chunk %d, resumed from %d", kills, lastCheckpoint, final.ResumedFromCycle)
+
+	// Zero lost work means bit-identical statistics: the resumed job's
+	// activity must equal a synchronous, uninterrupted run of the same
+	// measurement on the same daemon.
+	var interrupted, reference struct {
+		Activity service.ActivityDTO `json:"activity"`
+	}
+	resp, err = http.Get(d.ts.URL + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&interrupted)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("job result: status %d err %v", resp.StatusCode, err)
+	}
+	resp, err = http.Post(d.ts.URL+"/v1/measure", "application/json", strings.NewReader(measure))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&reference)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("reference measure: status %d err %v", resp.StatusCode, err)
+	}
+	if interrupted.Activity != reference.Activity {
+		t.Fatalf("resumed activity diverged from uninterrupted run:\n got %+v\nwant %+v",
+			interrupted.Activity, reference.Activity)
+	}
+}
+
 // TestChaosPanickyJobsDoNotWedge drives every job through an injector
 // that panics on its first attempt: each job must reach a terminal,
 // well-formed state (retried to success or failed with the recovered

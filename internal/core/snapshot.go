@@ -1,0 +1,208 @@
+package core
+
+// Counter snapshot/restore: the serialization layer of measurement
+// checkpointing. A snapshot captures the accumulated classified
+// statistics at a cycle boundary — never mid-cycle, where per-cycle
+// parity state would make the numbers meaningless — tagged with a
+// format version and the netlist fingerprint so a restore onto the
+// wrong circuit (or a torn/corrupt payload) is rejected instead of
+// silently producing garbage statistics.
+//
+// Restore re-derives nothing: the parity rule's per-cycle state is
+// empty at a boundary, so the accumulated NetStats plus the cycle
+// count ARE the counter. That is what makes interrupted+resumed runs
+// bit-identical to uninterrupted ones.
+
+import (
+	"errors"
+	"fmt"
+)
+
+// SnapshotVersion is the counter snapshot format version. Restore
+// rejects snapshots written by any other version.
+const SnapshotVersion = 1
+
+// ErrBadSnapshot is wrapped by every snapshot validation failure:
+// version skew, fingerprint mismatch, out-of-range nets, or statistics
+// that violate the parity-rule invariants (a corruption tell).
+var ErrBadSnapshot = errors.New("core: invalid counter snapshot")
+
+// NetStatsEntry is one net's accumulated statistics in snapshot form.
+// Only nets with activity are recorded; the short JSON keys keep large
+// circuits' checkpoint payloads compact.
+type NetStatsEntry struct {
+	Net         int    `json:"net"`
+	Transitions uint64 `json:"t"`
+	Useful      uint64 `json:"f"`
+	Useless     uint64 `json:"l"`
+	Glitches    uint64 `json:"g"`
+	Rising      uint64 `json:"r"`
+	MaxPerCycle uint32 `json:"m"`
+}
+
+// CounterSnapshot is the versioned, fingerprint-tagged serialization of
+// a Counter or WideCounter at a cycle boundary. It is plain data —
+// encoding/json round-trips it exactly (all fields are integers or
+// strings, so no float precision is involved).
+type CounterSnapshot struct {
+	Version     int    `json:"version"`
+	Fingerprint string `json:"fingerprint"`
+	// Cycles is the classified cycle count (lane-cycles for a
+	// WideCounter, matching Counter.Cycles after the fold).
+	Cycles int `json:"cycles"`
+	// Monitored lists the monitored net IDs, ascending.
+	Monitored []int `json:"monitored"`
+	// Stats holds the per-net statistics of every net with activity,
+	// ascending by net.
+	Stats []NetStatsEntry `json:"stats"`
+}
+
+// snapshotOf builds the snapshot shared by both counter flavours.
+func snapshotOf(fp string, cycles int, include []bool, stats []NetStats) *CounterSnapshot {
+	s := &CounterSnapshot{Version: SnapshotVersion, Fingerprint: fp, Cycles: cycles}
+	for i, in := range include {
+		if in {
+			s.Monitored = append(s.Monitored, i)
+		}
+	}
+	for i := range stats {
+		st := &stats[i]
+		if *st == (NetStats{}) {
+			continue
+		}
+		s.Stats = append(s.Stats, NetStatsEntry{
+			Net:         i,
+			Transitions: st.Transitions,
+			Useful:      st.Useful,
+			Useless:     st.Useless,
+			Glitches:    st.Glitches,
+			Rising:      st.Rising,
+			MaxPerCycle: st.MaxPerCycle,
+		})
+	}
+	return s
+}
+
+// validate checks a snapshot against the restoring counter's netlist
+// (fingerprint and net count) and the parity-rule invariants every
+// honestly accumulated counter satisfies: Useful+Useless == Transitions,
+// Useless is even (each cycle contributes an even useless count), and
+// Glitches == Useless/2. A snapshot failing any of these was corrupted
+// or hand-forged, not written by Snapshot.
+func (s *CounterSnapshot) validate(fp string, numNets int) error {
+	if s == nil {
+		return fmt.Errorf("%w: nil snapshot", ErrBadSnapshot)
+	}
+	if s.Version != SnapshotVersion {
+		return fmt.Errorf("%w: version %d, want %d", ErrBadSnapshot, s.Version, SnapshotVersion)
+	}
+	if s.Fingerprint != fp {
+		return fmt.Errorf("%w: fingerprint %s does not match netlist %s", ErrBadSnapshot, s.Fingerprint, fp)
+	}
+	if s.Cycles < 0 {
+		return fmt.Errorf("%w: negative cycle count %d", ErrBadSnapshot, s.Cycles)
+	}
+	for _, id := range s.Monitored {
+		if id < 0 || id >= numNets {
+			return fmt.Errorf("%w: monitored net %d outside [0, %d)", ErrBadSnapshot, id, numNets)
+		}
+	}
+	for i := range s.Stats {
+		e := &s.Stats[i]
+		if e.Net < 0 || e.Net >= numNets {
+			return fmt.Errorf("%w: net %d outside [0, %d)", ErrBadSnapshot, e.Net, numNets)
+		}
+		if e.Useful+e.Useless != e.Transitions {
+			return fmt.Errorf("%w: net %d has useful %d + useless %d != transitions %d",
+				ErrBadSnapshot, e.Net, e.Useful, e.Useless, e.Transitions)
+		}
+		if e.Useless%2 != 0 {
+			return fmt.Errorf("%w: net %d has odd useless count %d", ErrBadSnapshot, e.Net, e.Useless)
+		}
+		if e.Glitches != e.Useless/2 {
+			return fmt.Errorf("%w: net %d has %d glitches, parity rule requires %d",
+				ErrBadSnapshot, e.Net, e.Glitches, e.Useless/2)
+		}
+		if e.Rising > e.Transitions {
+			return fmt.Errorf("%w: net %d has %d rising > %d transitions",
+				ErrBadSnapshot, e.Net, e.Rising, e.Transitions)
+		}
+	}
+	return nil
+}
+
+// restoreInto writes a validated snapshot's contents into a counter's
+// include/stats arrays (pre-zeroed by the caller's constructor).
+func (s *CounterSnapshot) restoreInto(include []bool, stats []NetStats) {
+	for i := range include {
+		include[i] = false
+	}
+	for _, id := range s.Monitored {
+		include[id] = true
+	}
+	for i := range stats {
+		stats[i] = NetStats{}
+	}
+	for i := range s.Stats {
+		e := &s.Stats[i]
+		stats[e.Net] = NetStats{
+			Transitions: e.Transitions,
+			Useful:      e.Useful,
+			Useless:     e.Useless,
+			Glitches:    e.Glitches,
+			Rising:      e.Rising,
+			MaxPerCycle: e.MaxPerCycle,
+		}
+	}
+}
+
+// Snapshot serializes the counter's accumulated statistics. It fails if
+// the counter is mid-cycle (transitions recorded since the last
+// OnCycleEnd): a consistent checkpoint exists only at cycle boundaries.
+func (c *Counter) Snapshot() (*CounterSnapshot, error) {
+	if len(c.dirty) > 0 {
+		return nil, fmt.Errorf("core: cannot snapshot a counter mid-cycle (%d nets with partial counts)", len(c.dirty))
+	}
+	return snapshotOf(c.n.Fingerprint(), c.cycles, c.include, c.stats), nil
+}
+
+// Restore overwrites the counter's accumulated statistics and monitored
+// set with a snapshot's, after validating it against the counter's
+// netlist. On error the counter is left unchanged.
+func (c *Counter) Restore(s *CounterSnapshot) error {
+	if err := s.validate(c.n.Fingerprint(), c.n.NumNets()); err != nil {
+		return err
+	}
+	if len(c.dirty) > 0 {
+		return fmt.Errorf("core: cannot restore into a counter mid-cycle (%d nets with partial counts)", len(c.dirty))
+	}
+	s.restoreInto(c.include, c.stats)
+	c.cycles = s.Cycles
+	return nil
+}
+
+// Snapshot serializes the wide counter's accumulated lane-summed
+// statistics, exactly as Counter.Snapshot would serialize the folded
+// Counter. It fails mid-cycle.
+func (c *WideCounter) Snapshot() (*CounterSnapshot, error) {
+	if len(c.dirty) > 0 {
+		return nil, fmt.Errorf("core: cannot snapshot a wide counter mid-cycle (%d nets with partial counts)", len(c.dirty))
+	}
+	return snapshotOf(c.n.Fingerprint(), c.cycles, c.include, c.stats), nil
+}
+
+// Restore overwrites the wide counter's accumulated statistics and
+// monitored set with a snapshot's, after validating it against the
+// counter's netlist. The lane mask is untouched. On error the counter
+// is left unchanged.
+func (c *WideCounter) Restore(s *CounterSnapshot) error {
+	if err := s.validate(c.n.Fingerprint(), c.n.NumNets()); err != nil {
+		return err
+	}
+	if len(c.dirty) > 0 {
+		return fmt.Errorf("core: cannot restore into a wide counter mid-cycle (%d nets with partial counts)", len(c.dirty))
+	}
+	s.restoreInto(c.include, c.stats)
+	c.cycles = s.Cycles
+	return nil
+}

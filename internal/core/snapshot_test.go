@@ -1,0 +1,193 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"glitchsim/internal/logic"
+	"glitchsim/internal/sim"
+	"glitchsim/netlist"
+)
+
+// snapNetlist builds a small circuit with two internal nets to monitor.
+func snapNetlist(t *testing.T) (*netlist.Netlist, netlist.NetID, netlist.NetID) {
+	t.Helper()
+	b := netlist.NewBuilder("snapshot-test")
+	x := b.Input("x")
+	y := b.Not(x)
+	z := b.Not(y)
+	b.Output("z", z)
+	return b.MustBuild(), y, z
+}
+
+// TestCheckpointRoundTrip pins the serialization contract of counter
+// checkpointing: a snapshot marshalled through JSON and restored into a
+// fresh counter reproduces every statistic exactly, and a counter that
+// keeps counting after the restore stays bit-identical to the original
+// counting straight through.
+func TestCheckpointRoundTrip(t *testing.T) {
+	nl, y, z := snapNetlist(t)
+	orig := NewCounter(nl)
+	feed(orig, y, []int{3, 2, 0, 7})
+	feed(orig, z, []int{1, 4})
+
+	snap, err := orig.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var decoded CounterSnapshot
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	restored := NewCounter(nl)
+	if err := restored.Restore(&decoded); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if restored.Cycles() != orig.Cycles() {
+		t.Fatalf("restored cycles = %d, want %d", restored.Cycles(), orig.Cycles())
+	}
+	for net := 0; net < nl.NumNets(); net++ {
+		id := netlist.NetID(net)
+		if got, want := restored.Stats(id), orig.Stats(id); got != want {
+			t.Fatalf("restored stats[%d] = %+v, want %+v", net, got, want)
+		}
+	}
+
+	// Counting on after the restore must equal counting straight through.
+	feed(orig, y, []int{2, 5})
+	feed(restored, y, []int{2, 5})
+	if restored.Totals() != orig.Totals() {
+		t.Fatalf("post-restore totals = %+v, want %+v", restored.Totals(), orig.Totals())
+	}
+	if restored.Cycles() != orig.Cycles() {
+		t.Fatalf("post-restore cycles = %d, want %d", restored.Cycles(), orig.Cycles())
+	}
+}
+
+// TestCheckpointRoundTripWide covers the WideCounter flavour: snapshot
+// at a cycle boundary, restore into a fresh wide counter, identical fold.
+func TestCheckpointRoundTripWide(t *testing.T) {
+	nl, net := twoNetNetlist(t)
+	orig := NewWideCounter(nl)
+	orig.SetLaneMask(0b0111)
+	for cy := 0; cy < 3; cy++ {
+		for i := 0; i < 2+cy; i++ {
+			orig.OnWideChanges(cy, i, []sim.WideChange{change(net, 0b1111, i%2 == 0)})
+		}
+		orig.OnCycleEnd(cy)
+	}
+
+	snap, err := orig.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var decoded CounterSnapshot
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	restored := NewWideCounter(nl)
+	restored.SetLaneMask(0b0111)
+	if err := restored.Restore(&decoded); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+
+	// Continue both and compare the folds.
+	for _, c := range []*WideCounter{orig, restored} {
+		c.OnWideChanges(3, 0, []sim.WideChange{change(net, 0b0101, true)})
+		c.OnCycleEnd(3)
+	}
+	of, rf := orig.Counter(), restored.Counter()
+	if of.Totals() != rf.Totals() || of.Cycles() != rf.Cycles() {
+		t.Fatalf("restored wide fold = %+v (%d cycles), want %+v (%d cycles)",
+			rf.Totals(), rf.Cycles(), of.Totals(), of.Cycles())
+	}
+}
+
+// TestSnapshotRejectsCorruption: every way a snapshot can lie —
+// version skew, wrong circuit, impossible statistics, out-of-range
+// nets — must be rejected with ErrBadSnapshot and leave the counter
+// untouched.
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	nl, y, _ := snapNetlist(t)
+	base := func() *CounterSnapshot {
+		c := NewCounter(nl)
+		feed(c, y, []int{3, 2})
+		s, err := c.Snapshot()
+		if err != nil {
+			t.Fatalf("Snapshot: %v", err)
+		}
+		return s
+	}
+	cases := []struct {
+		name    string
+		corrupt func(s *CounterSnapshot)
+	}{
+		{"version skew", func(s *CounterSnapshot) { s.Version = SnapshotVersion + 1 }},
+		{"wrong fingerprint", func(s *CounterSnapshot) { s.Fingerprint = "deadbeef" }},
+		{"negative cycles", func(s *CounterSnapshot) { s.Cycles = -1 }},
+		{"monitored out of range", func(s *CounterSnapshot) { s.Monitored = append(s.Monitored, nl.NumNets()) }},
+		{"net out of range", func(s *CounterSnapshot) { s.Stats[0].Net = -3 }},
+		{"sum rule broken", func(s *CounterSnapshot) { s.Stats[0].Transitions++ }},
+		{"odd useless", func(s *CounterSnapshot) { s.Stats[0].Useless++; s.Stats[0].Useful-- }},
+		{"glitch parity broken", func(s *CounterSnapshot) { s.Stats[0].Glitches++ }},
+		{"rising over transitions", func(s *CounterSnapshot) { s.Stats[0].Rising = s.Stats[0].Transitions + 1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base()
+			tc.corrupt(s)
+			target := NewCounter(nl)
+			feed(target, y, []int{1})
+			before, beforeCycles := target.Totals(), target.Cycles()
+			err := target.Restore(s)
+			if !errors.Is(err, ErrBadSnapshot) {
+				t.Fatalf("Restore(%s) = %v, want ErrBadSnapshot", tc.name, err)
+			}
+			if target.Totals() != before || target.Cycles() != beforeCycles {
+				t.Fatalf("failed restore mutated the counter: %+v/%d, want %+v/%d",
+					target.Totals(), target.Cycles(), before, beforeCycles)
+			}
+		})
+	}
+}
+
+// TestSnapshotRefusesMidCycle: a checkpoint only exists at cycle
+// boundaries; partial per-cycle parity state cannot be serialized.
+func TestSnapshotRefusesMidCycle(t *testing.T) {
+	nl, y, _ := snapNetlist(t)
+	c := NewCounter(nl)
+	feed(c, y, []int{2})
+	snap, err := c.Snapshot()
+	if err != nil {
+		t.Fatalf("boundary Snapshot: %v", err)
+	}
+	c.OnChange(y, 1, 1, logic.L0, logic.L1) // mid-cycle: no OnCycleEnd yet
+	if _, err := c.Snapshot(); err == nil {
+		t.Fatal("mid-cycle Snapshot succeeded, want refusal")
+	}
+	if err := c.Restore(snap); err == nil {
+		t.Fatal("mid-cycle Restore succeeded, want refusal")
+	}
+
+	w := NewWideCounter(nl)
+	wsnap, err := w.Snapshot()
+	if err != nil {
+		t.Fatalf("wide boundary Snapshot: %v", err)
+	}
+	w.OnWideChanges(0, 0, []sim.WideChange{change(y, 1, true)})
+	if _, err := w.Snapshot(); err == nil {
+		t.Fatal("mid-cycle wide Snapshot succeeded, want refusal")
+	}
+	if err := w.Restore(wsnap); err == nil {
+		t.Fatal("mid-cycle wide Restore succeeded, want refusal")
+	}
+}

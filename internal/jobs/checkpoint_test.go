@@ -1,0 +1,234 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// chunkTotal is the synthetic measurement length of the resumable test
+// executor, in chunks.
+const chunkTotal = 8
+
+// resumableExec simulates a checkpoint-aware measurement executor: it
+// works in chunks, persists a checkpoint through h.Checkpoint after
+// each one, resumes from rec.Checkpoint, and stops with ErrCheckpointed
+// when the drain signal fires. holdAt (when >= 0) parks the executor at
+// that chunk boundary until release is closed or a drain begins, so
+// tests can interrupt deterministically. checkpointed (when non-nil)
+// receives each persisted chunk number.
+func resumableExec(holdAt int, release <-chan struct{}, checkpointed chan<- int) Executor {
+	return ExecutorFunc(func(ctx context.Context, rec Record, h Hooks) (json.RawMessage, error) {
+		start := 0
+		if len(rec.Checkpoint) > 0 {
+			var cp struct {
+				Cycle int `json:"cycle"`
+			}
+			if err := json.Unmarshal(rec.Checkpoint, &cp); err != nil {
+				return nil, fmt.Errorf("decoding checkpoint: %w", err)
+			}
+			start = cp.Cycle
+		}
+		for cycle := start; cycle < chunkTotal; cycle++ {
+			if cycle == holdAt {
+				select {
+				case <-release:
+				case <-h.Draining:
+					return nil, ErrCheckpointed
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			done := cycle + 1
+			data, err := json.Marshal(map[string]int{"cycle": done})
+			if err != nil {
+				return nil, err
+			}
+			h.Checkpoint(data, done)
+			if checkpointed != nil {
+				checkpointed <- done
+			}
+			select {
+			case <-h.Draining:
+				return nil, ErrCheckpointed
+			default:
+			}
+		}
+		return json.RawMessage(fmt.Sprintf(`{"resumed_from":%d}`, start)), nil
+	})
+}
+
+// TestCheckpointDrainResume is the full resumable-job lifecycle: a
+// running job persists checkpoints, a graceful drain parks it back to
+// queued at its last chunk boundary without consuming the retry budget,
+// and a fresh manager over the same on-disk store resumes it from the
+// recorded cycle — the executor proves the resume by baking its start
+// cycle into the result.
+func TestCheckpointDrainResume(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	checkpointed := make(chan int, chunkTotal)
+	m1, err := NewManager(resumableExec(3, nil, checkpointed), Options{
+		BaseContext: context.Background(), Workers: 1, Store: st,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := m1.Submit(Submission{Kind: "measure", Request: json.RawMessage(`{}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The executor checkpoints chunks 1..3 and then parks at the chunk-4
+	// boundary until the drain begins.
+	for want := 1; want <= 3; want++ {
+		select {
+		case got := <-checkpointed:
+			if got != want {
+				t.Fatalf("checkpoint sequence: got chunk %d, want %d", got, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for checkpoint %d", want)
+		}
+	}
+	drainNow(t, m1)
+
+	parked, ok, err := st.Get(rec.ID)
+	if err != nil || !ok {
+		t.Fatalf("store.Get after drain: ok=%v err=%v", ok, err)
+	}
+	if parked.State != StateQueued {
+		t.Fatalf("drained job state = %q, want queued", parked.State)
+	}
+	if parked.CheckpointCycle != 3 || len(parked.Checkpoint) == 0 {
+		t.Fatalf("drained job checkpoint = cycle %d (%d bytes), want cycle 3 with a payload",
+			parked.CheckpointCycle, len(parked.Checkpoint))
+	}
+	if parked.Attempts != 0 {
+		t.Fatalf("drained job attempts = %d, want 0 (a drain must not consume the retry budget)", parked.Attempts)
+	}
+
+	// A fresh manager resumes the parked job from chunk 3.
+	m2, err := NewManager(resumableExec(-1, nil, nil), Options{
+		BaseContext: context.Background(), Workers: 1, Store: st,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drainNow(t, m2)
+	got := waitState(t, m2, rec.ID, StateSucceeded)
+	if string(got.Result) != `{"resumed_from":3}` {
+		t.Fatalf("resumed result = %s, want {\"resumed_from\":3}", got.Result)
+	}
+	if got.ResumedFromCycle != 3 {
+		t.Fatalf("resumed_from_cycle = %d, want 3", got.ResumedFromCycle)
+	}
+	if got.Attempts != 1 {
+		t.Fatalf("attempts after resume = %d, want 1", got.Attempts)
+	}
+	if len(got.Checkpoint) != 0 || got.CheckpointCycle != 0 {
+		t.Fatalf("terminal record kept checkpoint payload: cycle %d, %d bytes", got.CheckpointCycle, len(got.Checkpoint))
+	}
+	sawCheckpoint := false
+	for _, ev := range got.Events {
+		if ev.Kind == "checkpoint" {
+			sawCheckpoint = true
+			break
+		}
+	}
+	if !sawCheckpoint {
+		t.Fatal("event tail records no checkpoint events")
+	}
+}
+
+// TestCheckpointUninterruptedRunsClean: a checkpoointing job that is
+// never interrupted completes normally, reports a zero resume cycle and
+// sheds its checkpoint payload at the terminal transition.
+func TestCheckpointUninterruptedRunsClean(t *testing.T) {
+	m, err := NewManager(resumableExec(-1, nil, nil), Options{
+		BaseContext: context.Background(), Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drainNow(t, m)
+	rec, err := m.Submit(Submission{Kind: "measure", Request: json.RawMessage(`{}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, m, rec.ID, StateSucceeded)
+	if string(got.Result) != `{"resumed_from":0}` {
+		t.Fatalf("result = %s, want a fresh run", got.Result)
+	}
+	if got.ResumedFromCycle != 0 || got.CheckpointCycle != 0 || len(got.Checkpoint) != 0 {
+		t.Fatalf("clean run kept resume state: %+v", got)
+	}
+}
+
+// TestFileStoreTornCheckpointWrite: a checkpoint overwrite that tears
+// mid-write (temp file present, rename never happened) must roll back
+// to the previous durable checkpoint, not corrupt the record — the
+// fsync-before-rename contract from the reader's side.
+func TestFileStoreTornCheckpointWrite(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{
+		ID: "eeeeeeeeeeeeeeee", State: StateQueued, Kind: "measure",
+		Checkpoint: json.RawMessage(`{"cycle":3}`), CheckpointCycle: 3,
+		CreatedAt: time.Now().UTC(),
+	}
+	if err := st.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	// A later Put (checkpoint cycle 4) tears before its rename: only the
+	// temp file exists, holding a prefix of the new encoding.
+	torn := filepath.Join(dir, "."+rec.ID+".tmp-42")
+	if err := os.WriteFile(torn, []byte(`{"id":"eeeeeeeeeeeeeeee","checkpoint":{"cy`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := st2.Get(rec.ID)
+	if err != nil || !ok {
+		t.Fatalf("Get after torn write: ok=%v err=%v", ok, err)
+	}
+	var cp struct {
+		Cycle int `json:"cycle"`
+	}
+	if err := json.Unmarshal(got.Checkpoint, &cp); err != nil {
+		t.Fatalf("recovered checkpoint does not decode: %v", err)
+	}
+	if got.CheckpointCycle != 3 || cp.Cycle != 3 {
+		t.Fatalf("recovered checkpoint = record cycle %d, payload cycle %d; want the previous durable cycle 3",
+			got.CheckpointCycle, cp.Cycle)
+	}
+	if _, err := os.Stat(torn); !os.IsNotExist(err) {
+		t.Fatalf("torn temp file survived reopen: %v", err)
+	}
+	// The recovered record must still round-trip through a manager.
+	m, err := NewManager(resumableExec(-1, nil, nil), Options{BaseContext: context.Background(), Workers: 1, Store: st2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drainNow(t, m)
+	final := waitState(t, m, rec.ID, StateSucceeded)
+	if string(final.Result) != `{"resumed_from":3}` {
+		t.Fatalf("resumed result = %s, want resume from the durable checkpoint", final.Result)
+	}
+}

@@ -131,6 +131,18 @@ type Record struct {
 	Timeout time.Duration `json:"timeout,omitempty"`
 	// Progress is the executor-reported completion count.
 	Progress Progress `json:"progress"`
+	// Checkpoint is the executor's latest resumable snapshot, opaque to
+	// this package (the service stores a glitchsim.MeasureCheckpoint).
+	// It is persisted through the Store at every Hooks.Checkpoint call,
+	// survives drain/crash/restart, and is handed back to the Executor
+	// in the Record so the next attempt resumes instead of restarting.
+	Checkpoint json.RawMessage `json:"checkpoint,omitempty"`
+	// CheckpointCycle is the measurement cycle Checkpoint was taken at.
+	CheckpointCycle int `json:"checkpoint_cycle,omitempty"`
+	// ResumedFromCycle reports the cycle the job's current (or last)
+	// attempt resumed from: 0 for a fresh start, the checkpoint cycle
+	// after a drain/crash/retry picked up persisted work.
+	ResumedFromCycle int `json:"resumed_from_cycle,omitempty"`
 	// Events is the bounded tail of the job's event history (the live
 	// stream additionally reaches subscribers as it happens).
 	Events []Event `json:"events,omitempty"`
@@ -146,6 +158,7 @@ func (r Record) Clone() Record {
 	c := r
 	c.Request = append(json.RawMessage(nil), r.Request...)
 	c.Result = append(json.RawMessage(nil), r.Result...)
+	c.Checkpoint = append(json.RawMessage(nil), r.Checkpoint...)
 	c.Events = append([]Event(nil), r.Events...)
 	return c
 }
@@ -164,26 +177,48 @@ type Submission struct {
 	Timeout time.Duration
 }
 
+// Hooks is the manager-provided side channel of one execution attempt:
+// progress events, checkpoint persistence and the drain signal. All
+// fields are non-nil/usable for every attempt.
+type Hooks struct {
+	// Emit publishes a progress event into the job's record and live
+	// stream. Safe for concurrent use — batch executors report from
+	// many goroutines.
+	Emit func(Event)
+	// Checkpoint persists a resumable snapshot against the job record
+	// (Record.Checkpoint/CheckpointCycle) through the Store — the
+	// durability point of checkpointed execution. Safe for concurrent
+	// use; each call supersedes the previous snapshot.
+	Checkpoint func(snapshot json.RawMessage, cycle int)
+	// Draining is closed when the manager begins a graceful drain.
+	// Checkpoint-aware executors stop at their next chunk boundary —
+	// persisting via Checkpoint and returning ErrCheckpointed — which
+	// bounds drain latency to one chunk instead of the full job.
+	Draining <-chan struct{}
+}
+
 // Executor runs one job attempt. The context carries the job's
 // deadline and is canceled by DELETE and at shutdown; implementations
-// must honour it promptly. emit publishes progress events into the
-// job's record and live stream (it is safe for concurrent use — batch
-// executors report from many goroutines). The returned payload becomes
-// the job's Result.
+// must honour it promptly. h carries the attempt's progress/checkpoint
+// hooks (see Hooks). The returned payload becomes the job's Result.
 //
-// An error wrapped with Transient is retried under the manager's
-// backoff policy; any other error (or a panic, which the manager
-// recovers and records with its stack) fails the job.
+// A Record with a non-empty Checkpoint is a resume request: the
+// executor should continue from that snapshot rather than from zero.
+// Returning ErrCheckpointed (optionally wrapped) parks the job back in
+// the queue with its persisted checkpoint — used for voluntary stops
+// at drain. An error wrapped with Transient is retried under the
+// manager's backoff policy; any other error (or a panic, which the
+// manager recovers and records with its stack) fails the job.
 type Executor interface {
-	Execute(ctx context.Context, rec Record, emit func(Event)) (json.RawMessage, error)
+	Execute(ctx context.Context, rec Record, h Hooks) (json.RawMessage, error)
 }
 
 // ExecutorFunc adapts a function to the Executor interface.
-type ExecutorFunc func(ctx context.Context, rec Record, emit func(Event)) (json.RawMessage, error)
+type ExecutorFunc func(ctx context.Context, rec Record, h Hooks) (json.RawMessage, error)
 
 // Execute implements Executor.
-func (f ExecutorFunc) Execute(ctx context.Context, rec Record, emit func(Event)) (json.RawMessage, error) {
-	return f(ctx, rec, emit)
+func (f ExecutorFunc) Execute(ctx context.Context, rec Record, h Hooks) (json.RawMessage, error) {
+	return f(ctx, rec, h)
 }
 
 // Sentinel errors of the admission and lifecycle surface.
@@ -197,6 +232,11 @@ var (
 	ErrUnknownJob = errors.New("jobs: unknown job")
 	// ErrFinished reports an operation (cancel) on a terminal job.
 	ErrFinished = errors.New("jobs: job already finished")
+	// ErrCheckpointed, returned by an Executor, reports a voluntary stop
+	// at a persisted checkpoint (typically on the Hooks.Draining
+	// signal): the job is parked back in the queue — not failed — and
+	// the interrupted attempt does not count against the retry budget.
+	ErrCheckpointed = errors.New("jobs: execution stopped at a checkpoint")
 
 	// errTimeout/errCanceled/errCheckpoint are the context causes the
 	// manager distinguishes terminal states by.

@@ -36,8 +36,8 @@ func waitState(t *testing.T, m *Manager, id string, state State) Record {
 
 // okExec is an executor that immediately succeeds with a fixed payload.
 func okExec() Executor {
-	return ExecutorFunc(func(ctx context.Context, rec Record, emit func(Event)) (json.RawMessage, error) {
-		emit(Event{Kind: "result", Total: 1})
+	return ExecutorFunc(func(ctx context.Context, rec Record, h Hooks) (json.RawMessage, error) {
+		h.Emit(Event{Kind: "result", Total: 1})
 		return json.RawMessage(`{"ok":true}`), nil
 	})
 }
@@ -45,7 +45,7 @@ func okExec() Executor {
 // gateExec blocks every execution until release is closed (or the job
 // context ends, which it surfaces as the context error).
 func gateExec(started chan<- string, release <-chan struct{}) Executor {
-	return ExecutorFunc(func(ctx context.Context, rec Record, emit func(Event)) (json.RawMessage, error) {
+	return ExecutorFunc(func(ctx context.Context, rec Record, h Hooks) (json.RawMessage, error) {
 		if started != nil {
 			started <- rec.ID
 		}
@@ -207,7 +207,7 @@ func TestJobsRetryBudgetExhausted(t *testing.T) {
 // TestJobsNonTransientFailsImmediately pins that an unclassified error
 // is not retried.
 func TestJobsNonTransientFailsImmediately(t *testing.T) {
-	m, err := NewManager(ExecutorFunc(func(ctx context.Context, rec Record, emit func(Event)) (json.RawMessage, error) {
+	m, err := NewManager(ExecutorFunc(func(ctx context.Context, rec Record, h Hooks) (json.RawMessage, error) {
 		return nil, errors.New("bad request payload")
 	}), Options{BaseContext: context.Background(), Workers: 1})
 	if err != nil {

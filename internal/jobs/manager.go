@@ -172,10 +172,12 @@ func NewManager(exec Executor, opts Options) (*Manager, error) {
 	for _, rec := range recs {
 		j := &job{rec: rec.Clone()}
 		if !rec.State.Terminal() {
+			// Attempts, Progress and the checkpoint payload survive the
+			// restart: a recovered job resumes from its last persisted
+			// checkpoint instead of re-running from cycle zero, and its
+			// history stays honest.
 			j.rec.State = StateQueued
 			j.rec.StartedAt = time.Time{}
-			j.rec.Attempts = 0
-			j.rec.Progress = Progress{}
 			j.rec.Events = appendEvent(j.rec.Events, Event{Kind: "state", State: StateQueued, Time: time.Now()})
 			pending = append(pending, j)
 		}
@@ -459,7 +461,12 @@ func (m *Manager) run(j *job) {
 	for {
 		m.mu.Lock()
 		j.rec.Attempts++
-		j.rec.Progress = Progress{}
+		// A resuming attempt (persisted checkpoint on record) keeps its
+		// progress counters; only a from-scratch attempt starts clean.
+		if len(j.rec.Checkpoint) == 0 {
+			j.rec.Progress = Progress{}
+		}
+		j.rec.ResumedFromCycle = j.rec.CheckpointCycle
 		attempt := j.rec.Attempts
 		snapshot := j.rec.Clone()
 		m.mu.Unlock()
@@ -467,6 +474,12 @@ func (m *Manager) run(j *job) {
 		result, err := m.attempt(ctx, j, snapshot, attempt)
 		if err == nil {
 			m.finish(j, StateSucceeded, result, nil, "")
+			return
+		}
+		if errors.Is(err, ErrCheckpointed) {
+			// A voluntary stop at a persisted checkpoint (drain): park the
+			// job back in the queue; the next run resumes it.
+			m.checkpoint(j)
 			return
 		}
 		if ctx.Err() != nil {
@@ -523,7 +536,25 @@ func (m *Manager) attempt(ctx context.Context, j *job, rec Record, attempt int) 
 			return nil, ferr
 		}
 	}
-	return m.exec.Execute(ctx, rec, func(ev Event) { m.progress(j, ev) })
+	return m.exec.Execute(ctx, rec, Hooks{
+		Emit:       func(ev Event) { m.progress(j, ev) },
+		Checkpoint: func(snapshot json.RawMessage, cycle int) { m.storeCheckpoint(j, snapshot, cycle) },
+		Draining:   m.stop,
+	})
+}
+
+// storeCheckpoint records and persists an executor checkpoint: the
+// durability point of resumable execution. The snapshot supersedes any
+// previous one; the "checkpoint" event carries the cycle as Index so
+// the live stream shows checkpoints as they land.
+func (m *Manager) storeCheckpoint(j *job, snapshot json.RawMessage, cycle int) {
+	m.mu.Lock()
+	j.rec.Checkpoint = append(json.RawMessage(nil), snapshot...)
+	j.rec.CheckpointCycle = cycle
+	m.emitLocked(j, Event{Kind: "checkpoint", Index: cycle})
+	rec := j.rec.Clone()
+	m.mu.Unlock()
+	m.persist(rec)
 }
 
 // panicError carries a recovered panic value and its stack through the
@@ -600,6 +631,11 @@ func (m *Manager) finishLocked(j *job, state State, result json.RawMessage, err 
 	j.rec.FinishedAt = time.Now()
 	j.rec.Result = result
 	j.rec.Stack = stack
+	// Terminal records drop their (potentially large) checkpoint payload:
+	// no worker will resume them. ResumedFromCycle stays, recording how
+	// the final attempt started.
+	j.rec.Checkpoint = nil
+	j.rec.CheckpointCycle = 0
 	j.cancel = nil
 	if err != nil {
 		j.rec.Error = err.Error()
@@ -619,15 +655,19 @@ func (m *Manager) finishLocked(j *job, state State, result json.RawMessage, err 
 	return j.rec.Clone()
 }
 
-// checkpoint resets a drained-but-unfinished job to queued in the
-// store, so the next manager run re-executes it from scratch.
+// checkpoint parks a drained-but-unfinished job back to queued in the
+// store. Attempts, Progress and the persisted checkpoint payload are
+// kept — the next manager run resumes from the last completed chunk,
+// not from scratch — except that the interrupted attempt is uncounted:
+// a drain is not a failure and must not consume the retry budget.
 func (m *Manager) checkpoint(j *job) {
 	m.mu.Lock()
 	j.rec.State = StateQueued
 	j.rec.StartedAt = time.Time{}
 	j.rec.FinishedAt = time.Time{}
-	j.rec.Attempts = 0
-	j.rec.Progress = Progress{}
+	if j.rec.Attempts > 0 {
+		j.rec.Attempts--
+	}
 	j.cancel = nil
 	m.emitLocked(j, Event{Kind: "state", State: StateQueued, Error: errCheckpoint.Error()})
 	for _, ch := range j.subs {

@@ -2,12 +2,14 @@ package jobs
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 )
 
 // Store persists job records across manager restarts. The manager
@@ -144,11 +146,37 @@ func (s *FileStore) Put(rec Record) error {
 		tmp.Close()
 		return fmt.Errorf("jobs: writing record %s: %w", rec.ID, err)
 	}
+	// fsync before the rename and fsync the directory after it: the
+	// rename must never become visible ahead of the bytes it points to,
+	// and the new directory entry itself must reach the disk — otherwise
+	// a power cut can roll a checkpointed record back to an older (or
+	// missing) version after the manager already promised durability.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("jobs: syncing record %s: %w", rec.ID, err)
+	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("jobs: writing record %s: %w", rec.ID, err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("jobs: writing record %s: %w", rec.ID, err)
+	}
+	return syncDir(s.dir, rec.ID)
+}
+
+// syncDir fsyncs the store directory so a just-renamed record's
+// directory entry is durable. Filesystems that refuse to sync a
+// directory handle (some CI sandboxes and network mounts) degrade
+// durability, not availability: the rename already happened, so the
+// record is visible to every reader.
+func syncDir(dir, id string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("jobs: opening store directory for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return fmt.Errorf("jobs: syncing store directory for record %s: %w", id, err)
 	}
 	return nil
 }

@@ -199,7 +199,7 @@ func TestRecoverTruncatedRecord(t *testing.T) {
 
 	// Manager recovery over the damaged store: starts, serves the
 	// healthy terminal record.
-	mgr, err := NewManager(ExecutorFunc(func(context.Context, Record, func(Event)) (json.RawMessage, error) {
+	mgr, err := NewManager(ExecutorFunc(func(context.Context, Record, Hooks) (json.RawMessage, error) {
 		return json.RawMessage(`{}`), nil
 	}), Options{BaseContext: context.Background(), Store: st2})
 	if err != nil {
@@ -230,7 +230,7 @@ func TestDrainCheckpointAndRestartRecovery(t *testing.T) {
 	started := make(chan string, 2)
 	release := make(chan struct{})
 	defer close(release)
-	exec := ExecutorFunc(func(ctx context.Context, rec Record, emit func(Event)) (json.RawMessage, error) {
+	exec := ExecutorFunc(func(ctx context.Context, rec Record, h Hooks) (json.RawMessage, error) {
 		var p struct {
 			Fast bool `json:"fast"`
 		}
@@ -301,7 +301,10 @@ func TestDrainCheckpointAndRestartRecovery(t *testing.T) {
 }
 
 // TestRecoverRunningAsQueued pins that a record persisted as "running"
-// (a crash, not a graceful drain) is recovered as queued and re-run.
+// (a crash, not a graceful drain) is recovered as queued and re-run —
+// and that the attempt count survives the restart: a crash must not
+// refill the retry budget, or a job that crashes the worker could loop
+// forever.
 func TestRecoverRunningAsQueued(t *testing.T) {
 	st := NewMemStore()
 	if err := st.Put(Record{
@@ -317,8 +320,11 @@ func TestRecoverRunningAsQueued(t *testing.T) {
 	}
 	defer drainNow(t, m)
 	got := waitState(t, m, "cccccccccccccccc", StateSucceeded)
-	if got.Attempts != 1 {
-		t.Errorf("recovered job attempts = %d, want a fresh 1", got.Attempts)
+	if got.Attempts != 3 {
+		t.Errorf("recovered job attempts = %d, want 3 (2 persisted + the re-run)", got.Attempts)
+	}
+	if got.ResumedFromCycle != 0 {
+		t.Errorf("recovered job without a checkpoint reports resumed_from_cycle = %d, want 0", got.ResumedFromCycle)
 	}
 }
 

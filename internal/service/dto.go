@@ -320,6 +320,12 @@ type JobDTO struct {
 	Fingerprint string         `json:"fingerprint,omitempty"`
 	Attempts    int            `json:"attempts"`
 	Progress    JobProgressDTO `json:"progress"`
+	// CheckpointCycle is the measured cycle of the job's latest
+	// persisted checkpoint (0 when none); ResumedFromCycle the cycle the
+	// current/last attempt resumed from — non-zero proves a drain,
+	// crash or retry continued persisted work instead of restarting.
+	CheckpointCycle  int `json:"checkpoint_cycle,omitempty"`
+	ResumedFromCycle int `json:"resumed_from_cycle,omitempty"`
 	// Error/Stack describe a terminal failure (Stack only for a
 	// recovered worker panic).
 	Error string `json:"error,omitempty"`
@@ -336,20 +342,22 @@ type JobDTO struct {
 // JobFrom converts a job record to its wire form.
 func JobFrom(rec jobs.Record) JobDTO {
 	return JobDTO{
-		ID:             rec.ID,
-		State:          string(rec.State),
-		Kind:           rec.Kind,
-		RequestID:      rec.RequestID,
-		Fingerprint:    rec.Fingerprint,
-		Attempts:       rec.Attempts,
-		Progress:       JobProgressDTO{Done: rec.Progress.Done, Total: rec.Progress.Total},
-		Error:          rec.Error,
-		Stack:          rec.Stack,
-		TimeoutSeconds: rec.Timeout.Seconds(),
-		ResultReady:    rec.State == jobs.StateSucceeded,
-		CreatedAt:      rec.CreatedAt,
-		StartedAt:      rec.StartedAt,
-		FinishedAt:     rec.FinishedAt,
+		ID:               rec.ID,
+		State:            string(rec.State),
+		Kind:             rec.Kind,
+		RequestID:        rec.RequestID,
+		Fingerprint:      rec.Fingerprint,
+		Attempts:         rec.Attempts,
+		Progress:         JobProgressDTO{Done: rec.Progress.Done, Total: rec.Progress.Total},
+		CheckpointCycle:  rec.CheckpointCycle,
+		ResumedFromCycle: rec.ResumedFromCycle,
+		Error:            rec.Error,
+		Stack:            rec.Stack,
+		TimeoutSeconds:   rec.Timeout.Seconds(),
+		ResultReady:      rec.State == jobs.StateSucceeded,
+		CreatedAt:        rec.CreatedAt,
+		StartedAt:        rec.StartedAt,
+		FinishedAt:       rec.FinishedAt,
 	}
 }
 

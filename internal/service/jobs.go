@@ -83,13 +83,17 @@ func (s *Server) Drain(ctx context.Context) error {
 
 // executeJob is the jobs.Executor: it re-parses the submitted payload
 // and runs it through the shared Engine under the job's context, with
-// session progress events tapped into the job record.
-func (s *Server) executeJob(ctx context.Context, rec jobs.Record, emit func(jobs.Event)) (json.RawMessage, error) {
+// session progress events tapped into the job record. Measure jobs
+// with checkpoint_every set run chunked: every chunk boundary persists
+// a resumable snapshot through h.Checkpoint, and the drain signal
+// (h.Draining) stops the run at the next boundary so a restarted
+// manager resumes from the recorded cycle instead of from zero.
+func (s *Server) executeJob(ctx context.Context, rec jobs.Record, h jobs.Hooks) (json.RawMessage, error) {
 	var p JobSubmitParams
 	if err := json.Unmarshal(rec.Request, &p); err != nil {
 		return nil, fmt.Errorf("decoding stored job request: %w", err)
 	}
-	sess := s.engine.NewSessionFunc(ctx, func(ev glitchsim.Event) { emit(jobEventFrom(ev)) })
+	sess := s.engine.NewSessionFunc(ctx, func(ev glitchsim.Event) { h.Emit(jobEventFrom(ev)) })
 	defer sess.Close()
 
 	var payload any
@@ -102,8 +106,50 @@ func (s *Server) executeJob(ctx context.Context, rec jobs.Record, emit func(jobs
 		if err != nil {
 			return nil, classifyJobError(err)
 		}
-		payload, err = s.measure(ctx, sess, nl, p.Measure.config(), p.Measure)
+		cfg := p.Measure.config()
+		resumable := cfg.CheckpointEvery > 0 && len(p.Measure.Seeds) == 0
+		if resumable {
+			cfg.CheckpointSink = func(cp *glitchsim.MeasureCheckpoint) error {
+				data, err := json.Marshal(cp)
+				if err != nil {
+					return fmt.Errorf("encoding checkpoint: %w", err)
+				}
+				h.Checkpoint(data, cp.Cycle)
+				select {
+				case <-h.Draining:
+					return glitchsim.ErrStopAtCheckpoint
+				default:
+					return nil
+				}
+			}
+			if len(rec.Checkpoint) > 0 {
+				cp := new(glitchsim.MeasureCheckpoint)
+				if err := json.Unmarshal(rec.Checkpoint, cp); err != nil {
+					// A snapshot that no longer decodes is dropped, not
+					// fatal: the attempt restarts from zero.
+					h.Emit(jobs.Event{Kind: "resume-discarded", Error: err.Error()})
+				} else {
+					cfg.Resume = cp
+				}
+			}
+		} else {
+			// Seeds sweeps run each seed as its own stream; per-seed
+			// snapshots are not resumable, so checkpointing is off.
+			cfg.CheckpointEvery = 0
+		}
+		payload, err = s.measure(ctx, sess, nl, cfg, p.Measure)
+		if err != nil && cfg.Resume != nil && errors.Is(err, glitchsim.ErrCheckpointMismatch) {
+			// The persisted snapshot disagrees with the request (a code
+			// or registry change between runs): discard it and rerun the
+			// attempt from zero rather than failing the job.
+			h.Emit(jobs.Event{Kind: "resume-discarded", Error: err.Error()})
+			cfg.Resume = nil
+			payload, err = s.measure(ctx, sess, nl, cfg, p.Measure)
+		}
 		if err != nil {
+			if errors.Is(err, glitchsim.ErrCheckpointed) {
+				return nil, jobs.ErrCheckpointed
+			}
 			return nil, classifyJobError(err)
 		}
 	default:
@@ -410,6 +456,10 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request, id stri
 	}()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
+	// A live follow legitimately outlives the server-wide WriteTimeout
+	// (it tails the job until terminal); clear the write deadline for
+	// this response only so the kernel doesn't kill the stream mid-tail.
+	_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	writeEv := func(ev jobs.Event) bool {

@@ -216,6 +216,12 @@ type MeasureParams struct {
 	BudgetMemoryBytes uint64 `json:"budget_memory_bytes,omitempty"`
 	// BudgetWallMS bounds the measurement's wall-clock milliseconds.
 	BudgetWallMS int `json:"budget_wall_ms,omitempty"`
+	// CheckpointEvery, for async measure jobs, snapshots a resumable
+	// checkpoint every that-many measured cycles: the job survives
+	// drain/crash/restart from the last boundary, and a graceful drain
+	// waits at most one chunk. 0 (or a Seeds sweep) disables
+	// checkpointing; synchronous requests ignore it.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
 }
 
 // budget resolves the request's wire budget fields.
@@ -228,7 +234,7 @@ func (p *MeasureParams) budget() glitchsim.Budget {
 }
 
 func (p *MeasureParams) config() glitchsim.Config {
-	cfg := glitchsim.Config{Seed: p.Seed, Inertial: p.Inertial, Lanes: p.Lanes}
+	cfg := glitchsim.Config{Seed: p.Seed, Inertial: p.Inertial, Lanes: p.Lanes, CheckpointEvery: p.CheckpointEvery}
 	if p.DSum != 0 || p.DCarry != 0 || p.Typical {
 		dsum, dcarry := p.DSum, p.DCarry
 		if dsum == 0 {
@@ -274,6 +280,7 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx := r.Context()
 	cfg := p.config()
+	cfg.CheckpointEvery = 0 // a synchronous reply has nowhere to resume from; jobs own checkpointing
 	if !s.admitMeasure(w, nl, cfg) {
 		return
 	}
@@ -479,6 +486,10 @@ func (s *Server) runTable3(ctx context.Context, sess *glitchsim.Session, req gli
 func (s *Server) streamResponse(w http.ResponseWriter, r *http.Request, fn func(*glitchsim.Session) (any, error)) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
+	// Streams pace themselves by the work, not the network: clear the
+	// per-request write deadline so the server-wide WriteTimeout (sized
+	// for buffered replies) cannot cut a long NDJSON tail mid-line.
+	_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 
@@ -606,6 +617,11 @@ func paramsFromQuery(q url.Values, v any) error {
 			return err
 		} else if n != nil {
 			p.BudgetWallMS = *n
+		}
+		if n, err := optInt(q, "checkpoint_every"); err != nil {
+			return err
+		} else if n != nil {
+			p.CheckpointEvery = *n
 		}
 		p.Typical = boolParam(q, "typical")
 		p.Inertial = boolParam(q, "inertial")

@@ -227,6 +227,27 @@ func (t *DelayTable) Min() int { return int(t.min) }
 // Max returns the largest per-output delay.
 func (t *DelayTable) Max() int { return int(t.max) }
 
+// Digest returns an FNV-1a hash over the table's per-output delays, in
+// key order. Two tables digest equal exactly when they assign the same
+// delay to every cell-output key, so a measurement checkpoint can
+// record the digest and refuse to resume under a different delay model
+// (which would make the resumed half statistically incomparable).
+func (t *DelayTable) Digest() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, d := range t.delays {
+		u := uint32(d)
+		for shift := 0; shift < 32; shift += 8 {
+			h ^= uint64(byte(u >> shift))
+			h *= prime64
+		}
+	}
+	return h
+}
+
 // Uniform reports whether every combinational output shares one delay,
 // and returns it. This is the eligibility test of the lockstep
 // word-parallel kernel (which additionally requires the delay >= 1).

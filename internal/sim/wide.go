@@ -99,6 +99,17 @@ type WideKernel interface {
 	Cycle() int
 	// KernelName names the kernel ("wide-lockstep" or "wide-event").
 	KernelName() string
+	// ExportState appends the kernel's packed net values to dst and
+	// returns it. Valid only at a cycle boundary (between Step calls),
+	// where the net values are the kernel's entire dynamic state: all
+	// event queues are empty and flip-flop sampling state is derivable
+	// from the Q nets. The measurement checkpoint layer serializes this.
+	ExportState(dst []logic.W) []logic.W
+	// ImportState overwrites the kernel's net values with vals (length
+	// NumNets) and sets the completed-cycle count, re-deriving all
+	// internal caches. The next Step continues exactly as if the kernel
+	// had simulated to that boundary itself.
+	ImportState(vals []logic.W, cycle int)
 }
 
 // NewWideKernel returns the fastest word-parallel kernel for the
@@ -359,6 +370,29 @@ func (s *WideSimulator) evalTouched() {
 		}
 	}
 	s.touched = s.touched[:0]
+}
+
+// ExportState implements WideKernel: at a cycle boundary the settled
+// net values are the lockstep kernel's entire dynamic state (wave/next
+// are empty after Step returns, and ffQ was pushed onto the Q nets —
+// which each flip-flop drives alone — so ffQ[i] == values[dffQ[i]]).
+func (s *WideSimulator) ExportState(dst []logic.W) []logic.W {
+	return append(dst, s.values...)
+}
+
+// ImportState implements WideKernel: it restores the settled net values
+// captured by ExportState, re-derives the flip-flop sample registers
+// from their Q nets, and resets per-cycle bookkeeping.
+func (s *WideSimulator) ImportState(vals []logic.W, cycle int) {
+	if len(vals) != len(s.values) {
+		panic(fmt.Sprintf("sim: imported state has %d nets, netlist has %d", len(vals), len(s.values)))
+	}
+	copy(s.values, vals)
+	for i, q := range s.c.dffQ {
+		s.ffQ[i] = s.values[q]
+	}
+	s.discardInFlight()
+	s.cycle = cycle
 }
 
 // discardInFlight clears all pending events and per-cycle bookkeeping so

@@ -526,6 +526,30 @@ func (s *WideEventSimulator) flush(t int) {
 	s.changes = s.changes[:0]
 }
 
+// ExportState implements WideKernel: at a cycle boundary the settled
+// net values are the event kernel's entire dynamic state (the queues
+// drained before Step returned, so the projections equal the settled
+// values and ffQ[i] == values[dffQ[i]] via the Q-net push at injection).
+func (s *WideEventSimulator) ExportState(dst []logic.W) []logic.W {
+	return append(dst, s.values...)
+}
+
+// ImportState implements WideKernel: it restores the settled net values
+// captured by ExportState, resyncs the projections, re-derives the
+// flip-flop sample registers from their Q nets, and resets per-cycle
+// bookkeeping.
+func (s *WideEventSimulator) ImportState(vals []logic.W, cycle int) {
+	if len(vals) != len(s.values) {
+		panic(fmt.Sprintf("sim: imported state has %d nets, netlist has %d", len(vals), len(s.values)))
+	}
+	copy(s.values, vals)
+	for i, q := range s.c.dffQ {
+		s.ffQ[i] = s.values[q]
+	}
+	s.discardInFlight()
+	s.cycle = cycle
+}
+
 // discardInFlight clears all pending events and per-cycle bookkeeping so
 // a Step after a guard or cancellation error starts from a consistent
 // (if functionally stale) state.

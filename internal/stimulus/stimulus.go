@@ -29,6 +29,15 @@ func (p *PRNG) Uint64() uint64 {
 	return z ^ (z >> 31)
 }
 
+// Skip advances the generator past n draws in O(1). The splitmix64
+// state walks a fixed-stride arithmetic sequence (Uint64 adds the golden
+// gamma before mixing), so skipping n outputs is one multiply-add. This
+// is what lets a resumed measurement rejoin its stimulus stream at an
+// arbitrary cycle without replaying the prefix.
+func (p *PRNG) Skip(n uint64) {
+	p.state += n * 0x9E3779B97F4A7C15
+}
+
 // Uintn returns a uniform value in [0, n). It panics when n == 0.
 func (p *PRNG) Uintn(n uint64) uint64 {
 	if n == 0 {

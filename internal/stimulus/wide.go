@@ -40,6 +40,22 @@ func (r *WideRandom) Width() int { return r.width }
 // Lanes returns the number of seeded lanes.
 func (r *WideRandom) Lanes() int { return len(r.rngs) }
 
+// Skip advances every seeded lane past the given number of cycles in
+// O(lanes): NextWide consumes exactly one splitmix64 draw per seeded
+// lane per 64-bit chunk of the vector width, so the per-lane skip
+// distance is cycles·ceil(width/64) draws. After Skip(n) the generator
+// produces the same stream a fresh WideRandom would after n NextWide
+// calls — the property measurement resume relies on.
+func (r *WideRandom) Skip(cycles int) {
+	if cycles <= 0 {
+		return
+	}
+	chunks := uint64((r.width + 63) / 64)
+	for l := range r.rngs {
+		r.rngs[l].Skip(uint64(cycles) * chunks)
+	}
+}
+
 // NextWide fills dst (length Width) with the next cycle's packed
 // vectors and returns it. Bit j of lane l equals Random(width,
 // seeds[l]).Next()[j] for the same cycle; unseeded lanes read 0.

@@ -3,6 +3,7 @@ package glitchsim
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -257,13 +258,21 @@ func (s *wideScratch) grow(lanes, width int) {
 // lane-order merge of scalar runs measuring min(quota_l, k) cycles
 // each: per-lane masks are applied at the start of each step, so every
 // completed step carries exactly the lanes that were still active.
+// When cfg.CheckpointEvery > 0 the measured loop pauses at every chunk
+// boundary to fold the counter and kernel state into a sealed
+// MeasureCheckpoint for cfg.CheckpointSink; cfg.Resume restores such a
+// checkpoint and continues from its cycle on the identical fast-
+// forwarded seed streams (see checkpoint.go). Neither perturbs the
+// simulation: a chunk boundary only reads state, so checkpointed,
+// resumed and plain runs are bit-identical.
 func measureWide(ctx context.Context, c *sim.Compiled, cfg Config, lanes int) (*core.Counter, error) {
 	n := c.Netlist()
 	mode := sim.Transport
 	if cfg.Inertial {
 		mode = sim.Inertial
 	}
-	opts := sim.Options{Delay: cfg.Delay, Mode: mode, Budget: cfg.Budget.simBudget(time.Now())}
+	dt := sim.NewDelayTable(c, cfg.Delay)
+	opts := sim.Options{Delay: cfg.Delay, Delays: dt, Mode: mode, Budget: cfg.Budget.simBudget(time.Now())}
 	if ctx.Done() != nil {
 		opts.Cancel = ctx.Err
 	}
@@ -275,30 +284,49 @@ func measureWide(ctx context.Context, c *sim.Compiled, cfg Config, lanes int) (*
 	laneSeedsInto(seeds, cfg.Seed)
 	laneQuotasInto(quotas, cfg.Cycles)
 	src := stimulus.NewWideRandom(n.InputWidth(), seeds)
-	// Warm-up runs unmonitored: the kernel skips change capture entirely,
-	// and attaching the counter afterwards is indistinguishable from
-	// attach-then-Reset (the counter carries no cross-cycle state beyond
-	// the statistics a reset would clear).
-	for i := 0; i < cfg.Warmup; i++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		if err := ws.Step(src.NextWide(buf)); err != nil {
-			if errors.Is(err, sim.ErrBudgetExceeded) {
-				return core.NewCounter(n), err
-			}
-			return nil, err
-		}
-	}
-	counter := core.NewWideCounter(n)
-	counter.SetLaneMask(laneMaskOf(lanes))
-	ws.AttachWideMonitor(counter)
-	active := lanes
 	maxQ := 0
 	if len(quotas) > 0 {
 		maxQ = quotas[0]
 	}
-	for k := 0; k < maxQ; k++ {
+	counter := core.NewWideCounter(n)
+	startK := 0
+	if cp := cfg.Resume; cp != nil {
+		if err := cp.Verify(); err != nil {
+			return nil, err
+		}
+		if err := cp.matches(n, cfg, lanes, maxQ, dt); err != nil {
+			return nil, err
+		}
+		if err := counter.Restore(cp.Counter); err != nil {
+			return nil, err
+		}
+		// The kernel rejoins the run at the recorded boundary: net values
+		// from the snapshot, flip-flop registers re-derived, stimulus
+		// fast-forwarded past the warm-up plus the completed prefix.
+		ws.ImportState(decodeNetState(cp.NetState), cfg.Warmup+cp.Cycle)
+		src.Skip(cfg.Warmup + cp.Cycle)
+		startK = cp.Cycle
+	} else {
+		// Warm-up runs unmonitored: the kernel skips change capture
+		// entirely, and attaching the counter afterwards is
+		// indistinguishable from attach-then-Reset (the counter carries no
+		// cross-cycle state beyond the statistics a reset would clear).
+		for i := 0; i < cfg.Warmup; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := ws.Step(src.NextWide(buf)); err != nil {
+				if errors.Is(err, sim.ErrBudgetExceeded) {
+					return core.NewCounter(n), err
+				}
+				return nil, err
+			}
+		}
+	}
+	counter.SetLaneMask(laneMaskOf(lanes))
+	ws.AttachWideMonitor(counter)
+	active := lanes
+	for k := startK; k < maxQ; k++ {
 		// Retire lanes whose quota is exhausted (quotas non-increasing:
 		// the active set is always a prefix).
 		for active > 0 && quotas[active-1] <= k {
@@ -313,6 +341,21 @@ func measureWide(ctx context.Context, c *sim.Compiled, cfg Config, lanes int) (*
 				return counter.Counter(), err
 			}
 			return nil, err
+		}
+		// Chunk boundary: k+1 completed steps. The final boundary is the
+		// return value itself, so no checkpoint is taken there.
+		if done := k + 1; cfg.CheckpointEvery > 0 && cfg.CheckpointSink != nil &&
+			done < maxQ && done%cfg.CheckpointEvery == 0 {
+			cp, err := captureCheckpoint(ws, counter, n, cfg, lanes, done, dt)
+			if err != nil {
+				return nil, err
+			}
+			if err := cfg.CheckpointSink(cp); err != nil {
+				if errors.Is(err, ErrStopAtCheckpoint) {
+					return counter.Counter(), &CheckpointedError{Cycle: done, Total: maxQ}
+				}
+				return nil, fmt.Errorf("glitchsim: checkpoint sink: %w", err)
+			}
 		}
 	}
 	return counter.Counter(), nil
